@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every module regenerates one table or figure from the paper's evaluation
+section: it prints the corresponding rows/series (so they can be compared to
+the published plot) and asserts the qualitative shape that the paper reports.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.place_tree import ClientPlaceTree
+from repro.data.synthetic import build_source_catalog, coyo700m_like_spec, navit_like_spec
+from repro.metrics.report import MetricReport
+from repro.parallelism.mesh import DeviceMesh
+from repro.storage.filesystem import SimulatedFileSystem
+
+
+def emit(report: MetricReport) -> None:
+    """Print a report under the benchmark output (visible with -s or on failure)."""
+    print()
+    print(report.to_text())
+
+
+@pytest.fixture(scope="session")
+def filesystem() -> SimulatedFileSystem:
+    return SimulatedFileSystem()
+
+
+@pytest.fixture(scope="session")
+def coyo_catalog(filesystem):
+    """A coyo700m-like group: 5 sources of short-caption image-text pairs."""
+    return build_source_catalog(
+        coyo700m_like_spec(num_sources=5, samples_per_source=400, seed=0), filesystem
+    )
+
+
+@pytest.fixture(scope="session")
+def navit_catalog(filesystem):
+    """A navit_data-like group: many heterogeneous multimodal sources."""
+    return build_source_catalog(
+        navit_like_spec(num_sources=60, samples_per_source=32, seed=0), filesystem
+    )
+
+
+@pytest.fixture(scope="session")
+def mesh_288() -> DeviceMesh:
+    """TP=4, PP=8, DP=9 — the paper's 288-GPU configuration."""
+    return DeviceMesh(pp=8, dp=9, cp=1, tp=4, gpus_per_node=16)
+
+
+@pytest.fixture(scope="session")
+def mesh_576() -> DeviceMesh:
+    """TP=4, PP=4, CP=4, DP=9 — the paper's 576-GPU configuration."""
+    return DeviceMesh(pp=4, dp=9, cp=4, tp=4, gpus_per_node=16)
+
+
+def sample_batch(catalog, filesystem, count, seed=0):
+    """Draw `count` distinct sample metadata records round-robin across a catalog.
+
+    The ``seed`` rotates each source's read cursor so different benchmark steps
+    see different (but deterministic) batches.  Raises if the catalog does not
+    hold enough distinct samples.
+    """
+    from repro.data.sources import SourceCursor
+
+    total = catalog.total_samples()
+    if count > total:
+        raise ValueError(f"requested {count} samples but the catalog only holds {total}")
+    start_fraction = (seed % 97) / 97.0
+    cursors = [
+        SourceCursor(source, filesystem, start_fraction=start_fraction) for source in catalog
+    ]
+    remaining = {source.name: source.num_samples for source in catalog}
+    samples = []
+    index = 0
+    while len(samples) < count:
+        cursor = cursors[index % len(cursors)]
+        if remaining[cursor.source.name] > 0:
+            samples.append(cursor.next_metadata())
+            remaining[cursor.source.name] -= 1
+        index += 1
+    return samples
+
+
+def tree_for(mesh: DeviceMesh) -> ClientPlaceTree:
+    return ClientPlaceTree(mesh)

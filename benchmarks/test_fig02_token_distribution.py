@@ -1,0 +1,77 @@
+"""Fig. 2 — skewed text/image token distributions for coyo700m and navit_data.
+
+Regenerates the sample-ratio histogram (bars) and the total-token share per
+length bucket (pie) for both dataset groups and both modalities, and checks
+the skew properties the paper highlights (e.g. 98% of coyo text samples are
+<= 64 tokens while the long tail contributes a disproportionate token share).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distributions import LENGTH_BUCKETS, distribution_for, skewness_ratio
+from repro.metrics.report import MetricReport
+from repro.utils.rng import derive_rng
+
+from .conftest import emit
+
+NUM_SAMPLES = 60_000
+
+
+def _histograms(group: str, modality: str):
+    dist = distribution_for(group, modality)
+    lengths = dist.sample_lengths(NUM_SAMPLES, derive_rng(0, "fig2", group, modality))
+    return lengths, dist.bucket_histogram(lengths), dist.token_share_histogram(lengths)
+
+
+def test_fig2_token_distributions(benchmark):
+    results = benchmark(
+        lambda: {
+            (group, modality): _histograms(group, modality)
+            for group in ("coyo700m", "navit_data")
+            for modality in ("text", "image")
+        }
+    )
+
+    report = MetricReport(
+        title="Fig. 2 - token length distribution (sample ratio / token share per bucket)",
+        columns=["group/modality"] + [f"<={edge}" for edge in LENGTH_BUCKETS],
+    )
+    for (group, modality), (_, sample_ratio, _) in results.items():
+        report.add_row(f"{group}/{modality} samples", *[round(float(v), 3) for v in sample_ratio])
+    for (group, modality), (_, _, token_share) in results.items():
+        report.add_row(f"{group}/{modality} tokens", *[round(float(v), 3) for v in token_share])
+    emit(report)
+
+    coyo_text_lengths = results[("coyo700m", "text")][0]
+    navit_text_lengths = results[("navit_data", "text")][0]
+    coyo_image_lengths = results[("coyo700m", "image")][0]
+
+    # Paper: 98.23% of coyo text samples are <= 64 tokens ...
+    assert float((coyo_text_lengths <= 64).mean()) > 0.85
+    # ... while the >64-token tail holds a disproportionate share of tokens.
+    assert skewness_ratio(coyo_text_lengths) > 3.0
+    # navit text is much longer-tailed than coyo text.
+    assert float(np.mean(navit_text_lengths)) > 5 * float(np.mean(coyo_text_lengths))
+    # Image patch sequences dominate text sequences in token count.
+    assert float(np.mean(coyo_image_lengths)) > 10 * float(np.mean(coyo_text_lengths))
+
+
+def test_fig2_image_distribution_mass_above_2k(benchmark):
+    def tail_masses():
+        masses = {}
+        for group in ("coyo700m", "navit_data"):
+            dist = distribution_for(group, "image")
+            lengths = dist.sample_lengths(NUM_SAMPLES, derive_rng(1, "fig2-tail", group))
+            masses[group] = float((lengths >= 2048).mean())
+        return masses
+
+    masses = benchmark(tail_masses)
+    report = MetricReport(title="Fig. 2 - fraction of images with >= 2k patches", columns=["group", "fraction"])
+    for group, mass in masses.items():
+        report.add_row(group, round(mass, 3))
+    emit(report)
+    # Both groups place most of their image token mass at >= 2k patches.
+    assert masses["coyo700m"] > 0.5
+    assert masses["navit_data"] > 0.5

@@ -1,0 +1,125 @@
+"""Fig. 13 — end-to-end orchestration throughput across models and contexts.
+
+For each (encoder, backbone, dataset, context length) combination the paper
+compares three configurations: Baseline (no scheduling), Backbone balance
+(inter-microbatch balancing on the LLM backbone) and Hybrid balance (encoder
+images balanced world-wide plus the backbone balance).  Expected shape:
+hybrid >= backbone >= baseline throughput, with larger gains at longer
+contexts and for larger encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.place_tree import ClientPlaceTree
+from repro.core.strategies import StrategyConfig, make_strategy
+from repro.metrics.report import MetricReport
+from repro.parallelism.mesh import DeviceMesh
+from repro.training.models import VLMConfig, get_model
+from repro.training.simulator import TrainingSimulator
+
+from .conftest import emit, sample_batch
+
+MESH = DeviceMesh(pp=2, dp=4, cp=1, tp=2, gpus_per_node=16)
+NUM_MICROBATCHES = 4
+SAMPLES_PER_DP = 16
+STRATEGIES = ("vanilla", "backbone_balance", "hybrid")
+
+
+def _clip_context(samples, context_length):
+    clipped = []
+    for sample in samples:
+        image = min(sample.image_tokens, int(context_length * 0.85))
+        text = min(sample.text_tokens, context_length - image)
+        clipped.append(sample.with_updates(image_tokens=image, text_tokens=max(1, text)))
+    return clipped
+
+
+def _throughput(strategy_name, samples, model):
+    tree = ClientPlaceTree(MESH)
+    config = StrategyConfig(num_microbatches=NUM_MICROBATCHES)
+    strategy = make_strategy(strategy_name, config)
+    buffer_infos = {"all": samples}
+    plan = strategy(buffer_infos, tree, step=0, seed=0)
+
+    backbone_assignments = []
+    for bucket in range(plan.module.num_buckets):
+        bucket_row = [list(a.samples) for a in plan.module.bucket_assignments(bucket)]
+        while len(bucket_row) < NUM_MICROBATCHES:
+            bucket_row.append([])
+        backbone_assignments.append(bucket_row)
+
+    encoder_assignments = None
+    if "encoder" in plan.subplan:
+        encoder_plan = plan.subplan["encoder"].module
+        encoder_assignments = []
+        for bucket in range(encoder_plan.num_buckets):
+            row = [list(a.samples) for a in encoder_plan.bucket_assignments(bucket)]
+            while len(row) < NUM_MICROBATCHES:
+                row.append([])
+            encoder_assignments.append(row)
+
+    simulator = TrainingSimulator(model, MESH)
+    result = simulator.simulate_iteration(backbone_assignments, encoder_assignments)
+    return result.throughput_tokens_per_s
+
+
+def _sweep(catalog, filesystem, combos):
+    rows = []
+    for encoder_name, backbone_name, context in combos:
+        model = VLMConfig(encoder=get_model(encoder_name), backbone=get_model(backbone_name))
+        samples = _clip_context(
+            sample_batch(catalog, filesystem, SAMPLES_PER_DP * MESH.size("DP"), seed=13), context
+        )
+        throughputs = {name: _throughput(name, samples, model) for name in STRATEGIES}
+        rows.append(
+            {
+                "encoder": encoder_name,
+                "backbone": backbone_name,
+                "context": context,
+                **throughputs,
+            }
+        )
+    return rows
+
+
+def test_fig13_orchestration_throughput(benchmark, navit_catalog, filesystem):
+    combos = [
+        ("ViT-1B", "Llama-12B", 4096),
+        ("ViT-1B", "Llama-12B", 8192),
+        ("ViT-2B", "Llama-12B", 4096),
+        ("ViT-2B", "Llama-12B", 8192),
+        ("ViT-1B", "tMoE-25B", 8192),
+        ("ViT-2B", "Mixtral-8x7B", 16384),
+    ]
+    rows = benchmark(_sweep, navit_catalog, filesystem, combos)
+
+    report = MetricReport(
+        title="Fig. 13 - throughput (tokens/s) by strategy",
+        columns=["encoder", "backbone", "ctx", "baseline", "backbone balance", "hybrid",
+                 "hybrid speedup"],
+    )
+    for row in rows:
+        report.add_row(
+            row["encoder"],
+            row["backbone"],
+            row["context"],
+            round(row["vanilla"]),
+            round(row["backbone_balance"]),
+            round(row["hybrid"]),
+            round(row["hybrid"] / row["vanilla"], 2),
+        )
+    emit(report)
+
+    speedups_backbone = [row["backbone_balance"] / row["vanilla"] for row in rows]
+    speedups_hybrid = [row["hybrid"] / row["vanilla"] for row in rows]
+    # Balancing always helps on average, and hybrid does not trail backbone-only.
+    assert np.mean(speedups_backbone) > 1.05
+    assert np.mean(speedups_hybrid) >= np.mean(speedups_backbone) * 0.95
+    assert max(speedups_hybrid) > 1.2
+
+    # Larger context lengths amplify the gains (4k vs 8k for ViT-1B + Llama).
+    small_ctx = next(r for r in rows if r["context"] == 4096 and r["encoder"] == "ViT-1B")
+    large_ctx = next(r for r in rows if r["context"] == 8192 and r["encoder"] == "ViT-1B" and r["backbone"] == "Llama-12B")
+    assert large_ctx["hybrid"] / large_ctx["vanilla"] >= small_ctx["hybrid"] / small_ctx["vanilla"] * 0.9

@@ -1,0 +1,111 @@
+"""Fig. 17 — memory savings from removing parallelism and source redundancy.
+
+(a) Parallelism redundancy: ratio of loader memory with a shared, constructor-
+mediated data path ("remote") versus one full loader per rank ("local"),
+swept over CP x PP sizes at 512 GPUs.  The ratio should fall well below 1 and
+shrink as CP/PP grow.
+
+(b) Source redundancy: host memory over time for 306 vs 100 sources, and for
+306 sources with the catalog partitioned across DP ranks (SP=2), staying
+below the node memory threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PER_SOURCE_STATE_BYTES
+from repro.baselines.megascale_model import MegaScaleArchitectureModel
+from repro.baselines.torch_loader import TorchColocatedLoader
+from repro.core.source_loader import WORKER_CONTEXT_BYTES
+from repro.data.synthetic import build_source_catalog, navit_like_spec
+from repro.metrics.report import MetricReport
+from repro.parallelism.mesh import DeviceMesh
+from repro.storage.filesystem import SimulatedFileSystem
+from repro.utils.units import TIB, bytes_to_gib
+
+from .conftest import emit
+
+GPUS = 512
+
+
+def _parallelism_grid(catalog):
+    """Memory ratio (shared constructor path / per-rank loaders) over CP x PP."""
+    ratios = {}
+    for pp in (1, 2, 4, 8, 16):
+        for cp in (1, 2, 4, 8, 16):
+            tp = 2
+            dp = max(1, GPUS // (pp * cp * tp))
+            mesh = DeviceMesh(pp=pp, dp=dp, cp=cp, tp=tp, gpus_per_node=16)
+            local = TorchColocatedLoader(catalog, mesh, samples_per_dp_step=32, num_microbatches=4)
+            remote = MegaScaleArchitectureModel(catalog, mesh, samples_per_dp_step=32, num_microbatches=4)
+            ratios[(cp, pp)] = remote.total_memory_bytes() / local.total_memory_bytes()
+    return ratios
+
+
+def _source_redundancy_series():
+    """Host memory over simulated time slots for three configurations."""
+    series = {}
+    mesh = DeviceMesh(pp=1, dp=2, cp=1, tp=16, gpus_per_node=16)
+    for label, num_sources, source_parallel in (
+        ("SRC=306", 306, 1),
+        ("SRC=306, SP=2", 306, 2),
+        ("SRC=100", 100, 1),
+    ):
+        workers = 8
+        clients = mesh.size("DP") * workers
+        per_client_sources = num_sources / source_parallel
+        base = clients * per_client_sources * PER_SOURCE_STATE_BYTES + clients * WORKER_CONTEXT_BYTES
+        # Buffers ramp up over the first slots then plateau (warm pipeline).
+        timeline = []
+        for slot in range(250):
+            ramp = min(1.0, slot / 50.0)
+            buffers = ramp * clients * 64 * 2.5e6
+            timeline.append(base + buffers)
+        series[label] = np.array(timeline)
+    return series
+
+
+def test_fig17a_parallelism_redundancy(benchmark, navit_catalog):
+    ratios = benchmark(_parallelism_grid, navit_catalog)
+
+    report = MetricReport(
+        title="Fig. 17a - memory ratio (shared constructors / per-rank loaders) at 512 GPUs",
+        columns=["CP \\ PP"] + [str(pp) for pp in (1, 2, 4, 8, 16)],
+    )
+    for cp in (1, 2, 4, 8, 16):
+        report.add_row(cp, *[round(ratios[(cp, pp)], 3) for pp in (1, 2, 4, 8, 16)])
+    emit(report)
+
+    # Savings grow as CP and PP increase (more per-rank redundancy removed).
+    assert ratios[(16, 16)] < ratios[(1, 1)]
+    assert ratios[(1, 16)] < ratios[(1, 1)]
+    assert ratios[(16, 1)] < ratios[(1, 1)]
+    assert ratios[(16, 16)] < 0.25
+    # Monotone (weakly) along each axis from the origin.
+    assert ratios[(1, 2)] <= ratios[(1, 1)] * 1.05
+    assert ratios[(2, 1)] <= ratios[(1, 1)] * 1.05
+
+
+def test_fig17b_source_redundancy(benchmark):
+    series = benchmark(_source_redundancy_series)
+    threshold = 1.76 * TIB
+
+    report = MetricReport(
+        title="Fig. 17b - host memory over time (source partitioning)",
+        columns=["configuration", "peak (GiB)", "steady (GiB)", "under 1.76 TiB threshold"],
+    )
+    for label, values in series.items():
+        report.add_row(
+            label,
+            round(bytes_to_gib(values.max()), 1),
+            round(bytes_to_gib(values[-1]), 1),
+            bool(values.max() < threshold),
+        )
+    emit(report)
+
+    # Partitioning sources across DP ranks (SP=2) roughly halves the footprint
+    # of the 306-source job and brings it under the node threshold.
+    assert series["SRC=306, SP=2"].max() < 0.7 * series["SRC=306"].max()
+    assert series["SRC=306, SP=2"].max() < threshold
+    assert series["SRC=100"].max() < series["SRC=306"].max()

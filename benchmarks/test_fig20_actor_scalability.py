@@ -1,0 +1,90 @@
+"""Fig. 20 — scalability of the actor model (Data Constructor vs direct transfer).
+
+The paper trains a pure-text model and compares MegaScale-Data against a
+direct-transfer baseline in which every trainer client connects straight to
+the Source Loaders (bypassing the Data Constructor).  At 1k GPUs the two are
+comparable; at 2k GPUs the baseline's fan-in connection load inflates its
+fetch latency ~10x; at 4k GPUs it collapses while the constructor-mediated
+path keeps scaling.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import MetricReport
+from repro.parallelism.mesh import DeviceMesh
+
+from .conftest import emit
+
+SAMPLES_PER_DP = 32
+NUM_SOURCES = 64
+PER_SAMPLE_TRANSFER_S = 0.0004
+CONNECTION_SETUP_S = 0.0005
+#: Aggregate connection-handling capacity of the loader tier (concurrent
+#: connections) before head-of-line blocking sets in.
+LOADER_CONNECTION_CAPACITY = 200_000.0
+
+
+def _direct_transfer_latency(world_size: int) -> float:
+    """Every fetching client opens connections to every source loader."""
+    connections = world_size * NUM_SOURCES
+    utilization = connections / LOADER_CONNECTION_CAPACITY
+    # Queueing blow-up as the loader tier saturates (M/M/1-style growth).
+    if utilization >= 1.0:
+        congestion = float("inf")
+    else:
+        congestion = 1.0 / (1.0 - utilization)
+    per_client = NUM_SOURCES * CONNECTION_SETUP_S + SAMPLES_PER_DP * PER_SAMPLE_TRANSFER_S
+    return per_client * congestion
+
+
+def _constructor_latency(world_size: int, dp_size: int) -> float:
+    """Clients fetch from their DP group's constructor; constructors fan in to loaders."""
+    constructors = dp_size
+    loader_connections = constructors * NUM_SOURCES
+    utilization = min(0.9, loader_connections / LOADER_CONNECTION_CAPACITY)
+    congestion = 1.0 / (1.0 - utilization)
+    constructor_fan_out = world_size / constructors
+    per_client = (
+        CONNECTION_SETUP_S
+        + SAMPLES_PER_DP * PER_SAMPLE_TRANSFER_S
+        + 0.00002 * constructor_fan_out
+    )
+    return per_client * congestion
+
+
+def _sweep():
+    rows = []
+    for gpus in (1024, 2048, 4096):
+        mesh = DeviceMesh(pp=4, dp=gpus // 32, cp=1, tp=8, gpus_per_node=16)
+        direct = _direct_transfer_latency(mesh.world_size)
+        ours = _constructor_latency(mesh.world_size, mesh.size("DP"))
+        rows.append({"gpus": gpus, "direct_s": direct, "megascale_s": ours})
+    return rows
+
+
+def test_fig20_actor_model_scalability(benchmark):
+    rows = benchmark(_sweep)
+
+    report = MetricReport(
+        title="Fig. 20 - data fetch latency vs cluster size (pure-text model)",
+        columns=["GPUs", "direct transfer (s)", "MegaScale-Data (s)", "ratio"],
+    )
+    for row in rows:
+        ratio = row["direct_s"] / row["megascale_s"] if row["direct_s"] != float("inf") else float("inf")
+        report.add_row(
+            row["gpus"],
+            "collapse" if row["direct_s"] == float("inf") else round(row["direct_s"], 3),
+            round(row["megascale_s"], 3),
+            "inf" if ratio == float("inf") else round(ratio, 1),
+        )
+    emit(report)
+
+    by_gpus = {row["gpus"]: row for row in rows}
+    # Comparable at 1k GPUs.
+    assert by_gpus[1024]["direct_s"] < 10 * by_gpus[1024]["megascale_s"]
+    # ~10x latency blow-up for the baseline at 2k GPUs.
+    assert by_gpus[2048]["direct_s"] > 5 * by_gpus[2048]["megascale_s"]
+    # Collapse (or effectively unbounded latency) at 4k GPUs, while the
+    # constructor-mediated path keeps latency bounded and slowly growing.
+    assert by_gpus[4096]["direct_s"] == float("inf") or by_gpus[4096]["direct_s"] > 50 * by_gpus[4096]["megascale_s"]
+    assert by_gpus[4096]["megascale_s"] < 5 * by_gpus[1024]["megascale_s"]

@@ -1,0 +1,41 @@
+"""Table 1 — model configurations used throughout the evaluation."""
+
+from __future__ import annotations
+
+from repro.metrics.report import MetricReport
+from repro.training.models import MODEL_ZOO, BackboneConfig, get_model
+
+from .conftest import emit
+
+EXPECTED = {
+    "ViT-1B": (39, 16, 1408),
+    "ViT-2B": (48, 16, 1664),
+    "Llama-12B": (45, 36, 4608),
+    "tMoE-25B": (42, 16, 2048),
+    "Mixtral-8x7B": (32, 32, 4096),
+}
+
+
+def test_table1_model_configs(benchmark):
+    models = benchmark(lambda: {name: get_model(name) for name in MODEL_ZOO})
+
+    report = MetricReport(
+        title="Table 1 - model configurations",
+        columns=["model", "#layers", "#heads", "hidden size", "top-k", "approx params (B)"],
+    )
+    for name, model in models.items():
+        topk = model.experts_per_token if isinstance(model, BackboneConfig) and model.is_moe else "-"
+        report.add_row(
+            name,
+            model.num_layers,
+            model.num_heads,
+            model.hidden_size,
+            topk,
+            round(model.approx_params() / 1e9, 2),
+        )
+    emit(report)
+
+    for name, (layers, heads, hidden) in EXPECTED.items():
+        model = models[name]
+        assert (model.num_layers, model.num_heads, model.hidden_size) == (layers, heads, hidden)
+    assert models["ViT-2B"].approx_params() > models["ViT-1B"].approx_params()

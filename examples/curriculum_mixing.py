@@ -1,0 +1,66 @@
+"""Curriculum learning: a staged data mixture with mixture-driven auto-scaling.
+
+Deploys a text-only training job whose mixture starts dominated by "easy"
+(short-sequence) sources and progressively shifts to "hard" (long-sequence)
+sources.  The Planner's AutoScaler watches the moving-average weights and
+scales the hot sources' loader actors up while reclaiming idle ones.
+
+    python examples/curriculum_mixing.py
+"""
+
+from __future__ import annotations
+
+from repro import MegaScaleData, TrainingJobSpec
+from repro.data.mixture import MixturePhase, MixtureSchedule
+
+
+def main() -> None:
+    job = TrainingJobSpec(
+        pp=1,
+        dp=2,
+        cp=1,
+        tp=1,
+        backbone="tMoE-25B",
+        encoder=None,
+        dataset_group="navit_data",
+        samples_per_dp_step=16,
+        num_microbatches=4,
+        num_sources=6,
+        samples_per_source=128,
+        strategy="backbone_balance",
+        enable_autoscaler=True,
+        seed=4,
+    )
+    system = MegaScaleData.deploy(job)
+    names = system.catalog.names()
+    easy, hard = names[: len(names) // 2], names[len(names) // 2 :]
+
+    # Three curriculum phases: easy-heavy -> balanced -> hard-heavy.
+    schedule = MixtureSchedule.staged(
+        [
+            MixturePhase(0, {**{n: 0.9 / len(easy) for n in easy}, **{n: 0.1 / len(hard) for n in hard}}),
+            MixturePhase(6, {n: 1.0 / len(names) for n in names}),
+            MixturePhase(12, {**{n: 0.1 / len(easy) for n in easy}, **{n: 0.9 / len(hard) for n in hard}}),
+        ]
+    )
+    system.set_mixture(schedule)
+
+    print("step  easy-share  hard-share  loader-actors(hot)  scaling-directives")
+    for step in range(18):
+        result = system.run_step(step=step)
+        demands = result.plan.source_demands
+        total = max(1, sum(len(ids) for ids in demands.values()))
+        easy_share = sum(len(demands.get(n, [])) for n in easy) / total
+        hard_share = sum(len(demands.get(n, [])) for n in hard) / total
+        scaler = system.planner_handle.instance().scaler
+        hot_actors = sum(scaler.current_actors(n) for n in hard) if scaler else 0
+        directives = (
+            len(result.plan.scaling.directives) if result.plan.scaling is not None else 0
+        )
+        print(f"{step:>4}  {easy_share:>10.2f}  {hard_share:>10.2f}  {hot_actors:>18}  {directives:>18}")
+
+    system.shutdown()
+
+
+if __name__ == "__main__":
+    main()

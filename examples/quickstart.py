@@ -1,0 +1,77 @@
+"""Quickstart: deploy MegaScale-Data and pull a few training batches.
+
+Runs entirely on the simulated substrates (no cluster needed):
+
+    python examples/quickstart.py
+
+It deploys a small vision-language training job (DP=2, TP=2), runs a few pull
+workflow steps, and prints the loading-plan shape, per-rank deliveries, the
+simulated iteration time and the per-node loader memory.
+"""
+
+from __future__ import annotations
+
+from repro import MegaScaleData, TrainingJobSpec
+from repro.utils.units import format_bytes, format_seconds
+
+
+def main() -> None:
+    # 1. Describe the training job: parallelism, model pair, batching and the
+    #    synthetic multisource dataset group.
+    job = TrainingJobSpec(
+        pp=1,
+        dp=2,
+        cp=1,
+        tp=2,
+        backbone="Llama-12B",
+        encoder="ViT-1B",
+        samples_per_dp_step=16,
+        num_microbatches=4,
+        max_sequence_length=8192,
+        dataset_group="navit_data",
+        num_sources=6,
+        samples_per_source=128,
+        strategy="hybrid",
+        seed=0,
+    )
+
+    # 2. Deploy: builds the synthetic sources, partitions them into Source
+    #    Loader actors, provisions Data Constructors (one per DP group) and a
+    #    centralized Planner running the hybrid balancing strategy.
+    system = MegaScaleData.deploy(job)
+    print(f"deployed on mesh {system.tree.mesh.describe()}")
+    print(f"source loaders: {len(system.loader_handles)}, "
+          f"data constructors: {len(system.constructor_handles)}")
+
+    # 3. Run a few steps of the pull workflow.
+    for _ in range(3):
+        result = system.run_step(simulate=True)
+        plan = result.plan
+        print(f"\nstep {result.step}")
+        print(f"  sampled {plan.total_samples()} samples from "
+              f"{len(plan.source_demands)} sources")
+        print(f"  fetching ranks: {len(plan.fetching_ranks)} of "
+              f"{system.tree.mesh.world_size} (TP broadcast excludes the rest)")
+        print(f"  data fetch latency: {format_seconds(result.data_fetch_latency_s)} "
+              f"(planner {format_seconds(result.plan_timings.total_s)}, "
+              f"loaders {format_seconds(result.loader_wall_clock_s)})")
+        print(f"  simulated iteration time: {format_seconds(result.iteration.iteration_time_s)} "
+              f"({result.iteration.throughput_tokens_per_s:,.0f} tokens/s)")
+        one_rank = sorted(result.deliveries)[0]
+        delivery = result.deliveries[one_rank]
+        print(f"  rank {one_rank} received {delivery.total_tokens()} tokens in "
+              f"{len(delivery.slices)} microbatch slices "
+              f"({format_bytes(delivery.total_payload_bytes())})")
+
+    # 4. Inspect resource usage and shut down.
+    report = system.memory_report()
+    print("\nper-node loader memory:")
+    for node, live_bytes in report.items():
+        if node != "total":
+            print(f"  {node}: {format_bytes(live_bytes)}")
+    print(f"  total: {format_bytes(report['total'])}")
+    system.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""MegaScale-Data reproduction.
+
+A from-scratch Python reproduction of *MegaScale-Data: Scaling DataLoader for
+Multisource Large Foundation Model Training* (EuroSys 2026).
+
+The package is organised as a set of substrates (actor runtime, simulated
+storage, synthetic multisource datasets, transformation pipelines, a hybrid
+parallel training simulator, baseline dataloaders) and the paper's core
+contribution in :mod:`repro.core` (disaggregated Source Loaders / Data
+Constructors, the declarative DGraph data plane, the ClientPlaceTree topology
+model, the Planner and the multisource AutoScaler).
+
+Quickstart::
+
+    from repro import MegaScaleData, TrainingJobSpec
+
+    job = TrainingJobSpec.vlm_example()
+    system = MegaScaleData.deploy(job)
+    batch = system.next_batch()
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.version import __version__
+from repro.core.framework import MegaScaleData, TrainingJobSpec
+from repro.core.dgraph import DGraph
+from repro.core.place_tree import ClientPlaceTree
+from repro.parallelism.mesh import DeviceMesh
+from repro.data.sources import DataSource, SourceCatalog
+from repro.data.mixture import MixtureSchedule
+
+__all__ = [
+    "__version__",
+    "MegaScaleData",
+    "TrainingJobSpec",
+    "DGraph",
+    "ClientPlaceTree",
+    "DeviceMesh",
+    "DataSource",
+    "SourceCatalog",
+    "MixtureSchedule",
+]

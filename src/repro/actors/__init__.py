@@ -1,0 +1,28 @@
+"""In-process actor runtime substrate (the package's Ray stand-in).
+
+Provides named actors with mailbox-style method invocation, placement onto
+simulated nodes with CPU/memory resources (accelerator-pod sidecars and remote
+CPU pods), a Global Control Store for coordinator state, failure injection and
+restart policies.  The MegaScale-Data components (Source Loaders, Data
+Constructors, Planner) are implemented as actors on this runtime.
+"""
+
+from repro.actors.node import Node, NodeKind, ResourceSpec
+from repro.actors.gcs import GlobalControlStore
+from repro.actors.actor import Actor, ActorHandle, ActorState
+from repro.actors.scheduler import PlacementScheduler, PlacementRequest
+from repro.actors.runtime import ActorSystem, ClusterSpec
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "ResourceSpec",
+    "GlobalControlStore",
+    "Actor",
+    "ActorHandle",
+    "ActorState",
+    "PlacementScheduler",
+    "PlacementRequest",
+    "ActorSystem",
+    "ClusterSpec",
+]

@@ -1,0 +1,114 @@
+"""Actor base class and handles.
+
+Actors are plain Python objects owned by an :class:`~repro.actors.runtime.ActorSystem`.
+Methods are invoked through an :class:`ActorHandle`, which checks liveness,
+applies failure injection and accounts simulated RPC latency — close enough to
+Ray's remote-call semantics for the control flow the paper exercises
+(detection via RPC timeouts, restart from GCS state, shadow promotion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ActorDead, ActorTimeout
+from repro.metrics.memory import MemoryLedger
+
+
+class ActorState(str, enum.Enum):
+    STARTING = "starting"
+    RUNNING = "running"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Actor:
+    """Base class for actors.
+
+    Subclasses implement ordinary methods; the runtime injects ``actor_name``,
+    a per-actor :class:`MemoryLedger` and a reference to the hosting node at
+    creation time.  Actors that want checkpoint/restore support override
+    :meth:`state_dict` and :meth:`load_state_dict`.
+    """
+
+    #: Role string recorded in the GCS registry (e.g. "source_loader").
+    role = "actor"
+
+    def __init__(self) -> None:
+        self.actor_name: str = ""
+        self.ledger: MemoryLedger = MemoryLedger()
+        self.node_name: str = ""
+
+    def on_start(self) -> None:
+        """Hook invoked once the actor is placed and registered."""
+
+    def on_stop(self) -> None:
+        """Hook invoked when the actor is stopped or killed."""
+
+    def state_dict(self) -> dict:
+        """Checkpointable state (empty by default)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output (no-op by default)."""
+
+    def heartbeat_payload(self) -> dict:
+        """Extra data attached to heartbeats (buffer depths, queue sizes)."""
+        return {}
+
+
+@dataclass
+class CallRecord:
+    """One recorded actor method invocation (for introspection/tests)."""
+
+    actor: str
+    method: str
+    latency_s: float
+    failed: bool
+
+
+class ActorHandle:
+    """A callable reference to a placed actor."""
+
+    def __init__(self, system: "object", name: str) -> None:
+        self._system = system
+        self.name = name
+
+    @property
+    def state(self) -> ActorState:
+        return self._system.actor_state(self.name)
+
+    def call(self, method: str, *args: object, timeout_s: float | None = None, **kwargs: object):
+        """Invoke ``method`` on the actor.
+
+        Raises :class:`ActorDead` if the actor has failed or been stopped and
+        :class:`ActorTimeout` if failure injection delays the reply past
+        ``timeout_s``.
+        """
+        return self._system.call_actor(self.name, method, args, kwargs, timeout_s=timeout_s)
+
+    def instance(self) -> Actor:
+        """Direct access to the underlying object (tests / same-process reads)."""
+        return self._system.actor_instance(self.name)
+
+    def kill(self) -> None:
+        self._system.kill_actor(self.name)
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def _remote_method(*args: object, **kwargs: object):
+            return self.call(method, *args, **kwargs)
+
+        return _remote_method
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActorHandle({self.name!r})"
+
+
+__all__ = ["Actor", "ActorHandle", "ActorState", "CallRecord", "ActorDead", "ActorTimeout"]

@@ -1,0 +1,89 @@
+"""Global Control Store (GCS).
+
+A strongly consistent key/value store plus actor registry, mirroring the role
+Ray's GCS plays for MegaScale-Data: core coordinators (Planner, Data
+Constructors) persist their recovery state here so that automatic restarts can
+resume from the last checkpoint (Sec. 6.1, Fault Tolerance).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _VersionedValue:
+    value: object
+    version: int
+
+
+@dataclass
+class GlobalControlStore:
+    """In-memory KV store with versioning, namespaces and an actor registry."""
+
+    _store: dict[str, _VersionedValue] = field(default_factory=dict)
+    _actor_registry: dict[str, dict] = field(default_factory=dict)
+    _heartbeats: dict[str, float] = field(default_factory=dict)
+
+    # -- key/value ---------------------------------------------------------------
+
+    def put(self, key: str, value: object) -> int:
+        """Store a deep copy of ``value``; returns the new version number."""
+        current = self._store.get(key)
+        version = (current.version + 1) if current else 1
+        self._store[key] = _VersionedValue(value=copy.deepcopy(value), version=version)
+        return version
+
+    def get(self, key: str, default: object = None) -> object:
+        entry = self._store.get(key)
+        if entry is None:
+            return default
+        return copy.deepcopy(entry.value)
+
+    def version(self, key: str) -> int:
+        entry = self._store.get(key)
+        return entry.version if entry else 0
+
+    def delete(self, key: str) -> None:
+        self._store.pop(key, None)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(key for key in self._store if key.startswith(prefix))
+
+    # -- actor registry -----------------------------------------------------------
+
+    def register_actor(self, name: str, info: dict) -> None:
+        self._actor_registry[name] = dict(info)
+
+    def deregister_actor(self, name: str) -> None:
+        self._actor_registry.pop(name, None)
+        self._heartbeats.pop(name, None)
+
+    def actor_info(self, name: str) -> dict | None:
+        info = self._actor_registry.get(name)
+        return dict(info) if info is not None else None
+
+    def list_actors(self, role: str | None = None) -> list[str]:
+        if role is None:
+            return sorted(self._actor_registry)
+        return sorted(
+            name for name, info in self._actor_registry.items() if info.get("role") == role
+        )
+
+    # -- heartbeats -----------------------------------------------------------------
+
+    def heartbeat(self, name: str, timestamp: float) -> None:
+        self._heartbeats[name] = timestamp
+
+    def last_heartbeat(self, name: str) -> float | None:
+        return self._heartbeats.get(name)
+
+    def stale_actors(self, now: float, timeout_s: float) -> list[str]:
+        """Actors whose last heartbeat is older than ``timeout_s``."""
+        stale = []
+        for name in self._actor_registry:
+            last = self._heartbeats.get(name)
+            if last is None or (now - last) > timeout_s:
+                stale.append(name)
+        return sorted(stale)

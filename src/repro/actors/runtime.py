@@ -1,0 +1,268 @@
+"""The actor system: creation, placement, invocation, failure and restart.
+
+The runtime keeps a registry of live actors, routes method calls through
+failure-injection hooks, accounts a small RPC latency per remote call and
+supports the recovery mechanisms the paper relies on: automatic restart of
+coordinators from GCS state and promotion of hot-standby (shadow) actors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.actors.actor import Actor, ActorHandle, ActorState, CallRecord
+from repro.actors.gcs import GlobalControlStore
+from repro.actors.node import (
+    DEFAULT_ACCELERATOR_RESOURCES,
+    DEFAULT_CPU_POD_RESOURCES,
+    Node,
+    NodeKind,
+    ResourceSpec,
+)
+from repro.actors.scheduler import PlacementDecision, PlacementRequest, PlacementScheduler
+from repro.errors import ActorDead, ActorError, ActorTimeout
+from repro.metrics.memory import MemoryLedger
+from repro.utils.ids import IdAllocator
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster."""
+
+    accelerator_nodes: int = 2
+    cpu_pods: int = 1
+    accelerator_resources: ResourceSpec = DEFAULT_ACCELERATOR_RESOURCES
+    cpu_pod_resources: ResourceSpec = DEFAULT_CPU_POD_RESOURCES
+
+    def build_nodes(self) -> list[Node]:
+        nodes: list[Node] = []
+        for index in range(self.accelerator_nodes):
+            nodes.append(
+                Node(
+                    name=f"accel-{index}",
+                    kind=NodeKind.ACCELERATOR,
+                    resources=self.accelerator_resources,
+                )
+            )
+        for index in range(self.cpu_pods):
+            nodes.append(
+                Node(name=f"cpu-pod-{index}", kind=NodeKind.CPU, resources=self.cpu_pod_resources)
+            )
+        return nodes
+
+
+@dataclass
+class _ActorRecord:
+    instance: Actor
+    factory: Callable[[], Actor]
+    request: PlacementRequest
+    placement: PlacementDecision
+    state: ActorState
+    restart_count: int = 0
+
+
+@dataclass
+class FailureInjector:
+    """Programmable failure behaviour for tests and fault-tolerance benches."""
+
+    #: Actors that should raise ActorDead on their next call.
+    dead_actors: set[str] = field(default_factory=set)
+    #: Actors whose next call should time out.
+    timeout_actors: set[str] = field(default_factory=set)
+
+    def fail(self, actor_name: str) -> None:
+        self.dead_actors.add(actor_name)
+
+    def timeout(self, actor_name: str) -> None:
+        self.timeout_actors.add(actor_name)
+
+    def clear(self, actor_name: str | None = None) -> None:
+        if actor_name is None:
+            self.dead_actors.clear()
+            self.timeout_actors.clear()
+        else:
+            self.dead_actors.discard(actor_name)
+            self.timeout_actors.discard(actor_name)
+
+
+class ActorSystem:
+    """Owns nodes, the GCS and every actor placed on the cluster."""
+
+    def __init__(self, cluster: ClusterSpec | None = None, rpc_latency_s: float = 0.0002) -> None:
+        self.cluster = cluster or ClusterSpec()
+        self.nodes = self.cluster.build_nodes()
+        self.scheduler = PlacementScheduler(self.nodes)
+        self.gcs = GlobalControlStore()
+        self.failures = FailureInjector()
+        self.rpc_latency_s = rpc_latency_s
+        self._actors: dict[str, _ActorRecord] = {}
+        self._ids = IdAllocator()
+        self._call_log: list[CallRecord] = []
+        self.clock_s = 0.0
+
+    # -- cluster management --------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        self.nodes.append(node)
+        self.scheduler.add_node(node)
+
+    def node(self, name: str) -> Node:
+        return self.scheduler.node(name)
+
+    def advance_clock(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ActorError("cannot advance the clock backwards")
+        self.clock_s += seconds
+
+    # -- actor lifecycle --------------------------------------------------------------
+
+    def create_actor(
+        self,
+        factory: Callable[[], Actor],
+        name: str | None = None,
+        cpu_cores: float = 1.0,
+        memory_bytes: int = 64 * 1024 * 1024,
+        prefer: NodeKind = NodeKind.ACCELERATOR,
+        node_affinity: str | None = None,
+        allow_spill: bool = True,
+    ) -> ActorHandle:
+        """Instantiate, place and register a new actor; returns its handle."""
+        instance = factory()
+        role = getattr(type(instance), "role", "actor")
+        actor_name = name or self._ids.next_name(role)
+        if actor_name in self._actors:
+            raise ActorError(f"duplicate actor name {actor_name!r}")
+        request = PlacementRequest(
+            actor_name=actor_name,
+            cpu_cores=cpu_cores,
+            memory_bytes=memory_bytes,
+            prefer=prefer,
+            node_affinity=node_affinity,
+            allow_spill=allow_spill,
+        )
+        placement = self.scheduler.place(request)
+        node = self.scheduler.node(placement.node_name)
+
+        instance.actor_name = actor_name
+        instance.ledger = MemoryLedger(name=f"actor:{actor_name}")
+        instance.node_name = node.name
+        node.ledger.adopt(instance.ledger)
+
+        record = _ActorRecord(
+            instance=instance,
+            factory=factory,
+            request=request,
+            placement=placement,
+            state=ActorState.RUNNING,
+        )
+        self._actors[actor_name] = record
+        self.gcs.register_actor(
+            actor_name, {"role": role, "node": node.name, "spilled": placement.spilled}
+        )
+        instance.on_start()
+        return ActorHandle(self, actor_name)
+
+    def kill_actor(self, name: str) -> None:
+        """Mark an actor failed, releasing its memory (its CPU slot stays reserved
+        until restart or removal, matching pod semantics)."""
+        record = self._record(name)
+        record.state = ActorState.FAILED
+        record.instance.ledger.release_all()
+
+    def stop_actor(self, name: str, remove: bool = True) -> None:
+        """Gracefully stop an actor and release its resources."""
+        record = self._record(name)
+        record.instance.on_stop()
+        record.instance.ledger.release_all()
+        record.state = ActorState.STOPPED
+        node = self.scheduler.node(record.placement.node_name)
+        node.ledger.disown(record.instance.ledger)
+        self.scheduler.release(
+            name, record.placement.node_name, record.request.cpu_cores, record.request.memory_bytes
+        )
+        if remove:
+            self._actors.pop(name, None)
+            self.gcs.deregister_actor(name)
+
+    def restart_actor(self, name: str, state: dict | None = None) -> ActorHandle:
+        """Restart a failed actor in place, optionally restoring checkpoint state."""
+        record = self._record(name)
+        node = self.scheduler.node(record.placement.node_name)
+        node.ledger.disown(record.instance.ledger)
+        fresh = record.factory()
+        fresh.actor_name = name
+        fresh.ledger = MemoryLedger(name=f"actor:{name}")
+        fresh.node_name = node.name
+        node.ledger.adopt(fresh.ledger)
+        record.instance = fresh
+        record.state = ActorState.RUNNING
+        record.restart_count += 1
+        self.failures.clear(name)
+        if state is not None:
+            fresh.load_state_dict(state)
+        fresh.on_start()
+        return ActorHandle(self, name)
+
+    # -- invocation ----------------------------------------------------------------------
+
+    def call_actor(
+        self,
+        name: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        timeout_s: float | None = None,
+    ):
+        record = self._record(name)
+        if name in self.failures.timeout_actors:
+            self._call_log.append(CallRecord(name, method, timeout_s or 0.0, failed=True))
+            raise ActorTimeout(f"call to {name}.{method} timed out")
+        if record.state is not ActorState.RUNNING or name in self.failures.dead_actors:
+            record.state = ActorState.FAILED
+            self._call_log.append(CallRecord(name, method, 0.0, failed=True))
+            raise ActorDead(f"actor {name!r} is not running")
+        target = getattr(record.instance, method, None)
+        if target is None or not callable(target):
+            raise ActorError(f"actor {name!r} has no method {method!r}")
+        self.advance_clock(self.rpc_latency_s)
+        result = target(*args, **kwargs)
+        self._call_log.append(CallRecord(name, method, self.rpc_latency_s, failed=False))
+        return result
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def actor_state(self, name: str) -> ActorState:
+        return self._record(name).state
+
+    def actor_instance(self, name: str) -> Actor:
+        return self._record(name).instance
+
+    def actor_node(self, name: str) -> str:
+        return self._record(name).placement.node_name
+
+    def restart_count(self, name: str) -> int:
+        return self._record(name).restart_count
+
+    def handles(self, role: str | None = None) -> list[ActorHandle]:
+        names = self.gcs.list_actors(role)
+        return [ActorHandle(self, name) for name in names if name in self._actors]
+
+    def list_actor_names(self, role: str | None = None) -> list[str]:
+        return [name for name in self.gcs.list_actors(role) if name in self._actors]
+
+    def call_log(self) -> list[CallRecord]:
+        return list(self._call_log)
+
+    def memory_by_node(self) -> dict[str, int]:
+        """Live actor-charged memory per node (the Fig. 12 per-node metric)."""
+        return {node.name: node.live_memory_bytes() for node in self.nodes}
+
+    def total_memory(self) -> int:
+        return sum(self.memory_by_node().values())
+
+    def _record(self, name: str) -> _ActorRecord:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ActorError(f"unknown actor {name!r}") from None

@@ -1,0 +1,103 @@
+"""Actor placement scheduler.
+
+Implements the hybrid deployment policy of Sec. 6.2: Source Loaders and Data
+Constructors prefer accelerator-pod *sidecar* slots (using idle local
+CPU/memory next to the GPUs they feed), spilling to remote CPU pods only when
+the sidecar pool is exhausted; the Planner runs on a remote CPU pod for
+centralized scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.actors.node import Node, NodeKind
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """Resource request for one actor."""
+
+    actor_name: str
+    cpu_cores: float
+    memory_bytes: int
+    prefer: NodeKind = NodeKind.ACCELERATOR
+    #: Pin the actor to a specific node (e.g. a sidecar feeding local GPUs).
+    node_affinity: str | None = None
+    #: Allow spilling to the other node kind when the preferred kind is full.
+    allow_spill: bool = True
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    actor_name: str
+    node_name: str
+    spilled: bool
+
+
+class PlacementScheduler:
+    """Bin-packs placement requests onto a fixed set of nodes."""
+
+    def __init__(self, nodes: list[Node]) -> None:
+        if not nodes:
+            raise SchedulingError("the scheduler needs at least one node")
+        self._nodes = {node.name: node for node in nodes}
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchedulingError(f"unknown node {name!r}") from None
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise SchedulingError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+
+    def place(self, request: PlacementRequest) -> PlacementDecision:
+        """Choose a node for the request and reserve its resources."""
+        if request.node_affinity is not None:
+            node = self.node(request.node_affinity)
+            node.reserve(request.actor_name, request.cpu_cores, request.memory_bytes)
+            return PlacementDecision(request.actor_name, node.name, spilled=False)
+
+        preferred = self._candidates(request.prefer)
+        chosen = self._best_fit(preferred, request)
+        spilled = False
+        if chosen is None and request.allow_spill:
+            other_kind = (
+                NodeKind.CPU if request.prefer is NodeKind.ACCELERATOR else NodeKind.ACCELERATOR
+            )
+            chosen = self._best_fit(self._candidates(other_kind), request)
+            spilled = chosen is not None
+        if chosen is None:
+            raise SchedulingError(
+                f"no node can host actor {request.actor_name!r} "
+                f"({request.cpu_cores} cores, {request.memory_bytes} bytes)"
+            )
+        chosen.reserve(request.actor_name, request.cpu_cores, request.memory_bytes)
+        return PlacementDecision(request.actor_name, chosen.name, spilled=spilled)
+
+    def release(self, actor_name: str, node_name: str, cpu_cores: float, memory_bytes: int) -> None:
+        self.node(node_name).release(actor_name, cpu_cores, memory_bytes)
+
+    def _candidates(self, kind: NodeKind) -> list[Node]:
+        return [node for node in self._nodes.values() if node.kind is kind]
+
+    @staticmethod
+    def _best_fit(nodes: list[Node], request: PlacementRequest) -> Node | None:
+        """Pick the feasible node with the most free CPU (spreads load evenly)."""
+        feasible = [
+            node for node in nodes if node.can_fit(request.cpu_cores, request.memory_bytes)
+        ]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda node: (node.available_cpu, node.available_memory))
+
+    def cluster_utilization(self) -> dict[str, dict[str, float]]:
+        return {name: node.utilization() for name, node in self._nodes.items()}

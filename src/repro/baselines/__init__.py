@@ -1,0 +1,39 @@
+"""Baseline dataloader architectures used for comparison (Fig. 12).
+
+Each baseline is modelled structurally on the shared substrates: who holds
+per-source file access states (every worker of every rank, every remote
+worker, or one loader per source), which ranks run their own loader clients
+(parallelism redundancy), whether transformations are reordered or cached,
+and whether any load balancing happens.  The per-node memory and fetch
+latency numbers then follow from the same constants the MegaScale-Data
+implementation uses, keeping the comparison apples-to-apples.
+"""
+
+from repro.baselines.base import BaselineLoader, BaselineReport, LoaderArchitecture
+from repro.baselines.torch_loader import TorchColocatedLoader
+from repro.baselines.tfdata_loader import TfDataServiceLoader
+from repro.baselines.cachew_loader import CachewLoader
+from repro.baselines.pecan_loader import PecanLoader
+from repro.baselines.raydata_loader import RayDataLoader
+from repro.baselines.megascale_model import MegaScaleArchitectureModel
+
+ALL_BASELINES = {
+    "torch": TorchColocatedLoader,
+    "tf_data": TfDataServiceLoader,
+    "cachew": CachewLoader,
+    "pecan": PecanLoader,
+    "ray_data": RayDataLoader,
+}
+
+__all__ = [
+    "BaselineLoader",
+    "BaselineReport",
+    "LoaderArchitecture",
+    "TorchColocatedLoader",
+    "TfDataServiceLoader",
+    "CachewLoader",
+    "PecanLoader",
+    "RayDataLoader",
+    "MegaScaleArchitectureModel",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,204 @@
+"""Balancing strategies: greedy bin packing, Karmarkar-Karp and interleaving.
+
+The ``balance`` primitive assigns cost-weighted items (samples) to bins
+(microbatches within a bucket, or buckets across DP ranks) so that the maximum
+bin cost — the straggler that sets the iteration's critical path — is as small
+as possible.  The strategies here are the two candidates named in Sec. 4.2
+plus an interleaved variant combining inter- and intra-microbatch balancing,
+and a registry for user-defined strategies (Zig-Zag, V-Shape, ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import OrchestrationError
+
+
+@dataclass(frozen=True)
+class WeightedItem:
+    """An item to place: an opaque key plus its scalar cost."""
+
+    key: object
+    cost: float
+
+
+@dataclass
+class BalanceResult:
+    """Assignment of items to bins plus imbalance statistics."""
+
+    bins: list[list[WeightedItem]]
+    bin_costs: list[float]
+
+    @property
+    def max_cost(self) -> float:
+        return max(self.bin_costs) if self.bin_costs else 0.0
+
+    @property
+    def min_cost(self) -> float:
+        return min(self.bin_costs) if self.bin_costs else 0.0
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """max/min bin cost (1.0 means perfectly balanced)."""
+        if not self.bin_costs or self.min_cost <= 0:
+            return float("inf") if self.max_cost > 0 else 1.0
+        return self.max_cost / self.min_cost
+
+    def keys_per_bin(self) -> list[list[object]]:
+        return [[item.key for item in bin_] for bin_ in self.bins]
+
+
+BalanceFn = Callable[[Sequence[WeightedItem], int], BalanceResult]
+
+
+def _empty_result(num_bins: int) -> BalanceResult:
+    return BalanceResult(bins=[[] for _ in range(num_bins)], bin_costs=[0.0] * num_bins)
+
+
+def greedy_binpack(items: Sequence[WeightedItem], num_bins: int) -> BalanceResult:
+    """Longest-processing-time-first greedy packing.
+
+    Sort by descending cost, repeatedly place the next item into the currently
+    lightest bin.  O(n log n + n log k) with a heap; guarantees a makespan
+    within 4/3 of optimal.
+    """
+    if num_bins <= 0:
+        raise OrchestrationError("num_bins must be positive")
+    result = _empty_result(num_bins)
+    if not items:
+        return result
+    heap = [(0.0, index) for index in range(num_bins)]
+    heapq.heapify(heap)
+    for item in sorted(items, key=lambda it: it.cost, reverse=True):
+        cost, index = heapq.heappop(heap)
+        result.bins[index].append(item)
+        heapq.heappush(heap, (cost + item.cost, index))
+    result.bin_costs = [sum(item.cost for item in bin_) for bin_ in result.bins]
+    return result
+
+
+def karmarkar_karp(items: Sequence[WeightedItem], num_bins: int) -> BalanceResult:
+    """Karmarkar-Karp largest-differencing-method partitioning.
+
+    Maintains partial partitions ordered by their internal spread and
+    repeatedly merges the two with the largest spreads, cancelling their
+    differences.  Typically beats greedy packing when item costs are highly
+    skewed (long-tailed sequence lengths).
+    """
+    if num_bins <= 0:
+        raise OrchestrationError("num_bins must be positive")
+    if not items:
+        return _empty_result(num_bins)
+
+    # Each heap entry is (-spread, tie_breaker, subsets) where subsets is a list
+    # of (cost, [items]) sorted descending by cost.
+    heap: list[tuple[float, int, list[tuple[float, list[WeightedItem]]]]] = []
+    for tie, item in enumerate(items):
+        subsets = [(item.cost, [item])] + [(0.0, []) for _ in range(num_bins - 1)]
+        heapq.heappush(heap, (-item.cost, tie, subsets))
+
+    tie = len(items)
+    while len(heap) > 1:
+        spread_a, _, subsets_a = heapq.heappop(heap)
+        spread_b, _, subsets_b = heapq.heappop(heap)
+        # Merge: pair the largest of A with the smallest of B, and so on,
+        # cancelling the differences.
+        subsets_b_sorted = sorted(subsets_b, key=lambda entry: entry[0])
+        merged = []
+        for (cost_a, items_a), (cost_b, items_b) in zip(subsets_a, subsets_b_sorted):
+            merged.append((cost_a + cost_b, items_a + items_b))
+        merged.sort(key=lambda entry: entry[0], reverse=True)
+        spread = merged[0][0] - merged[-1][0]
+        heapq.heappush(heap, (-spread, tie, merged))
+        tie += 1
+
+    _, _, final_subsets = heap[0]
+    bins = [list(subset_items) for _, subset_items in final_subsets]
+    costs = [float(cost) for cost, _ in final_subsets]
+    return BalanceResult(bins=bins, bin_costs=costs)
+
+
+def interleaved_balance(items: Sequence[WeightedItem], num_bins: int) -> BalanceResult:
+    """Sort items by cost and deal them out in a boustrophedon (zig-zag) order.
+
+    Cheap, deterministic and order-preserving within a bin; a good fit when
+    intra-microbatch sample order must stay close to the sampled order.
+    """
+    if num_bins <= 0:
+        raise OrchestrationError("num_bins must be positive")
+    result = _empty_result(num_bins)
+    ordered = sorted(items, key=lambda it: it.cost, reverse=True)
+    for position, item in enumerate(ordered):
+        round_index, offset = divmod(position, num_bins)
+        index = offset if round_index % 2 == 0 else num_bins - 1 - offset
+        result.bins[index].append(item)
+    result.bin_costs = [sum(item.cost for item in bin_) for bin_ in result.bins]
+    return result
+
+
+#: Registry of built-in and user-defined balancing strategies.
+_STRATEGIES: dict[str, BalanceFn] = {
+    "greedy": greedy_binpack,
+    "karmarkar-karp": karmarkar_karp,
+    "interleave": interleaved_balance,
+}
+
+
+def register_strategy(name: str, fn: BalanceFn, overwrite: bool = False) -> None:
+    """Register a user-defined balancing strategy (framework extension API)."""
+    if name in _STRATEGIES and not overwrite:
+        raise OrchestrationError(f"balancing strategy {name!r} already exists")
+    _STRATEGIES[name] = fn
+
+
+def get_strategy(name: str) -> BalanceFn:
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise OrchestrationError(
+            f"unknown balancing strategy {name!r}; available: {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def available_strategies() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+def balance_items(
+    items: Sequence[WeightedItem], num_bins: int, method: str = "greedy"
+) -> BalanceResult:
+    """Dispatch to a named strategy."""
+    return get_strategy(method)(items, num_bins)
+
+
+def hierarchical_balance(
+    items: Sequence[WeightedItem],
+    num_buckets: int,
+    bins_per_bucket: int,
+    method: str = "greedy",
+) -> list[BalanceResult]:
+    """Two-level balance: first across buckets (DP ranks), then across bins
+    (microbatches) inside each bucket — the inter+intra scheme of Sec. 4.2."""
+    outer = balance_items(items, num_buckets, method)
+    return [balance_items(bucket_items, bins_per_bucket, method) for bucket_items in outer.bins]
+
+
+def imbalance_statistics(costs: Sequence[float]) -> dict[str, float]:
+    """Summary statistics of a cost vector (used by benches and tests)."""
+    array = np.asarray(list(costs), dtype=float)
+    if array.size == 0:
+        return {"max": 0.0, "min": 0.0, "mean": 0.0, "ratio": 1.0, "cv": 0.0}
+    ratio = float(array.max() / array.min()) if array.min() > 0 else float("inf")
+    cv = float(array.std() / array.mean()) if array.mean() > 0 else 0.0
+    return {
+        "max": float(array.max()),
+        "min": float(array.min()),
+        "mean": float(array.mean()),
+        "ratio": ratio,
+        "cv": cv,
+    }

@@ -1,0 +1,123 @@
+"""Cost models registered via the ``cost`` primitive.
+
+Sec. 4.2: "we model the encoder's cost as a function of the image sequence
+length, the dimensions of the embedding and MLP layers, and the model's depth.
+The cost for the language backbone is likewise modeled as a function of the
+total sequence length and key architectural parameters, such as the number of
+experts per token, vocabulary size, and hidden layer dimensions."  The models
+here follow exactly that form and are validated against the training
+simulator in the Fig. 19 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.samples import SampleMetadata
+from repro.training.flops import encoder_sample_flops, packed_backbone_flops
+from repro.training.models import BackboneConfig, EncoderConfig
+from repro.training.simulator import BACKWARD_MULTIPLIER, GpuSpec
+
+#: Signature of a user cost function: metadata -> (load cost, memory cost).
+CostFn = Callable[[SampleMetadata], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Latency and memory cost of a sample for one module."""
+
+    load: float
+    memory: float
+
+
+class EncoderCostModel:
+    """Latency/memory cost of encoding one image sample.
+
+    Latency is the encoder forward(+backward) FLOPs at the GPU's achievable
+    throughput; memory is the activation footprint of the patch sequence.
+    """
+
+    def __init__(self, encoder: EncoderConfig, gpu: GpuSpec | None = None, training: bool = True) -> None:
+        self.encoder = encoder
+        self.gpu = gpu or GpuSpec()
+        self.multiplier = 1.0 + BACKWARD_MULTIPLIER if training else 1.0
+
+    def __call__(self, metadata: SampleMetadata) -> tuple[float, float]:
+        flops = encoder_sample_flops(metadata.image_tokens, self.encoder)
+        latency = self.gpu.seconds_for(flops * self.multiplier)
+        memory = (
+            metadata.image_tokens * self.encoder.hidden_size * self.gpu.bytes_per_activation
+        )
+        return latency, float(memory)
+
+    def cost(self, metadata: SampleMetadata) -> CostEstimate:
+        load, memory = self(metadata)
+        return CostEstimate(load=load, memory=memory)
+
+
+class BackboneCostModel:
+    """Latency/memory cost of one sample's fused sequence in the LLM backbone.
+
+    Accounts for the quadratic attention term, the MoE active-expert MLP
+    ratio, the vocabulary projection and the hidden size; divides by the
+    model-parallel sharding factor so the cost reflects per-rank time.
+    """
+
+    def __init__(
+        self,
+        backbone: BackboneConfig,
+        gpu: GpuSpec | None = None,
+        model_parallel_shard: int = 1,
+        training: bool = True,
+    ) -> None:
+        if model_parallel_shard < 1:
+            raise ValueError("model_parallel_shard must be >= 1")
+        self.backbone = backbone
+        self.gpu = gpu or GpuSpec()
+        self.shard = model_parallel_shard
+        self.multiplier = 1.0 + BACKWARD_MULTIPLIER if training else 1.0
+
+    def __call__(self, metadata: SampleMetadata) -> tuple[float, float]:
+        tokens = metadata.total_tokens
+        flops = packed_backbone_flops([tokens], self.backbone)
+        # Vocabulary projection (dense models only; MoE heads are identical).
+        flops += 2.0 * tokens * self.backbone.hidden_size * self.backbone.vocab_size
+        latency = self.gpu.seconds_for(flops * self.multiplier / self.shard)
+        memory = tokens * self.backbone.hidden_size * self.gpu.bytes_per_activation
+        return latency, float(memory)
+
+    def cost(self, metadata: SampleMetadata) -> CostEstimate:
+        load, memory = self(metadata)
+        return CostEstimate(load=load, memory=memory)
+
+
+class CombinedVLMCostModel:
+    """Sum of encoder and backbone costs for one sample (hybrid balancing)."""
+
+    def __init__(self, encoder_model: EncoderCostModel, backbone_model: BackboneCostModel) -> None:
+        self.encoder_model = encoder_model
+        self.backbone_model = backbone_model
+
+    def __call__(self, metadata: SampleMetadata) -> tuple[float, float]:
+        enc_load, enc_mem = self.encoder_model(metadata)
+        bb_load, bb_mem = self.backbone_model(metadata)
+        return enc_load + bb_load, enc_mem + bb_mem
+
+
+def token_count_cost(metadata: SampleMetadata) -> tuple[float, float]:
+    """A trivially cheap cost function: cost == fused-sequence token count."""
+    tokens = float(metadata.total_tokens)
+    return tokens, tokens
+
+
+def quadratic_token_cost(metadata: SampleMetadata) -> tuple[float, float]:
+    """Cost proportional to tokens^2: a model-free proxy for attention cost."""
+    tokens = float(metadata.total_tokens)
+    return tokens * tokens, tokens
+
+
+def image_token_cost(metadata: SampleMetadata) -> tuple[float, float]:
+    """Cost proportional to the encoder's per-image quadratic attention."""
+    patches = float(metadata.image_tokens)
+    return patches * patches, patches

@@ -1,0 +1,199 @@
+"""Data Constructor actors: microbatch assembly and parallelism-aware delivery.
+
+A Data Constructor is the data sink for one consumer bucket (typically one
+data-parallel group).  It pulls prepared samples from Source Loaders according
+to the loading plan, performs microbatch transformations (packing/padding,
+RoPE) and parallelism transformations (CP slicing, TP broadcast exclusion, PP
+metadata pruning), and serves the resulting per-rank slices to trainer
+clients.  Sharing one constructor per CP/PP group is what removes the
+parallelism redundancy shown in Fig. 6 / Fig. 17a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.actor import Actor
+from repro.core.plans import ModulePlan
+from repro.core.source_loader import PreparedSample
+from repro.errors import PlanError
+from repro.parallelism.mesh import DeviceMesh
+from repro.transforms.microbatch import Microbatch, collate_with_positions
+from repro.transforms.parallelism import ParallelSlice, build_rank_slices
+
+
+@dataclass
+class RankDelivery:
+    """Everything one trainer rank receives for one step."""
+
+    rank: int
+    slices: list[ParallelSlice] = field(default_factory=list)
+
+    def total_payload_bytes(self) -> int:
+        return sum(piece.payload_bytes for piece in self.slices)
+
+    def total_tokens(self) -> int:
+        return sum(piece.token_count for piece in self.slices)
+
+
+@dataclass
+class ConstructorStats:
+    microbatches_built: int = 0
+    samples_consumed: int = 0
+    collate_seconds: float = 0.0
+    deliveries: int = 0
+    broadcast_bytes_saved: int = 0
+
+
+class DataConstructor(Actor):
+    """Actor assembling and delivering batches for one consumer bucket."""
+
+    role = "data_constructor"
+
+    #: Collation throughput: seconds of CPU per fused token (padding, packing
+    #: and tensor assembly are memory-bandwidth-bound copies).
+    COLLATE_SECONDS_PER_TOKEN = 2.5e-8
+
+    def __init__(
+        self,
+        bucket_index: int,
+        mesh: DeviceMesh,
+        dp_index: int,
+        max_sequence_length: int = 8192,
+        packing: bool = True,
+        broadcast_tp: bool = True,
+        broadcast_cp: bool = False,
+        bytes_per_token: int = 4,
+    ) -> None:
+        super().__init__()
+        self.bucket_index = bucket_index
+        self.mesh = mesh
+        self.dp_index = dp_index
+        self.max_sequence_length = max_sequence_length
+        self.packing = packing
+        self.broadcast_tp = broadcast_tp
+        self.broadcast_cp = broadcast_cp
+        self.bytes_per_token = bytes_per_token
+        self.stats = ConstructorStats()
+        self._pending_deliveries: dict[int, dict[int, RankDelivery]] = {}
+        self._staged_bytes: dict[int, int] = {}
+
+    # -- construction --------------------------------------------------------------------------
+
+    def construct(
+        self,
+        step: int,
+        module_plan: ModulePlan,
+        prepared: dict[int, PreparedSample],
+    ) -> dict[str, float]:
+        """Build this bucket's microbatches for ``step`` from prepared samples.
+
+        ``prepared`` maps sample id -> the staged sample fetched from Source
+        Loaders.  Returns timing/size information for the step.
+        """
+        assignments = module_plan.bucket_assignments(self.bucket_index)
+        if not assignments:
+            raise PlanError(
+                f"constructor {self.actor_name!r}: plan has no microbatches for bucket "
+                f"{self.bucket_index}"
+            )
+        collate_seconds = 0.0
+        staged_bytes = 0
+        deliveries: dict[int, RankDelivery] = {}
+        for assignment in assignments:
+            missing = [sid for sid in assignment.sample_ids() if sid not in prepared]
+            if missing:
+                raise PlanError(
+                    f"constructor {self.actor_name!r}: missing prepared samples {missing[:5]}"
+                )
+            microbatch = Microbatch(
+                index=assignment.microbatch_index, samples=list(assignment.samples)
+            )
+            collated = collate_with_positions(
+                microbatch, self.max_sequence_length, packing=self.packing
+            )
+            collate_seconds += collated.total_tokens() * self.COLLATE_SECONDS_PER_TOKEN
+            rank_slices = build_rank_slices(
+                collated,
+                self.mesh,
+                dp_index=self.dp_index,
+                broadcast_tp=self.broadcast_tp,
+                broadcast_cp=self.broadcast_cp,
+                bytes_per_token=self.bytes_per_token,
+            )
+            full_bytes = collated.total_tokens() * self.bytes_per_token
+            for piece in rank_slices:
+                deliveries.setdefault(piece.rank, RankDelivery(rank=piece.rank)).slices.append(piece)
+                staged_bytes += piece.payload_bytes
+                if piece.replicated_from is not None or piece.metadata_only:
+                    self.stats.broadcast_bytes_saved += max(0, full_bytes - piece.payload_bytes)
+            self.stats.microbatches_built += 1
+            self.stats.samples_consumed += len(assignment.samples)
+
+        self._pending_deliveries[step] = deliveries
+        self._staged_bytes[step] = staged_bytes
+        self.ledger.charge("constructed_batch", staged_bytes)
+        self.stats.collate_seconds += collate_seconds
+        return {
+            "collate_seconds": collate_seconds,
+            "staged_bytes": float(staged_bytes),
+            "num_microbatches": float(len(assignments)),
+        }
+
+    # -- delivery ---------------------------------------------------------------------------------
+
+    def get_batch(self, step: int, rank: int) -> RankDelivery:
+        """A trainer client pulls its slices for ``step``."""
+        step_deliveries = self._pending_deliveries.get(step)
+        if step_deliveries is None:
+            raise PlanError(f"constructor {self.actor_name!r} has no data staged for step {step}")
+        delivery = step_deliveries.get(rank)
+        if delivery is None:
+            raise PlanError(
+                f"constructor {self.actor_name!r} (bucket {self.bucket_index}) "
+                f"holds no data for rank {rank} at step {step}"
+            )
+        self.stats.deliveries += 1
+        return delivery
+
+    def ranks_served(self, step: int) -> list[int]:
+        return sorted(self._pending_deliveries.get(step, {}))
+
+    def release_step(self, step: int) -> None:
+        """Free the memory staged for a completed step."""
+        self._pending_deliveries.pop(step, None)
+        staged = self._staged_bytes.pop(step, 0)
+        self.ledger.release("constructed_batch", staged)
+
+    def staged_steps(self) -> list[int]:
+        return sorted(self._pending_deliveries)
+
+    # -- resharding support -------------------------------------------------------------------------
+
+    def reshard(self, mesh: DeviceMesh, dp_index: int) -> None:
+        """Adopt a new device mesh (elastic resharding, Sec. 6.1).
+
+        Already staged steps are re-expanded lazily on the next construct();
+        pending deliveries for the old topology are dropped since the trainer
+        re-requests data after a reshard.
+        """
+        self.mesh = mesh
+        self.dp_index = dp_index
+        for step in list(self._pending_deliveries):
+            self.release_step(step)
+
+    # -- checkpointing --------------------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "bucket_index": self.bucket_index,
+            "dp_index": self.dp_index,
+            "staged_steps": self.staged_steps(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("bucket_index") != self.bucket_index:
+            raise PlanError("constructor checkpoint bucket mismatch")
+
+    def heartbeat_payload(self) -> dict:
+        return {"staged_steps": len(self._pending_deliveries), "bucket": self.bucket_index}

@@ -1,0 +1,523 @@
+"""DGraph: the declarative, source-aware data orchestration abstraction.
+
+A :class:`DGraph` is a stateful dataflow graph that tracks the lifecycle of
+training samples through explicit producer-consumer relationships.  It is
+initialised from the *buffer metadata* collected from Source Loaders, bound to
+a :class:`~repro.core.place_tree.ClientPlaceTree` describing the trainer
+topology, and manipulated through a small set of declarative primitives
+(Sec. 4.2)::
+
+    dgraph = DGraph.from_buffer_infos(buffer_infos, metas_token)
+    dgraph.init(client_place_tree)
+    dgraph.mix(schedule)
+    dgraph.distribute(axis="DP")
+    dgraph.cost(costfn)
+    dgraph.balance(method="greedy")
+    dgraph.broadcast_at("TP")
+    plan = dgraph.plan()
+
+Only lightweight metadata flows through the graph; payload bytes never do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.balancing import WeightedItem, balance_items
+from repro.core.place_tree import DISTRIBUTION_AXES, ClientPlaceTree
+from repro.core.plans import MicrobatchAssignment, ModulePlan
+from repro.data.mixture import MixtureSchedule
+from repro.data.samples import SampleMetadata
+from repro.errors import OrchestrationError
+from repro.utils.rng import derive_rng
+
+#: Signature of cost functions accepted by ``cost``/``balance``:
+#: metadata -> (load cost, memory cost) or a bare float.
+CostFnLike = Callable[[SampleMetadata], object]
+
+
+# -- metadata selectors (the ``metas`` argument of from_buffer_infos) ------------
+
+
+def metas_token(metadata: SampleMetadata) -> SampleMetadata | None:
+    """Select every sample, viewed through its fused token sequence."""
+    return metadata
+
+
+def metas_image(metadata: SampleMetadata) -> SampleMetadata | None:
+    """Select only samples carrying image tokens (the encoder's view)."""
+    return metadata if metadata.image_tokens > 0 else None
+
+
+def metas_text_only(metadata: SampleMetadata) -> SampleMetadata | None:
+    """Select only pure-text samples."""
+    return metadata if metadata.image_tokens == 0 else None
+
+
+@dataclass
+class DGraphNode:
+    """One node: a sample in a specific processing state."""
+
+    sample_id: int
+    state: str
+    source: str
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DGraphEdge:
+    """A directed edge encoding a transformation or logical dependency."""
+
+    src: tuple[int, str]
+    dst: tuple[int, str]
+    label: str
+
+
+@dataclass
+class DGraphPlan:
+    """The finalized output of :meth:`DGraph.plan`."""
+
+    module: ModulePlan
+    fetching_ranks: list[int]
+    mixture_weights: dict[str, float]
+    source_demands: dict[str, list[int]]
+    subplan: dict[str, "DGraphPlan"] = field(default_factory=dict)
+    api_costs: dict[str, float] = field(default_factory=dict)
+
+    def all_source_demands(self) -> dict[str, list[int]]:
+        """Source demands of this plan plus every subplan (deduplicated)."""
+        merged: dict[str, set[int]] = {}
+        plans = [self] + list(self.subplan.values())
+        for plan in plans:
+            for source, ids in plan.source_demands.items():
+                merged.setdefault(source, set()).update(ids)
+        return {source: sorted(ids) for source, ids in merged.items()}
+
+
+class DGraph:
+    """Stateful dataflow graph over buffered sample metadata."""
+
+    def __init__(self, samples: list[SampleMetadata], module: str = "backbone") -> None:
+        self.module = module
+        self._samples: list[SampleMetadata] = list(samples)
+        self._nodes: dict[tuple[int, str], DGraphNode] = {}
+        self._edges: list[DGraphEdge] = []
+        for sample in self._samples:
+            self._add_node(sample.sample_id, "buffered", sample.source)
+
+        self._tree: ClientPlaceTree | None = None
+        self._selected: list[SampleMetadata] = list(self._samples)
+        self._mixture_weights: dict[str, float] = {}
+        self._axis: str | None = None
+        self._group_size: int | None = None
+        self._num_buckets: int | None = None
+        self._cost_fn: CostFnLike | None = None
+        self._costs: dict[int, float] = {}
+        self._memory_costs: dict[int, float] = {}
+        self._balance_result: list[list[list[SampleMetadata]]] | None = None
+        self._balance_method = "none"
+        self._num_microbatches = 1
+        self._broadcast_dims: list[str] = []
+        self._api_costs: dict[str, float] = {}
+        self._intra_reorder = True
+        self._step = 0
+        self._seed = 0
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_buffer_infos(
+        cls,
+        buffer_infos: dict[str, list[SampleMetadata]] | list[SampleMetadata],
+        metas: Callable[[SampleMetadata], SampleMetadata | None] = metas_token,
+        module: str = "backbone",
+    ) -> "DGraph":
+        """Create a DGraph from Source Loader buffer metadata.
+
+        ``buffer_infos`` is either a mapping ``source name -> buffered sample
+        metadata`` (as gathered by the Planner) or a flat list.  ``metas``
+        selects and re-views the metadata for this graph's module: e.g.
+        :func:`metas_image` builds the encoder's view over the same shared
+        buffer dictionary, giving the "unified multisource representation" of
+        Sec. 4.1.
+        """
+        if isinstance(buffer_infos, dict):
+            flat = [sample for samples in buffer_infos.values() for sample in samples]
+        else:
+            flat = list(buffer_infos)
+        selected = []
+        for sample in flat:
+            viewed = metas(sample)
+            if viewed is not None:
+                selected.append(viewed)
+        return cls(selected, module=module)
+
+    def init(self, tree: ClientPlaceTree) -> "DGraph":
+        """Bind the graph to a trainer topology."""
+        self._tree = tree
+        return self
+
+    def with_step(self, step: int, seed: int = 0) -> "DGraph":
+        """Set the training step (used by the mixture schedule) and RNG seed."""
+        self._step = int(step)
+        self._seed = int(seed)
+        return self
+
+    # -- primitives ---------------------------------------------------------------------
+
+    def mix(self, schedule: MixtureSchedule, sample_count: int | None = None) -> "DGraph":
+        """Apply scheduled multisource sampling.
+
+        Samples are drawn from the buffered metadata proportionally to the
+        schedule's weights at the current step.  Sources absent from the
+        buffer contribute nothing; only sampled data participates in
+        subsequent orchestration (un-sampled nodes stay in ``buffered`` state).
+        """
+        weights = schedule.weights_at(self._step)
+        self._mixture_weights = dict(weights)
+        by_source: dict[str, list[SampleMetadata]] = {}
+        for sample in self._selected:
+            by_source.setdefault(sample.source, []).append(sample)
+
+        available_sources = [name for name in by_source if weights.get(name, 0.0) > 0.0]
+        if not available_sources:
+            raise OrchestrationError(
+                "mixture schedule assigns zero weight to every buffered source"
+            )
+        target = sample_count if sample_count is not None else len(self._selected)
+        target = min(target, len(self._selected))
+
+        rng = derive_rng(self._seed, "mix", self._step)
+        probs = np.array([weights[name] for name in available_sources], dtype=float)
+        probs = probs / probs.sum()
+        quotas = self._quota_per_source(available_sources, probs, by_source, target, rng)
+
+        chosen: list[SampleMetadata] = []
+        for name in available_sources:
+            pool = by_source[name]
+            quota = quotas[name]
+            if quota >= len(pool):
+                chosen.extend(pool)
+            else:
+                indices = rng.choice(len(pool), size=quota, replace=False)
+                chosen.extend(pool[index] for index in sorted(indices))
+        for sample in chosen:
+            self._transition(sample.sample_id, "buffered", "sampled", "mix")
+        self._selected = chosen
+        return self
+
+    def distribute(self, axis: str, group_size: int | None = None) -> "DGraph":
+        """Choose the distribution axis (how many consumer buckets exist).
+
+        ``axis='DP'`` creates one bucket per data-parallel group, ``'CP'``
+        treats DPxCP GPUs as uniform consumers, ``'WORLD'`` gives every rank
+        its own bucket (the encoder module).  ``group_size`` coarsens the
+        bucket count to ``ceil(n / group_size)`` so balancing happens within
+        subgroups, reducing coordination cost on very large clusters.
+        """
+        tree = self._require_tree()
+        axis = axis.upper()
+        if axis not in DISTRIBUTION_AXES:
+            raise OrchestrationError(
+                f"unknown distribution axis {axis!r}; expected one of {DISTRIBUTION_AXES}"
+            )
+        consumers = tree.num_consumers(axis)
+        if group_size is not None:
+            if group_size <= 0:
+                raise OrchestrationError("group_size must be positive")
+            consumers = math.ceil(consumers / group_size)
+        self._axis = axis
+        self._group_size = group_size
+        self._num_buckets = consumers
+        return self
+
+    def cost(self, costfn: CostFnLike) -> "DGraph":
+        """Register a cost function mapping sample metadata to (load, memory).
+
+        Costs are evaluated lazily over the currently selected samples and
+        propagated automatically to the subsequent :meth:`balance` call.
+        """
+        self._cost_fn = costfn
+        self._evaluate_costs()
+        return self
+
+    def balance(
+        self,
+        method: str = "greedy",
+        costfn: CostFnLike | None = None,
+        num_microbatches: int | None = None,
+        intra_microbatch_reorder: bool = True,
+    ) -> "DGraph":
+        """Distribute the selected samples into buckets and microbatch bins.
+
+        The bucket count comes from the preceding :meth:`distribute`; each
+        bucket is further divided into ``num_microbatches`` bins and the named
+        balancing method (greedy bin packing, Karmarkar-Karp or interleave)
+        assigns samples so per-bin costs are as even as possible.  Setting
+        ``intra_microbatch_reorder=False`` keeps the sampled order inside each
+        microbatch (the conservative configuration used for the Fig. 18 loss
+        study).
+        """
+        if self._num_buckets is None:
+            raise OrchestrationError("call distribute() before balance()")
+        if costfn is not None:
+            self.cost(costfn)
+        if self._cost_fn is None:
+            self.cost(lambda metadata: float(metadata.total_tokens))
+        if num_microbatches is not None:
+            if num_microbatches <= 0:
+                raise OrchestrationError("num_microbatches must be positive")
+            self._num_microbatches = num_microbatches
+        self._intra_reorder = intra_microbatch_reorder
+
+        items = [
+            WeightedItem(key=sample, cost=self._costs[sample.sample_id])
+            for sample in self._selected
+        ]
+        bucket_result = balance_items(items, self._num_buckets, method)
+        assignments: list[list[list[SampleMetadata]]] = []
+        for bucket_items in bucket_result.bins:
+            if self._intra_reorder:
+                bin_result = balance_items(bucket_items, self._num_microbatches, method)
+                bins = [
+                    [item.key for item in bin_items] for bin_items in bin_result.bins
+                ]
+            else:
+                bins = self._round_robin_bins(bucket_items)
+            assignments.append(bins)
+
+        self._balance_result = assignments
+        self._balance_method = method
+        # Analytical estimate of the balance primitive's own latency: an
+        # n-log-n sort plus bucket/bin heap operations per sample, scaled by
+        # the bucket count (coordination across larger clusters costs more).
+        n = max(1, len(items))
+        coordination = 1.0 + 0.002 * (self._num_buckets or 1)
+        self._api_costs["balance"] = self._api_costs.get("balance", 0.0) + (
+            2.5e-6 * n * math.log2(n + 1) * coordination
+        )
+        for bucket_index, bucket in enumerate(assignments):
+            for mb_index, bin_samples in enumerate(bucket):
+                for sample in bin_samples:
+                    self._transition(
+                        sample.sample_id,
+                        "sampled" if (sample.sample_id, "sampled") in self._nodes else "buffered",
+                        "assigned",
+                        f"balance[{method}]",
+                        bucket=bucket_index,
+                        microbatch=mb_index,
+                    )
+        return self
+
+    def broadcast_at(self, target_dim: str) -> "DGraph":
+        """Declare a trainer-side broadcast along ``target_dim`` (TP/CP/PP).
+
+        Clients with a non-zero coordinate along the dimension are excluded
+        from data fetching, so the Data Constructor ships each tensor once per
+        broadcast group.
+        """
+        tree = self._require_tree()
+        tree.mark_broadcast(target_dim)
+        self._broadcast_dims.append(target_dim.upper())
+        return self
+
+    def plan(self) -> DGraphPlan:
+        """Interpret the accumulated declarations into a loading plan."""
+        tree = self._require_tree()
+        if self._balance_result is None:
+            # Default: unbalanced round-robin over buckets in arrival order.
+            if self._num_buckets is None:
+                self.distribute(axis="DP")
+            self._balance_result = self._unbalanced_assignment()
+            self._balance_method = "none"
+
+        module_plan = ModulePlan(
+            module=self.module,
+            axis=self._axis or "DP",
+            num_buckets=self._num_buckets or 1,
+            num_microbatches=self._num_microbatches,
+            balance_method=self._balance_method,
+        )
+        for bucket_index, bucket in enumerate(self._balance_result):
+            for mb_index, bin_samples in enumerate(bucket):
+                cost = sum(self._costs.get(sample.sample_id, 0.0) for sample in bin_samples)
+                module_plan.assignments.append(
+                    MicrobatchAssignment(
+                        bucket_index=bucket_index,
+                        microbatch_index=mb_index,
+                        samples=tuple(bin_samples),
+                        estimated_cost=cost,
+                    )
+                )
+        module_plan.validate()
+
+        demands: dict[str, list[int]] = {}
+        for sample in self._selected:
+            demands.setdefault(sample.source, []).append(sample.sample_id)
+        return DGraphPlan(
+            module=module_plan,
+            fetching_ranks=tree.fetching_ranks(),
+            mixture_weights=dict(self._mixture_weights),
+            source_demands={source: sorted(ids) for source, ids in demands.items()},
+            api_costs=dict(self._api_costs),
+        )
+
+    # -- low-level interfaces (plan_raw / summary_buffer) --------------------------------
+
+    def plan_raw(
+        self, assignment_fn: Callable[[list[SampleMetadata], int, int], list[list[list[SampleMetadata]]]]
+    ) -> "DGraph":
+        """Escape hatch: supply the full bucket/bin assignment directly."""
+        if self._num_buckets is None:
+            raise OrchestrationError("call distribute() before plan_raw()")
+        assignment = assignment_fn(self._selected, self._num_buckets, self._num_microbatches)
+        if len(assignment) != self._num_buckets:
+            raise OrchestrationError(
+                f"plan_raw returned {len(assignment)} buckets, expected {self._num_buckets}"
+            )
+        self._balance_result = assignment
+        self._balance_method = "user"
+        return self
+
+    def summary_buffer(self) -> dict[str, dict[str, float]]:
+        """Summarise the buffered metadata per source (tokens, counts, cost)."""
+        summary: dict[str, dict[str, float]] = {}
+        for sample in self._selected:
+            entry = summary.setdefault(
+                sample.source, {"count": 0.0, "tokens": 0.0, "image_tokens": 0.0, "cost": 0.0}
+            )
+            entry["count"] += 1
+            entry["tokens"] += sample.total_tokens
+            entry["image_tokens"] += sample.image_tokens
+            entry["cost"] += self._costs.get(sample.sample_id, 0.0)
+        return summary
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def selected_samples(self) -> list[SampleMetadata]:
+        return list(self._selected)
+
+    @property
+    def num_buckets(self) -> int | None:
+        return self._num_buckets
+
+    @property
+    def nodes(self) -> list[DGraphNode]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> list[DGraphEdge]:
+        return list(self._edges)
+
+    @property
+    def api_costs(self) -> dict[str, float]:
+        """Simulated seconds spent inside each primitive (Table 2)."""
+        return dict(self._api_costs)
+
+    def lineage(self, sample_id: int) -> list[str]:
+        """Ordered list of states a sample has passed through."""
+        states = [state for (sid, state) in self._nodes if sid == sample_id]
+        order = {"buffered": 0, "sampled": 1, "assigned": 2}
+        return sorted(states, key=lambda state: order.get(state, 99))
+
+    def describe(self) -> str:
+        return (
+            f"DGraph(module={self.module!r}, samples={len(self._selected)}, "
+            f"axis={self._axis}, buckets={self._num_buckets}, "
+            f"microbatches={self._num_microbatches}, balance={self._balance_method!r})"
+        )
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _require_tree(self) -> ClientPlaceTree:
+        if self._tree is None:
+            raise OrchestrationError("DGraph.init(client_place_tree) must be called first")
+        return self._tree
+
+    def _add_node(self, sample_id: int, state: str, source: str, **detail: object) -> None:
+        self._nodes[(sample_id, state)] = DGraphNode(
+            sample_id=sample_id, state=state, source=source, detail=dict(detail)
+        )
+
+    def _transition(
+        self, sample_id: int, from_state: str, to_state: str, label: str, **detail: object
+    ) -> None:
+        source = ""
+        node = self._nodes.get((sample_id, from_state))
+        if node is not None:
+            source = node.source
+        self._add_node(sample_id, to_state, source, **detail)
+        self._edges.append(
+            DGraphEdge(src=(sample_id, from_state), dst=(sample_id, to_state), label=label)
+        )
+
+    def _evaluate_costs(self) -> None:
+        """Evaluate the registered cost function over the selected samples.
+
+        The per-primitive latency recorded in ``api_costs`` is an analytical
+        estimate (a fixed per-sample evaluation cost) so that Table 2 numbers
+        are deterministic and machine-independent.
+        """
+        if self._cost_fn is None:
+            return
+        costs: dict[int, float] = {}
+        memory: dict[int, float] = {}
+        for sample in self._selected:
+            result = self._cost_fn(sample)
+            if isinstance(result, tuple):
+                load, mem = float(result[0]), float(result[1])
+            else:
+                load, mem = float(result), 0.0
+            costs[sample.sample_id] = load
+            memory[sample.sample_id] = mem
+        self._costs = costs
+        self._memory_costs = memory
+        self._api_costs["cost"] = self._api_costs.get("cost", 0.0) + 1.2e-6 * len(self._selected)
+
+    def _round_robin_bins(self, bucket_items: list[WeightedItem]) -> list[list[SampleMetadata]]:
+        bins: list[list[SampleMetadata]] = [[] for _ in range(self._num_microbatches)]
+        for position, item in enumerate(bucket_items):
+            bins[position % self._num_microbatches].append(item.key)
+        return bins
+
+    def _unbalanced_assignment(self) -> list[list[list[SampleMetadata]]]:
+        """Arrival-order assignment used when balance() was never called."""
+        buckets: list[list[list[SampleMetadata]]] = [
+            [[] for _ in range(self._num_microbatches)] for _ in range(self._num_buckets or 1)
+        ]
+        num_buckets = self._num_buckets or 1
+        per_bucket = math.ceil(len(self._selected) / num_buckets) or 1
+        for position, sample in enumerate(self._selected):
+            bucket_index = min(num_buckets - 1, position // per_bucket)
+            offset = position - bucket_index * per_bucket
+            per_bin = math.ceil(per_bucket / self._num_microbatches) or 1
+            mb_index = min(self._num_microbatches - 1, offset // per_bin)
+            buckets[bucket_index][mb_index].append(sample)
+        return buckets
+
+    @staticmethod
+    def _quota_per_source(
+        names: list[str],
+        probs: np.ndarray,
+        by_source: dict[str, list[SampleMetadata]],
+        target: int,
+        rng: np.random.Generator,
+    ) -> dict[str, int]:
+        """Largest-remainder allocation of the sampling target across sources."""
+        raw = probs * target
+        quotas = np.floor(raw).astype(int)
+        remainder = target - int(quotas.sum())
+        if remainder > 0:
+            fractional = raw - quotas
+            order = np.argsort(-fractional)
+            for index in order[:remainder]:
+                quotas[index] += 1
+        allocation = {}
+        for name, quota in zip(names, quotas):
+            allocation[name] = min(int(quota), len(by_source[name]))
+        return allocation

@@ -1,0 +1,204 @@
+"""Fault tolerance: shadow loaders, differential checkpointing, replay.
+
+Recovery is decoupled by component role (Sec. 6.1):
+
+- Core coordinators (Planner, Data Constructors) persist state to the GCS and
+  are restarted automatically; prefetch buffers mask the restart latency.
+- Source Loaders are protected by hot-standby *shadow loaders* promoted on
+  failure detection (RPC timeouts / payload integrity checks), combined with
+  *differential checkpointing*: loaders snapshot less frequently than the
+  Planner and the gap is bridged by deterministic replay of the Planner's
+  plan history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.actor import ActorHandle, ActorState
+from repro.actors.runtime import ActorSystem
+from repro.core.source_loader import SourceLoader
+from repro.errors import ActorDead, ActorTimeout, ReproError
+
+
+class FaultToleranceError(ReproError):
+    """Raised when recovery cannot proceed (e.g. no shadow available)."""
+
+
+@dataclass
+class RecoveryEvent:
+    """One recovery action taken by the manager."""
+
+    step: int
+    component: str
+    kind: str
+    detail: str = ""
+    recovery_latency_s: float = 0.0
+
+
+@dataclass
+class ShadowRegistration:
+    primary: ActorHandle
+    shadow: ActorHandle
+    source: str
+
+
+@dataclass
+class FaultToleranceConfig:
+    """Knobs controlling recovery behaviour."""
+
+    loader_checkpoint_interval: int = 50
+    planner_checkpoint_interval: int = 1
+    rpc_timeout_s: float = 5.0
+    shadow_promotion_latency_s: float = 0.2
+    coordinator_restart_latency_s: float = 2.0
+    replay_latency_per_step_s: float = 0.01
+
+
+class FaultToleranceManager:
+    """Detects failures and drives recovery for loaders and coordinators."""
+
+    def __init__(
+        self,
+        system: ActorSystem,
+        config: FaultToleranceConfig | None = None,
+    ) -> None:
+        self.system = system
+        self.config = config or FaultToleranceConfig()
+        self._shadows: dict[str, ShadowRegistration] = {}
+        self._loader_checkpoints: dict[str, dict] = {}
+        self._events: list[RecoveryEvent] = []
+
+    # -- shadow loaders ------------------------------------------------------------------------
+
+    def register_shadow(self, primary: ActorHandle, shadow: ActorHandle, source: str) -> None:
+        """Pair a primary Source Loader with a hot-standby shadow."""
+        self._shadows[primary.name] = ShadowRegistration(
+            primary=primary, shadow=shadow, source=source
+        )
+
+    def shadow_for(self, primary_name: str) -> ActorHandle | None:
+        registration = self._shadows.get(primary_name)
+        return registration.shadow if registration else None
+
+    def shadow_count(self) -> int:
+        return len(self._shadows)
+
+    def shadow_memory_bytes(self) -> int:
+        """Live memory held by shadow loaders (the Fig. 16 FT memory cost)."""
+        total = 0
+        for registration in self._shadows.values():
+            if registration.shadow.state is ActorState.RUNNING:
+                total += registration.shadow.instance().ledger.total_bytes()
+        return total
+
+    # -- checkpointing -------------------------------------------------------------------------------
+
+    def checkpoint_loader(self, handle: ActorHandle, step: int) -> bool:
+        """Snapshot a loader if its differential-checkpoint interval elapsed."""
+        loader = handle.instance()
+        if not isinstance(loader, SourceLoader):
+            raise FaultToleranceError(f"{handle.name!r} is not a source loader")
+        if step % self.config.loader_checkpoint_interval != 0 and not loader.should_checkpoint():
+            return False
+        self._loader_checkpoints[handle.name] = {
+            "step": step,
+            "state": loader.state_dict(),
+        }
+        loader.mark_checkpointed()
+        return True
+
+    def last_loader_checkpoint(self, name: str) -> dict | None:
+        return self._loader_checkpoints.get(name)
+
+    # -- detection -------------------------------------------------------------------------------------
+
+    def probe_loader(self, handle: ActorHandle) -> bool:
+        """Heartbeat a loader; returns True when it is healthy."""
+        try:
+            payload = handle.call("heartbeat_payload", timeout_s=self.config.rpc_timeout_s)
+        except (ActorDead, ActorTimeout):
+            return False
+        # Payload integrity check: a healthy loader always reports its source.
+        return isinstance(payload, dict) and "source" in payload
+
+    def detect_failures(self, loader_handles: list[ActorHandle]) -> list[ActorHandle]:
+        return [handle for handle in loader_handles if not self.probe_loader(handle)]
+
+    # -- recovery ----------------------------------------------------------------------------------------
+
+    def recover_loader(self, failed: ActorHandle, step: int) -> ActorHandle:
+        """Promote the shadow for a failed loader (or restart it in place).
+
+        The promoted loader restores the last differential checkpoint and the
+        remaining gap is covered by replaying the Planner's deterministic plan
+        history, whose cost is charged to the recovery latency.
+        """
+        registration = self._shadows.get(failed.name)
+        checkpoint = self._loader_checkpoints.get(failed.name)
+        replay_steps = step - checkpoint["step"] if checkpoint else step
+        replay_latency = max(0, replay_steps) * self.config.replay_latency_per_step_s
+
+        if registration is not None and registration.shadow.state is ActorState.RUNNING:
+            promoted = registration.shadow
+            if checkpoint is not None:
+                promoted.instance().load_state_dict(checkpoint["state"])
+            latency = self.config.shadow_promotion_latency_s + replay_latency
+            self._events.append(
+                RecoveryEvent(
+                    step=step,
+                    component=failed.name,
+                    kind="shadow_promotion",
+                    detail=f"promoted {promoted.name}",
+                    recovery_latency_s=latency,
+                )
+            )
+            del self._shadows[failed.name]
+            return promoted
+
+        # No shadow: restart in place from the last checkpoint.
+        state = checkpoint["state"] if checkpoint else None
+        restarted = self.system.restart_actor(failed.name, state=state)
+        latency = self.config.coordinator_restart_latency_s + replay_latency
+        self._events.append(
+            RecoveryEvent(
+                step=step,
+                component=failed.name,
+                kind="restart",
+                detail="no shadow available",
+                recovery_latency_s=latency,
+            )
+        )
+        return restarted
+
+    def recover_coordinator(self, handle: ActorHandle, step: int) -> ActorHandle:
+        """Restart a Planner / Data Constructor from its GCS-backed state."""
+        instance = handle.instance()
+        state = instance.state_dict()
+        restarted = self.system.restart_actor(handle.name, state=state)
+        self._events.append(
+            RecoveryEvent(
+                step=step,
+                component=handle.name,
+                kind="coordinator_restart",
+                recovery_latency_s=self.config.coordinator_restart_latency_s,
+            )
+        )
+        return restarted
+
+    # -- reporting -----------------------------------------------------------------------------------------
+
+    def events(self) -> list[RecoveryEvent]:
+        return list(self._events)
+
+    def total_recovery_latency(self) -> float:
+        return sum(event.recovery_latency_s for event in self._events)
+
+    def effective_training_time_ratio(
+        self, iterations: int, iteration_time_s: float
+    ) -> float:
+        """ETTR: productive compute time / (productive + recovery) time."""
+        productive = iterations * iteration_time_s
+        if productive <= 0:
+            return 0.0
+        return productive / (productive + self.total_recovery_latency())

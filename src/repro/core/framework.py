@@ -1,0 +1,647 @@
+"""The MegaScaleData facade: deployment and the pull-based runtime workflow.
+
+:class:`MegaScaleData` wires the disaggregated components together on the
+actor runtime: it partitions the source catalog into Source Loader actors
+(AutoScaler, Sec. 5), provisions one Data Constructor per data-parallel
+consumer bucket (Sec. 3), registers the declarative orchestration strategy
+with a centralized Planner (Sec. 4) and exposes the per-step pull workflow::
+
+    1. trainer clients request data from their Data Constructor
+    2. the constructor triggers fetches from Source Loaders
+    3. loaders consult the Planner for a fresh loading plan
+    4. the Planner gathers buffer metadata and synthesizes the plan
+    5. loaders prepare samples, stage them, and refill from storage
+
+The facade also integrates the training simulator so end-to-end iteration
+times and throughput can be reported for benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.node import NodeKind, ResourceSpec
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.autoscaler import (
+    MixtureDrivenScaler,
+    PartitionPlan,
+    ResourceBudget,
+    SourceAutoPartitioner,
+)
+from repro.core.data_constructor import DataConstructor, RankDelivery
+from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
+from repro.core.place_tree import ClientPlaceTree
+from repro.core.planner import Planner, PlanTimings
+from repro.core.plans import LoadingPlan
+from repro.core.resharding import ElasticResharder, ReshardNotification, ReshardReport
+from repro.core.source_loader import SourceLoader
+from repro.core.strategies import StrategyConfig, make_strategy
+from repro.data.mixture import MixtureSchedule
+from repro.data.samples import SampleMetadata
+from repro.data.sources import SourceCatalog
+from repro.data.synthetic import (
+    build_source_catalog,
+    coyo700m_like_spec,
+    navit_like_spec,
+)
+from repro.errors import ConfigurationError, PlanError
+from repro.parallelism.mesh import DeviceMesh
+from repro.storage.filesystem import SimulatedFileSystem
+from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
+from repro.training.simulator import GpuSpec, IterationResult, TrainingSimulator
+from repro.utils.units import GIB
+
+
+@dataclass
+class TrainingJobSpec:
+    """User-facing description of a training job and its data plane."""
+
+    # Parallelism.
+    pp: int = 1
+    dp: int = 2
+    cp: int = 1
+    tp: int = 1
+    gpus_per_node: int = 16
+
+    # Model.
+    backbone: str = "Llama-12B"
+    encoder: str | None = "ViT-2B"
+
+    # Batching.
+    samples_per_dp_step: int = 32
+    num_microbatches: int = 4
+    max_sequence_length: int = 8192
+
+    # Data.
+    dataset_group: str = "navit_data"
+    num_sources: int = 8
+    samples_per_source: int = 256
+    mixture: MixtureSchedule | None = None
+
+    # Orchestration.
+    strategy: str = "hybrid"
+    balance_method: str = "greedy"
+    broadcast_tp: bool = True
+    broadcast_cp: bool = False
+    group_size: int | None = None
+
+    # Deployment.
+    cpu_pods: int = 1
+    enable_shadow_loaders: bool = False
+    enable_autoscaler: bool = True
+    deferred_transforms: tuple[str, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_dp_step < self.num_microbatches:
+            raise ConfigurationError(
+                "samples_per_dp_step must be >= num_microbatches so every microbatch is non-empty"
+            )
+        if self.backbone not in MODEL_ZOO:
+            raise ConfigurationError(f"unknown backbone {self.backbone!r}")
+        if self.encoder is not None and self.encoder not in MODEL_ZOO:
+            raise ConfigurationError(f"unknown encoder {self.encoder!r}")
+
+    # -- derived -----------------------------------------------------------------------
+
+    def device_mesh(self) -> DeviceMesh:
+        return DeviceMesh(
+            pp=self.pp, dp=self.dp, cp=self.cp, tp=self.tp, gpus_per_node=self.gpus_per_node
+        )
+
+    def model(self) -> VLMConfig | BackboneConfig:
+        backbone = MODEL_ZOO[self.backbone]()
+        if self.encoder is None:
+            return backbone
+        encoder = MODEL_ZOO[self.encoder]()
+        assert isinstance(encoder, EncoderConfig)
+        assert isinstance(backbone, BackboneConfig)
+        return VLMConfig(encoder=encoder, backbone=backbone)
+
+    def global_samples_per_step(self) -> int:
+        return self.samples_per_dp_step * self.dp
+
+    @classmethod
+    def vlm_example(cls) -> "TrainingJobSpec":
+        """A small VLM job usable in examples and quickstart docs."""
+        return cls(pp=1, dp=2, cp=1, tp=2, num_sources=6, samples_per_source=128,
+                   samples_per_dp_step=16, num_microbatches=4)
+
+    @classmethod
+    def text_example(cls) -> "TrainingJobSpec":
+        """A pure-text job (no encoder)."""
+        return cls(encoder=None, dataset_group="coyo700m", strategy="backbone_balance",
+                   num_sources=4, samples_per_source=128, samples_per_dp_step=16)
+
+
+@dataclass
+class StepResult:
+    """Everything produced by one pull-workflow step."""
+
+    step: int
+    plan: LoadingPlan
+    plan_timings: PlanTimings
+    loader_wall_clock_s: float
+    loader_transform_s: float
+    constructor_collate_s: float
+    data_fetch_latency_s: float
+    deliveries: dict[int, RankDelivery]
+    backbone_assignments: list[list[list[SampleMetadata]]]
+    encoder_assignments: list[list[list[SampleMetadata]]] | None = None
+    iteration: IterationResult | None = None
+
+    def fetched_bytes(self) -> int:
+        return sum(delivery.total_payload_bytes() for delivery in self.deliveries.values())
+
+
+class MegaScaleData:
+    """Deployed MegaScale-Data instance for one training job."""
+
+    def __init__(
+        self,
+        job: TrainingJobSpec,
+        system: ActorSystem,
+        filesystem: SimulatedFileSystem,
+        catalog: SourceCatalog,
+        partition_plan: PartitionPlan,
+        planner_handle,
+        loader_handles,
+        constructor_handles,
+        tree: ClientPlaceTree,
+        fault_manager: FaultToleranceManager,
+    ) -> None:
+        self.job = job
+        self.system = system
+        self.filesystem = filesystem
+        self.catalog = catalog
+        self.partition_plan = partition_plan
+        self.planner_handle = planner_handle
+        self.loader_handles = list(loader_handles)
+        self.constructor_handles = list(constructor_handles)
+        self.tree = tree
+        self.fault_manager = fault_manager
+        self.resharder = ElasticResharder(tree)
+        self.simulator = TrainingSimulator(job.model(), tree.mesh, gpu=GpuSpec())
+        self._step = 0
+        self._history: list[StepResult] = []
+
+    # -- deployment ---------------------------------------------------------------------------
+
+    @classmethod
+    def deploy(
+        cls,
+        job: TrainingJobSpec,
+        catalog: SourceCatalog | None = None,
+        filesystem: SimulatedFileSystem | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> "MegaScaleData":
+        """Provision storage, actors and the planner for ``job``."""
+        filesystem = filesystem or SimulatedFileSystem()
+        if catalog is None:
+            catalog = cls._build_catalog(job, filesystem)
+        mesh = job.device_mesh()
+        tree = ClientPlaceTree(mesh)
+        cluster = cluster or ClusterSpec(
+            accelerator_nodes=max(1, mesh.num_nodes), cpu_pods=job.cpu_pods
+        )
+        system = ActorSystem(cluster)
+
+        partition_plan = cls._partition_sources(job, catalog, cluster)
+        loader_handles = cls._spawn_loaders(job, catalog, filesystem, system, partition_plan)
+        constructor_handles = cls._spawn_constructors(job, mesh, system)
+        planner_handle = cls._spawn_planner(job, tree, system, partition_plan)
+
+        planner: Planner = planner_handle.instance()
+        planner.register_loaders(loader_handles)
+
+        fault_manager = FaultToleranceManager(system, FaultToleranceConfig())
+        if job.enable_shadow_loaders:
+            cls._spawn_shadow_loaders(
+                job, catalog, filesystem, system, partition_plan, loader_handles, fault_manager
+            )
+        return cls(
+            job=job,
+            system=system,
+            filesystem=filesystem,
+            catalog=catalog,
+            partition_plan=partition_plan,
+            planner_handle=planner_handle,
+            loader_handles=loader_handles,
+            constructor_handles=constructor_handles,
+            tree=tree,
+            fault_manager=fault_manager,
+        )
+
+    @staticmethod
+    def _build_catalog(job: TrainingJobSpec, filesystem: SimulatedFileSystem) -> SourceCatalog:
+        if job.dataset_group == "coyo700m":
+            spec = coyo700m_like_spec(
+                num_sources=job.num_sources,
+                samples_per_source=job.samples_per_source,
+                seed=job.seed,
+            )
+        else:
+            spec = navit_like_spec(
+                num_sources=job.num_sources,
+                samples_per_source=job.samples_per_source,
+                seed=job.seed,
+            )
+        return build_source_catalog(spec, filesystem)
+
+    @staticmethod
+    def _partition_sources(
+        job: TrainingJobSpec, catalog: SourceCatalog, cluster: ClusterSpec
+    ) -> PartitionPlan:
+        total_cpu = (
+            cluster.accelerator_nodes * cluster.accelerator_resources.cpu_cores
+            + cluster.cpu_pods * cluster.cpu_pod_resources.cpu_cores
+        )
+        total_memory = (
+            cluster.accelerator_nodes * cluster.accelerator_resources.memory_bytes
+            + cluster.cpu_pods * cluster.cpu_pod_resources.memory_bytes
+        )
+        budget = ResourceBudget(
+            cpu_cores=total_cpu * 0.5, memory_bytes=int(total_memory * 0.5)
+        )
+        partitioner = SourceAutoPartitioner()
+        return partitioner.partition(catalog, budget)
+
+    @staticmethod
+    def _spawn_loaders(
+        job: TrainingJobSpec,
+        catalog: SourceCatalog,
+        filesystem: SimulatedFileSystem,
+        system: ActorSystem,
+        partition_plan: PartitionPlan,
+    ):
+        handles = []
+        for source in catalog:
+            config = partition_plan.config_for(source.name)
+            for actor_index in range(config.num_actors):
+                name = f"loader/{source.name}/{actor_index}"
+                handle = system.create_actor(
+                    lambda src=source, idx=actor_index, cfg=config: SourceLoader(
+                        source=src,
+                        filesystem=filesystem,
+                        num_workers=cfg.workers_per_actor,
+                        buffer_size=max(64, job.samples_per_dp_step * job.dp),
+                        shard_index=idx,
+                        shard_count=cfg.num_actors,
+                        deferred_transforms=set(job.deferred_transforms) or None,
+                    ),
+                    name=name,
+                    cpu_cores=config.workers_per_actor * 1.0,
+                    memory_bytes=config.estimated_memory_bytes,
+                    prefer=NodeKind.ACCELERATOR,
+                )
+                handles.append(handle)
+        return handles
+
+    @staticmethod
+    def _spawn_constructors(job: TrainingJobSpec, mesh: DeviceMesh, system: ActorSystem):
+        handles = []
+        for dp_index in range(mesh.size("DP")):
+            name = f"constructor/dp{dp_index}"
+            handle = system.create_actor(
+                lambda idx=dp_index: DataConstructor(
+                    bucket_index=idx,
+                    mesh=mesh,
+                    dp_index=idx,
+                    max_sequence_length=job.max_sequence_length,
+                    broadcast_tp=job.broadcast_tp,
+                    broadcast_cp=job.broadcast_cp,
+                ),
+                name=name,
+                cpu_cores=2.0,
+                memory_bytes=2 * GIB,
+                prefer=NodeKind.ACCELERATOR,
+            )
+            handles.append(handle)
+        return handles
+
+    @staticmethod
+    def _spawn_planner(
+        job: TrainingJobSpec,
+        tree: ClientPlaceTree,
+        system: ActorSystem,
+        partition_plan: PartitionPlan,
+    ):
+        mixture = job.mixture
+        strategy_config = StrategyConfig(
+            mixture=mixture,
+            num_microbatches=job.num_microbatches,
+            balance_method=job.balance_method,
+            broadcast_tp=job.broadcast_tp,
+            broadcast_cp=job.broadcast_cp,
+            group_size=job.group_size,
+        )
+        strategy = make_strategy(job.strategy, strategy_config)
+        scaler = (
+            MixtureDrivenScaler(partition_plan)
+            if (job.enable_autoscaler and mixture is not None)
+            else None
+        )
+        return system.create_actor(
+            lambda: Planner(
+                strategy=strategy,
+                tree=tree,
+                mixture=mixture,
+                scaler=scaler,
+                gcs=system.gcs,
+                seed=job.seed,
+            ),
+            name="planner",
+            cpu_cores=4.0,
+            memory_bytes=4 * GIB,
+            prefer=NodeKind.CPU,
+        )
+
+    @staticmethod
+    def _spawn_shadow_loaders(
+        job, catalog, filesystem, system, partition_plan, loader_handles, fault_manager
+    ) -> None:
+        sources_by_name = {source.name: source for source in catalog}
+        for handle in loader_handles:
+            loader: SourceLoader = handle.instance()
+            source = sources_by_name[loader.source.name]
+            config = partition_plan.config_for(source.name)
+            shadow_name = f"shadow/{handle.name}"
+            shadow = system.create_actor(
+                lambda src=source, ldr=loader, cfg=config: SourceLoader(
+                    source=src,
+                    filesystem=filesystem,
+                    num_workers=cfg.workers_per_actor,
+                    buffer_size=ldr.buffer_size,
+                    shard_index=ldr.shard_index,
+                    shard_count=ldr.shard_count,
+                ),
+                name=shadow_name,
+                cpu_cores=1.0,
+                memory_bytes=config.estimated_memory_bytes,
+                prefer=NodeKind.ACCELERATOR,
+            )
+            fault_manager.register_shadow(handle, shadow, source.name)
+
+    # -- runtime workflow ----------------------------------------------------------------------------
+
+    def run_step(self, step: int | None = None, simulate: bool = False) -> StepResult:
+        """Execute one pull-workflow step end to end."""
+        step = self._step if step is None else step
+        planner: Planner = self.planner_handle.instance()
+
+        # Steps 3-4: loaders consult the planner; the planner gathers buffer
+        # metadata and synthesizes the loading plan.
+        sample_count = self.job.global_samples_per_step()
+        plan = self._generate_sized_plan(planner, step, sample_count)
+
+        # Step 5: source loaders prepare the demanded samples.
+        loader_wall_clock = 0.0
+        loader_transform = 0.0
+        prepared: dict[int, object] = {}
+        demands_by_loader = self._split_demands(plan)
+        for handle, sample_ids in demands_by_loader.items():
+            if not sample_ids:
+                continue
+            result = handle.call("prepare", sample_ids)
+            loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
+            loader_transform += result["transform_latency_s"]
+            for item in handle.call("fetch_prepared", sample_ids):
+                prepared[item.sample.sample_id] = item
+
+        # Step 2: constructors assemble microbatches and parallelism slices.
+        backbone_plan = plan.module("backbone")
+        collate_seconds = 0.0
+        deliveries: dict[int, RankDelivery] = {}
+        fetching = set(plan.fetching_ranks)
+        for constructor_handle in self.constructor_handles:
+            constructor: DataConstructor = constructor_handle.instance()
+            stats = constructor_handle.call("construct", step, backbone_plan, prepared)
+            collate_seconds = max(collate_seconds, stats["collate_seconds"])
+            for rank in constructor.ranks_served(step):
+                if rank in fetching:
+                    deliveries[rank] = constructor_handle.call("get_batch", step, rank)
+
+        # Step 1 (accounting): the fetch latency seen by the trainer clients.
+        data_fetch_latency = (
+            planner.stats.latest_timings().total_s + loader_wall_clock + collate_seconds
+        )
+
+        backbone_assignments = self._assignments_from_plan(plan, "backbone")
+        encoder_assignments = (
+            self._encoder_assignments_from_plan(plan) if "encoder" in plan.modules else None
+        )
+        result = StepResult(
+            step=step,
+            plan=plan,
+            plan_timings=planner.stats.latest_timings(),
+            loader_wall_clock_s=loader_wall_clock,
+            loader_transform_s=loader_transform,
+            constructor_collate_s=collate_seconds,
+            data_fetch_latency_s=data_fetch_latency,
+            deliveries=deliveries,
+            backbone_assignments=backbone_assignments,
+            encoder_assignments=encoder_assignments,
+        )
+        if simulate:
+            result.iteration = self.simulate_iteration(result)
+
+        # Release constructor staging for the previous step (double buffering).
+        for constructor_handle in self.constructor_handles:
+            constructor_handle.call("release_step", step - 1)
+        self._step = step + 1
+        self._history.append(result)
+        return result
+
+    def next_batch(self) -> dict[int, RankDelivery]:
+        """Convenience wrapper: run a step and return the per-rank deliveries."""
+        return self.run_step().deliveries
+
+    def simulate_iteration(self, result: StepResult) -> IterationResult:
+        """Run the training simulator over a step's assignments."""
+        return self.simulator.simulate_iteration(
+            result.backbone_assignments,
+            encoder_assignments=result.encoder_assignments,
+            data_fetch_latency_s=result.data_fetch_latency_s,
+        )
+
+    def run_training(self, num_steps: int, simulate: bool = True) -> dict[str, float]:
+        """Run several steps and return aggregate throughput / latency metrics."""
+        iteration_times = []
+        fetch_latencies = []
+        tokens = 0
+        for _ in range(num_steps):
+            result = self.run_step(simulate=simulate)
+            fetch_latencies.append(result.data_fetch_latency_s)
+            if result.iteration is not None:
+                iteration_times.append(result.iteration.iteration_time_s)
+                tokens += result.iteration.total_tokens
+        summary = {
+            "steps": float(num_steps),
+            "avg_fetch_latency_s": sum(fetch_latencies) / max(1, len(fetch_latencies)),
+            "avg_iteration_time_s": sum(iteration_times) / max(1, len(iteration_times))
+            if iteration_times
+            else 0.0,
+            "total_tokens": float(tokens),
+        }
+        if iteration_times:
+            summary["throughput_tokens_per_s"] = tokens / sum(iteration_times)
+        return summary
+
+    # -- runtime reconfiguration ----------------------------------------------------------------------------
+
+    def set_mixture(self, mixture: MixtureSchedule) -> None:
+        """Install (or replace) the data mixture schedule at runtime.
+
+        Rebuilds the Planner's strategy with the new schedule and re-arms the
+        mixture-driven AutoScaler, supporting curriculum-style schedule swaps
+        without redeploying the data plane.
+        """
+        planner: Planner = self.planner_handle.instance()
+        planner.mixture = mixture
+        strategy_config = StrategyConfig(
+            mixture=mixture,
+            num_microbatches=self.job.num_microbatches,
+            balance_method=self.job.balance_method,
+            broadcast_tp=self.job.broadcast_tp,
+            broadcast_cp=self.job.broadcast_cp,
+            group_size=self.job.group_size,
+        )
+        planner.strategy = make_strategy(self.job.strategy, strategy_config)
+        if self.job.enable_autoscaler:
+            planner.scaler = MixtureDrivenScaler(self.partition_plan)
+
+    # -- operational adaptability -------------------------------------------------------------------------
+
+    def handle_reshard(self, notification: ReshardNotification) -> ReshardReport:
+        """React to a trainer topology change (elastic resharding)."""
+        constructors = {
+            handle.name: handle.instance() for handle in self.constructor_handles
+        }
+        report = self.resharder.apply(notification, constructors)
+        self.tree = self.resharder.tree
+        planner: Planner = self.planner_handle.instance()
+        planner.set_tree(self.tree)
+        self.simulator = TrainingSimulator(self.job.model(), self.tree.mesh, gpu=GpuSpec())
+        return report
+
+    # -- reporting ------------------------------------------------------------------------------------------
+
+    def memory_report(self) -> dict[str, int]:
+        """Live actor memory per node plus the cluster total."""
+        report = dict(self.system.memory_by_node())
+        report["total"] = sum(report.values())
+        return report
+
+    def loader_memory_bytes(self) -> int:
+        return sum(
+            handle.instance().ledger.total_bytes() for handle in self.loader_handles
+        )
+
+    def history(self) -> list[StepResult]:
+        return list(self._history)
+
+    def shutdown(self) -> None:
+        """Stop every actor and release their resources."""
+        for handle in self.loader_handles + self.constructor_handles + [self.planner_handle]:
+            try:
+                self.system.stop_actor(handle.name)
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                continue
+
+    # -- internals ----------------------------------------------------------------------------------------------
+
+    def _generate_sized_plan(self, planner: Planner, step: int, sample_count: int) -> LoadingPlan:
+        """Generate a plan limited to the job's per-step sample budget.
+
+        The strategy operates over the full buffered metadata; to keep the
+        global batch size fixed the framework passes a mixture that, when
+        absent, defaults to sampling ``sample_count`` samples uniformly from
+        the buffered pool via the DGraph mix primitive.
+        """
+        if planner.mixture is None:
+            planner.mixture = MixtureSchedule.uniform(self.catalog.names())
+            # Rebuild the strategy with the sampling mixture so every step
+            # draws a bounded, mixed batch rather than the whole buffer.
+            strategy_config = StrategyConfig(
+                mixture=planner.mixture,
+                num_microbatches=self.job.num_microbatches,
+                balance_method=self.job.balance_method,
+                broadcast_tp=self.job.broadcast_tp,
+                broadcast_cp=self.job.broadcast_cp,
+                group_size=self.job.group_size,
+            )
+            planner.strategy = self._sized_strategy(
+                make_strategy(self.job.strategy, strategy_config), sample_count
+            )
+        return planner.generate_plan(step)
+
+    def _sized_strategy(self, strategy, sample_count: int):
+        mixture_names = self.catalog.names()
+
+        def sized(buffer_infos, tree, step, seed=0):
+            bounded = self._bound_buffer(buffer_infos, sample_count, step, seed)
+            return strategy(bounded, tree, step, seed)
+
+        sized.__name__ = f"sized[{getattr(strategy, '__name__', 'strategy')}]"
+        sized.mixture_names = mixture_names
+        return sized
+
+    @staticmethod
+    def _bound_buffer(
+        buffer_infos: dict[str, list[SampleMetadata]], sample_count: int, step: int, seed: int
+    ) -> dict[str, list[SampleMetadata]]:
+        """Deterministically subsample the buffered metadata to the step budget."""
+        total = sum(len(samples) for samples in buffer_infos.values())
+        if total <= sample_count:
+            return buffer_infos
+        bounded: dict[str, list[SampleMetadata]] = {}
+        remaining = sample_count
+        sources = sorted(buffer_infos)
+        for index, source in enumerate(sources):
+            samples = buffer_infos[source]
+            share = max(1, round(sample_count * len(samples) / total))
+            share = min(share, remaining - (len(sources) - index - 1)) if index < len(sources) - 1 else remaining
+            share = max(0, min(share, len(samples), remaining))
+            offset = (step * 7) % max(1, len(samples))
+            rotated = samples[offset:] + samples[:offset]
+            bounded[source] = rotated[:share]
+            remaining -= share
+        return bounded
+
+    def _split_demands(self, plan: LoadingPlan) -> dict[object, list[int]]:
+        """Map each loader handle to the sample ids it must prepare."""
+        by_source: dict[str, list[object]] = {}
+        for handle in self.loader_handles:
+            loader: SourceLoader = handle.instance()
+            by_source.setdefault(loader.source.name, []).append(handle)
+        demands: dict[object, list[int]] = {handle: [] for handle in self.loader_handles}
+        for source, sample_ids in plan.source_demands.items():
+            handles = by_source.get(source)
+            if not handles:
+                raise PlanError(f"plan demands source {source!r} but no loader serves it")
+            buffered: dict[int, object] = {}
+            for handle in handles:
+                for metadata in handle.instance().summary_buffer():
+                    buffered.setdefault(metadata.sample_id, handle)
+            for position, sample_id in enumerate(sample_ids):
+                handle = buffered.get(sample_id, handles[position % len(handles)])
+                demands[handle].append(sample_id)
+        return demands
+
+    def _assignments_from_plan(
+        self, plan: LoadingPlan, module: str
+    ) -> list[list[list[SampleMetadata]]]:
+        module_plan = plan.module(module)
+        assignments: list[list[list[SampleMetadata]]] = []
+        for bucket_index in range(module_plan.num_buckets):
+            bucket = [
+                list(assignment.samples)
+                for assignment in module_plan.bucket_assignments(bucket_index)
+            ]
+            while len(bucket) < module_plan.num_microbatches:
+                bucket.append([])
+            assignments.append(bucket)
+        return assignments
+
+    def _encoder_assignments_from_plan(self, plan: LoadingPlan) -> list[list[list[SampleMetadata]]]:
+        return self._assignments_from_plan(plan, "encoder")

@@ -1,0 +1,215 @@
+"""The Planner: centralized plan generation and coordination.
+
+The Planner is the only component with a global view of all Source Loader
+buffers, the mixture schedule and the trainer topology.  Every step it (1)
+gathers lightweight buffer metadata from every loader, (2) runs the declared
+orchestration strategy to synthesize a :class:`LoadingPlan`, (3) consults the
+AutoScaler for a piggybacked :class:`ScalingPlan` and (4) broadcasts the plan.
+Each of those phases is timed so the Fig. 15 breakdown can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.actor import Actor, ActorHandle
+from repro.actors.gcs import GlobalControlStore
+from repro.core.autoscaler import MixtureDrivenScaler
+from repro.core.place_tree import ClientPlaceTree
+from repro.core.plans import LoadingPlan, ScalingPlan
+from repro.core.strategies import StrategyFn
+from repro.data.mixture import MixtureSchedule
+from repro.data.samples import SampleMetadata
+from repro.errors import PlanError
+
+#: Simulated cost of gathering one loader's buffer summary over RPC.
+GATHER_RPC_SECONDS = 0.00035
+#: Per-sample metadata deserialisation cost during gathering.
+GATHER_PER_SAMPLE_SECONDS = 1.0e-7
+#: Broadcast base latency plus per-byte cost for shipping the finalized plan.
+BROADCAST_BASE_SECONDS = 0.0008
+BROADCAST_PER_BYTE_SECONDS = 1.0 / 4.0e9
+
+
+@dataclass
+class PlanTimings:
+    """Per-step latency breakdown of the planning pipeline (Fig. 15)."""
+
+    buffer_gather_s: float = 0.0
+    compute_plan_s: float = 0.0
+    broadcast_plan_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.buffer_gather_s + self.compute_plan_s + self.broadcast_plan_s
+
+
+@dataclass
+class PlannerStats:
+    plans_generated: int = 0
+    samples_planned: int = 0
+    checkpoints_written: int = 0
+    timings: list[PlanTimings] = field(default_factory=list)
+
+    def latest_timings(self) -> PlanTimings:
+        return self.timings[-1] if self.timings else PlanTimings()
+
+
+class Planner(Actor):
+    """Centralized planner actor."""
+
+    role = "planner"
+
+    def __init__(
+        self,
+        strategy: StrategyFn,
+        tree: ClientPlaceTree,
+        mixture: MixtureSchedule | None = None,
+        scaler: MixtureDrivenScaler | None = None,
+        gcs: GlobalControlStore | None = None,
+        seed: int = 0,
+        checkpoint_every: int = 1,
+    ) -> None:
+        super().__init__()
+        self.strategy = strategy
+        self.tree = tree
+        self.mixture = mixture
+        self.scaler = scaler
+        self.gcs = gcs
+        self.seed = seed
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.stats = PlannerStats()
+        self._loader_handles: list[ActorHandle] = []
+        self._plan_history: list[LoadingPlan] = []
+        self._step = 0
+
+    # -- wiring ---------------------------------------------------------------------------
+
+    def register_loaders(self, handles: list[ActorHandle]) -> None:
+        """Tell the Planner which Source Loaders exist (called at deploy time)."""
+        self._loader_handles = list(handles)
+
+    def set_tree(self, tree: ClientPlaceTree) -> None:
+        """Adopt a new trainer topology (elastic resharding)."""
+        self.tree = tree
+
+    @property
+    def loader_names(self) -> list[str]:
+        return [handle.name for handle in self._loader_handles]
+
+    # -- planning -------------------------------------------------------------------------------
+
+    def gather_buffer_metadata(self) -> tuple[dict[str, list[SampleMetadata]], float]:
+        """Collect buffer summaries from every loader; returns (infos, latency)."""
+        infos: dict[str, list[SampleMetadata]] = {}
+        latency = 0.0
+        for handle in self._loader_handles:
+            summary: list[SampleMetadata] = handle.call("summary_buffer")
+            source_name = summary[0].source if summary else handle.name
+            infos.setdefault(source_name, []).extend(summary)
+            latency += GATHER_RPC_SECONDS + GATHER_PER_SAMPLE_SECONDS * len(summary)
+        return infos, latency
+
+    def generate_plan(self, step: int | None = None) -> LoadingPlan:
+        """Run one full planning cycle and return the finalized plan."""
+        if not self._loader_handles:
+            raise PlanError("the planner has no registered source loaders")
+        step = self._step if step is None else step
+
+        buffer_infos, gather_latency = self.gather_buffer_metadata()
+        dgraph_plan = self.strategy(buffer_infos, self.tree, step, self.seed)
+        compute_latency = sum(dgraph_plan.api_costs.values()) + 0.0005
+        for subplan in dgraph_plan.subplan.values():
+            compute_latency += sum(subplan.api_costs.values())
+
+        plan = LoadingPlan(
+            step=step,
+            source_demands=dgraph_plan.all_source_demands(),
+            modules={dgraph_plan.module.module: dgraph_plan.module},
+            fetching_ranks=dgraph_plan.fetching_ranks,
+            mixture_weights=dgraph_plan.mixture_weights,
+        )
+        for name, subplan in dgraph_plan.subplan.items():
+            plan.modules[name] = subplan.module
+        plan.validate()
+
+        scaling = self._maybe_scale(step)
+        if scaling is not None and not scaling.is_empty():
+            plan.scaling = scaling
+
+        broadcast_latency = (
+            BROADCAST_BASE_SECONDS + plan.metadata_bytes() * BROADCAST_PER_BYTE_SECONDS
+        )
+        timings = PlanTimings(
+            buffer_gather_s=gather_latency,
+            compute_plan_s=compute_latency,
+            broadcast_plan_s=broadcast_latency,
+        )
+        self.stats.timings.append(timings)
+        self.stats.plans_generated += 1
+        self.stats.samples_planned += plan.total_samples()
+        self._plan_history.append(plan)
+        self._step = step + 1
+        self._maybe_checkpoint(plan)
+        self.ledger.charge("plan_metadata", plan.metadata_bytes())
+        return plan
+
+    def _maybe_scale(self, step: int) -> ScalingPlan | None:
+        if self.scaler is None or self.mixture is None:
+            return None
+        moving = self.mixture.moving_average(step, window=self.scaler.window)
+        return self.scaler.observe(step, moving)
+
+    # -- fault tolerance -----------------------------------------------------------------------------
+
+    def _maybe_checkpoint(self, plan: LoadingPlan) -> None:
+        if self.gcs is None:
+            return
+        if plan.step % self.checkpoint_every == 0:
+            self.gcs.put(
+                f"planner/plan/{plan.step}",
+                {
+                    "step": plan.step,
+                    "source_demands": plan.source_demands,
+                    "mixture_weights": plan.mixture_weights,
+                },
+            )
+            self.gcs.put("planner/last_step", plan.step)
+            self.stats.checkpoints_written += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "step": self._step,
+            "plans_generated": self.stats.plans_generated,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state.get("step", 0))
+        self.stats.plans_generated = int(state.get("plans_generated", 0))
+
+    def replay_from_gcs(self) -> int:
+        """Recover the planning position from GCS after a restart.
+
+        Returns the step to resume from; plan history itself is rebuilt by
+        deterministic replay (same strategy + same seed ⇒ same plans).
+        """
+        if self.gcs is None:
+            return self._step
+        last = self.gcs.get("planner/last_step")
+        if last is None:
+            return self._step
+        self._step = int(last) + 1
+        return self._step
+
+    # -- introspection -----------------------------------------------------------------------------------
+
+    def plan_history(self) -> list[LoadingPlan]:
+        return list(self._plan_history)
+
+    def latest_plan(self) -> LoadingPlan:
+        if not self._plan_history:
+            raise PlanError("no plan has been generated yet")
+        return self._plan_history[-1]
+
+    def heartbeat_payload(self) -> dict:
+        return {"step": self._step, "plans": self.stats.plans_generated}

@@ -1,0 +1,163 @@
+"""Loading and scaling plan datatypes exchanged between Planner and actors.
+
+A :class:`LoadingPlan` is the Planner's output for one training step: which
+samples each Source Loader must prepare, how they are grouped into
+microbatches per consumer bucket, and which trainer clients fetch versus
+receive broadcasts.  A :class:`ScalingPlan` is the AutoScaler's resource
+adjustment directive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.samples import SampleMetadata
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class MicrobatchAssignment:
+    """Samples assigned to one microbatch of one consumer bucket."""
+
+    bucket_index: int
+    microbatch_index: int
+    samples: tuple[SampleMetadata, ...]
+    estimated_cost: float = 0.0
+
+    def total_tokens(self) -> int:
+        return sum(sample.total_tokens for sample in self.samples)
+
+    def sample_ids(self) -> list[int]:
+        return [sample.sample_id for sample in self.samples]
+
+
+@dataclass
+class ModulePlan:
+    """The per-module part of a loading plan (e.g. 'backbone' or 'encoder')."""
+
+    module: str
+    axis: str
+    num_buckets: int
+    num_microbatches: int
+    assignments: list[MicrobatchAssignment] = field(default_factory=list)
+    balance_method: str = "none"
+
+    def bucket_assignments(self, bucket_index: int) -> list[MicrobatchAssignment]:
+        return sorted(
+            (a for a in self.assignments if a.bucket_index == bucket_index),
+            key=lambda a: a.microbatch_index,
+        )
+
+    def bucket_costs(self) -> list[float]:
+        costs = [0.0] * self.num_buckets
+        for assignment in self.assignments:
+            costs[assignment.bucket_index] += assignment.estimated_cost
+        return costs
+
+    def all_sample_ids(self) -> set[int]:
+        ids: set[int] = set()
+        for assignment in self.assignments:
+            ids.update(assignment.sample_ids())
+        return ids
+
+    def validate(self) -> None:
+        seen: set[tuple[int, int, int]] = set()
+        for assignment in self.assignments:
+            if not (0 <= assignment.bucket_index < self.num_buckets):
+                raise PlanError(
+                    f"module {self.module!r}: bucket {assignment.bucket_index} out of range"
+                )
+            if not (0 <= assignment.microbatch_index < self.num_microbatches):
+                raise PlanError(
+                    f"module {self.module!r}: microbatch {assignment.microbatch_index} out of range"
+                )
+            for sample_id in assignment.sample_ids():
+                key = (assignment.bucket_index, assignment.microbatch_index, sample_id)
+                if key in seen:
+                    raise PlanError(
+                        f"module {self.module!r}: sample {sample_id} assigned twice to the same bin"
+                    )
+                seen.add(key)
+
+
+@dataclass
+class LoadingPlan:
+    """The Planner's directive for one training step."""
+
+    step: int
+    #: Source name -> sample ids that source's loader must prepare and stage.
+    source_demands: dict[str, list[int]] = field(default_factory=dict)
+    #: Module name (e.g. "backbone", "encoder") -> its assignment plan.
+    modules: dict[str, ModulePlan] = field(default_factory=dict)
+    #: Trainer ranks that fetch data (others receive trainer-side broadcasts).
+    fetching_ranks: list[int] = field(default_factory=list)
+    #: Sampling weights used for this step (recorded for replay / autoscaling).
+    mixture_weights: dict[str, float] = field(default_factory=dict)
+    #: Optional resource scaling directive piggybacked on the plan.
+    scaling: "ScalingPlan | None" = None
+
+    def module(self, name: str) -> ModulePlan:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise PlanError(f"plan for step {self.step} has no module {name!r}") from None
+
+    def total_samples(self) -> int:
+        return sum(len(ids) for ids in self.source_demands.values())
+
+    def validate(self) -> None:
+        for module_plan in self.modules.values():
+            module_plan.validate()
+        planned_ids = {
+            sample_id
+            for module_plan in self.modules.values()
+            for sample_id in module_plan.all_sample_ids()
+        }
+        demanded_ids = {
+            sample_id for ids in self.source_demands.values() for sample_id in ids
+        }
+        missing = planned_ids - demanded_ids
+        if missing:
+            raise PlanError(
+                f"plan step {self.step}: {len(missing)} assigned samples missing from source demands"
+            )
+
+    def metadata_bytes(self) -> int:
+        """Approximate size of the plan when broadcast to actors."""
+        per_sample = 48
+        assignments = sum(
+            len(assignment.samples)
+            for module_plan in self.modules.values()
+            for assignment in module_plan.assignments
+        )
+        return 1024 + per_sample * (assignments + self.total_samples())
+
+
+@dataclass(frozen=True)
+class LoaderScalingDirective:
+    """Target actor/worker counts for one source."""
+
+    source: str
+    target_actors: int
+    target_workers_per_actor: int
+    reason: str = ""
+
+
+@dataclass
+class ScalingPlan:
+    """A set of per-source scaling directives issued by the AutoScaler."""
+
+    step: int
+    directives: list[LoaderScalingDirective] = field(default_factory=list)
+
+    def for_source(self, source: str) -> LoaderScalingDirective | None:
+        for directive in self.directives:
+            if directive.source == source:
+                return directive
+        return None
+
+    def is_empty(self) -> bool:
+        return not self.directives
+
+    def total_workers(self) -> int:
+        return sum(d.target_actors * d.target_workers_per_actor for d in self.directives)

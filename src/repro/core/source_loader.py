@@ -1,0 +1,288 @@
+"""Source Loader actors: per-source sample ingestion and transformation.
+
+A Source Loader is a dedicated actor for one data source (or one shard of a
+source when the AutoScaler splits it).  It continuously ingests metadata/rows
+from the source's columnar files, applies sample-level transformations with a
+pool of parallel workers, keeps a read buffer of lightweight metadata the
+Planner can inspect, and stages transformed samples for Data Constructors to
+fetch.  Because the file access state lives in exactly one actor per source
+(not in every dataloader worker on every rank), source-scaling memory
+redundancy is eliminated (Sec. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.actor import Actor
+from repro.data.samples import Sample, SampleMetadata
+from repro.data.sources import DataSource, SourceCursor
+from repro.errors import PlanError
+from repro.storage.filesystem import SimulatedFileSystem
+from repro.storage.reader import ColumnarReader
+from repro.transforms.pipeline import TransformPipeline
+
+#: Resident memory of one worker process' execution context (interpreter,
+#: imported libraries, transform state); PyTorch DataLoader workers are of
+#: this order of magnitude.
+WORKER_CONTEXT_BYTES = 96 * 1024 * 1024
+#: Metadata bytes buffered per sample in the read buffer.
+BUFFERED_METADATA_BYTES = 96
+
+
+@dataclass
+class LoaderStats:
+    """Counters exposed for monitoring and the AutoScaler."""
+
+    samples_buffered: int = 0
+    samples_prepared: int = 0
+    samples_delivered: int = 0
+    transform_seconds: float = 0.0
+    read_seconds: float = 0.0
+    refills: int = 0
+
+
+@dataclass
+class PreparedSample:
+    """A transformed sample staged for delivery."""
+
+    sample: Sample
+    transform_latency_s: float
+    transferred_bytes: int
+    deferred_transforms: list[str] = field(default_factory=list)
+
+
+class SourceLoader(Actor):
+    """Actor owning ingestion and sample transformation for one source shard."""
+
+    role = "source_loader"
+
+    def __init__(
+        self,
+        source: DataSource,
+        filesystem: SimulatedFileSystem,
+        num_workers: int = 1,
+        buffer_size: int = 256,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        deferred_transforms: set[str] | None = None,
+        keep_payloads: bool = False,
+    ) -> None:
+        super().__init__()
+        if num_workers < 1:
+            raise PlanError("a source loader needs at least one worker")
+        if buffer_size < 1:
+            raise PlanError("buffer_size must be positive")
+        self.source = source
+        self.filesystem = filesystem
+        self.num_workers = num_workers
+        self.buffer_size = buffer_size
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.keep_payloads = keep_payloads
+        self.pipeline = TransformPipeline.for_modality(
+            source.modality, deferred=deferred_transforms
+        )
+        self.stats = LoaderStats()
+
+        self._cursor: SourceCursor | None = None
+        self._readers: list[ColumnarReader] = []
+        self._buffer: list[SampleMetadata] = []
+        self._staged: dict[int, PreparedSample] = {}
+        self._metadata_by_id: dict[int, SampleMetadata] = {}
+        self._checkpoint_interval = 50
+        self._steps_since_checkpoint = 0
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Open file access states, charge worker contexts and fill the buffer."""
+        self._cursor = SourceCursor(
+            self.source,
+            self.filesystem,
+            shard_index=self.shard_index,
+            shard_count=self.shard_count,
+        )
+        for path in self.source.paths:
+            reader = ColumnarReader(self.filesystem, path, self.ledger)
+            self.stats.read_seconds += reader.open()
+            self._readers.append(reader)
+        self.ledger.charge("worker_context", WORKER_CONTEXT_BYTES * self.num_workers)
+        self.refill()
+
+    def on_stop(self) -> None:
+        for reader in self._readers:
+            reader.close()
+        self._readers.clear()
+        self.ledger.release("worker_context", WORKER_CONTEXT_BYTES * self.num_workers)
+        self._drop_buffer()
+        self._drop_staged()
+
+    # -- buffer management ------------------------------------------------------------------
+
+    def refill(self) -> int:
+        """Top the read buffer back up to ``buffer_size`` metadata entries."""
+        if self._cursor is None:
+            raise PlanError(f"loader {self.actor_name!r} is not started")
+        added = 0
+        buffered_ids = {metadata.sample_id for metadata in self._buffer}
+        while len(self._buffer) < self.buffer_size:
+            metadata = self._cursor.next_metadata()
+            if metadata.sample_id in buffered_ids:
+                # The cursor wrapped around the shard: every distinct sample is
+                # already buffered, so stop rather than introduce duplicates.
+                break
+            buffered_ids.add(metadata.sample_id)
+            self._buffer.append(metadata)
+            self._metadata_by_id[metadata.sample_id] = metadata
+            self.ledger.charge("prefetch_buffer", BUFFERED_METADATA_BYTES)
+            added += 1
+        if added:
+            self.stats.refills += 1
+            self.stats.samples_buffered += added
+            # Sequential row reads at the storage bandwidth.
+            self.stats.read_seconds += self.filesystem.transfer_time(
+                int(added * self.source.avg_raw_bytes)
+            )
+        return added
+
+    def summary_buffer(self) -> list[SampleMetadata]:
+        """Buffer metadata handed to the Planner during plan generation."""
+        return list(self._buffer)
+
+    def buffer_depth(self) -> int:
+        return len(self._buffer)
+
+    # -- plan execution -----------------------------------------------------------------------
+
+    def prepare(self, sample_ids: list[int]) -> dict[str, float]:
+        """Transform the requested samples and stage them for delivery.
+
+        Returns timing information: total transformation latency and the
+        effective wall-clock latency after amortising across parallel workers.
+        """
+        total_latency = 0.0
+        staged_bytes = 0
+        for sample_id in sample_ids:
+            metadata = self._metadata_by_id.get(sample_id)
+            if metadata is None:
+                raise PlanError(
+                    f"loader {self.actor_name!r} was asked for unknown sample {sample_id}"
+                )
+            sample = Sample(metadata=metadata)
+            result = self.pipeline.run(sample)
+            fixed = self.source.profile.fixed_cost_s
+            latency = result.latency_s * max(
+                self.source.profile.cost_per_token
+                / max(1e-9, _pipeline_reference_cost(self.source)),
+                0.1,
+            ) + fixed
+            total_latency += latency
+            prepared = PreparedSample(
+                sample=sample,
+                transform_latency_s=latency,
+                transferred_bytes=result.transferred_bytes,
+                deferred_transforms=result.deferred_transforms,
+            )
+            if not self.keep_payloads:
+                # Payload arrays are not retained in the metadata-only
+                # simulation; only their byte size is charged.
+                prepared.sample.payload.clear()
+            self._staged[sample_id] = prepared
+            self.ledger.charge("sample_payload", result.transferred_bytes)
+            staged_bytes += result.transferred_bytes
+            self._remove_from_buffer(sample_id)
+        self.stats.samples_prepared += len(sample_ids)
+        self.stats.transform_seconds += total_latency
+        wall_clock = total_latency / self.num_workers
+        self.refill()
+        self._steps_since_checkpoint += 1
+        return {
+            "transform_latency_s": total_latency,
+            "wall_clock_s": wall_clock,
+            "staged_bytes": float(staged_bytes),
+            "num_samples": float(len(sample_ids)),
+        }
+
+    def fetch_prepared(self, sample_ids: list[int]) -> list[PreparedSample]:
+        """Hand staged samples to a Data Constructor, releasing their memory."""
+        delivered = []
+        for sample_id in sample_ids:
+            prepared = self._staged.pop(sample_id, None)
+            if prepared is None:
+                raise PlanError(
+                    f"loader {self.actor_name!r} has no staged sample {sample_id}"
+                )
+            self.ledger.release("sample_payload", prepared.transferred_bytes)
+            delivered.append(prepared)
+        self.stats.samples_delivered += len(delivered)
+        return delivered
+
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+    # -- checkpointing ----------------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cursor + counters; buffers are rebuilt by deterministic replay."""
+        cursor_state = self._cursor.state_dict() if self._cursor is not None else {}
+        return {
+            "source": self.source.name,
+            "cursor": cursor_state,
+            "samples_prepared": self.stats.samples_prepared,
+            "samples_delivered": self.stats.samples_delivered,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("source") != self.source.name:
+            raise PlanError(
+                f"checkpoint for source {state.get('source')!r} does not match {self.source.name!r}"
+            )
+        if self._cursor is not None and state.get("cursor"):
+            self._cursor.load_state_dict(state["cursor"])
+        self.stats.samples_prepared = int(state.get("samples_prepared", 0))
+        self.stats.samples_delivered = int(state.get("samples_delivered", 0))
+
+    def should_checkpoint(self) -> bool:
+        """Differential checkpointing: snapshot less often than the Planner."""
+        return self._steps_since_checkpoint >= self._checkpoint_interval
+
+    def mark_checkpointed(self) -> None:
+        self._steps_since_checkpoint = 0
+
+    def heartbeat_payload(self) -> dict:
+        return {
+            "buffer_depth": len(self._buffer),
+            "staged": len(self._staged),
+            "source": self.source.name,
+        }
+
+    # -- internals -----------------------------------------------------------------------------------
+
+    def _remove_from_buffer(self, sample_id: int) -> None:
+        for index, metadata in enumerate(self._buffer):
+            if metadata.sample_id == sample_id:
+                del self._buffer[index]
+                self.ledger.release("prefetch_buffer", BUFFERED_METADATA_BYTES)
+                return
+
+    def _drop_buffer(self) -> None:
+        self.ledger.release("prefetch_buffer", BUFFERED_METADATA_BYTES * len(self._buffer))
+        self._buffer.clear()
+
+    def _drop_staged(self) -> None:
+        for prepared in self._staged.values():
+            self.ledger.release("sample_payload", prepared.transferred_bytes)
+        self._staged.clear()
+
+
+def _pipeline_reference_cost(source: DataSource) -> float:
+    """Reference cost-per-token of the source's modality-default pipeline.
+
+    The transform pipeline's built-in latencies already encode the modality
+    cost ratios; the per-source ``cost_per_token`` multiplies on top of the
+    modality baseline to express within-modality heterogeneity.
+    """
+    from repro.data.synthetic import MODALITY_COST_PER_TOKEN
+
+    return MODALITY_COST_PER_TOKEN[source.modality]

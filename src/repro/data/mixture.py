@@ -1,0 +1,193 @@
+"""Data mixture schedules: static, staged/curriculum, warm-up and adaptive.
+
+A :class:`MixtureSchedule` maps a training step to per-source sampling
+weights.  The Planner consults the schedule every step; the AutoScaler
+monitors the moving average of the weights to drive mixture-driven scaling
+(Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MixtureError
+
+
+def _normalize(weights: dict[str, float]) -> dict[str, float]:
+    cleaned = {name: float(weight) for name, weight in weights.items()}
+    for name, weight in cleaned.items():
+        if weight < 0:
+            raise MixtureError(f"negative mixing weight for source {name!r}: {weight}")
+    total = sum(cleaned.values())
+    if total <= 0:
+        raise MixtureError("mixture weights must have a positive sum")
+    return {name: weight / total for name, weight in cleaned.items()}
+
+
+@dataclass(frozen=True)
+class MixturePhase:
+    """One phase of a staged schedule: weights active from ``start_step`` on."""
+
+    start_step: int
+    weights: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.start_step < 0:
+            raise MixtureError("phase start_step must be >= 0")
+        object.__setattr__(self, "weights", _normalize(self.weights))
+
+
+class MixtureSchedule:
+    """Maps a training step to normalized per-source sampling weights.
+
+    Construction helpers cover the paper's use cases:
+
+    - :meth:`static` — fixed weights for the whole run.
+    - :meth:`staged` — curriculum-style phases that switch at given steps.
+    - :meth:`warmup` — linearly interpolate from an initial mix to a final mix.
+    - :meth:`adaptive` — weights produced by a callback over training metrics
+      (e.g. per-source loss), re-evaluated every ``refresh_every`` steps.
+    """
+
+    def __init__(
+        self,
+        weight_fn: Callable[[int], dict[str, float]],
+        source_names: list[str],
+        description: str = "custom",
+    ) -> None:
+        if not source_names:
+            raise MixtureError("a mixture needs at least one source")
+        self._weight_fn = weight_fn
+        self._source_names = list(source_names)
+        self.description = description
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def static(cls, weights: dict[str, float]) -> "MixtureSchedule":
+        normalized = _normalize(weights)
+        return cls(lambda step: normalized, list(normalized), description="static")
+
+    @classmethod
+    def uniform(cls, source_names: list[str]) -> "MixtureSchedule":
+        if not source_names:
+            raise MixtureError("uniform mixture needs at least one source")
+        weight = 1.0 / len(source_names)
+        weights = {name: weight for name in source_names}
+        return cls(lambda step: weights, list(source_names), description="uniform")
+
+    @classmethod
+    def staged(cls, phases: list[MixturePhase]) -> "MixtureSchedule":
+        if not phases:
+            raise MixtureError("a staged schedule needs at least one phase")
+        ordered = sorted(phases, key=lambda phase: phase.start_step)
+        if ordered[0].start_step != 0:
+            raise MixtureError("the first phase must start at step 0")
+        names = sorted({name for phase in ordered for name in phase.weights})
+
+        def weight_fn(step: int) -> dict[str, float]:
+            active = ordered[0]
+            for phase in ordered:
+                if phase.start_step <= step:
+                    active = phase
+                else:
+                    break
+            return {name: active.weights.get(name, 0.0) for name in names}
+
+        return cls(weight_fn, names, description=f"staged[{len(ordered)} phases]")
+
+    @classmethod
+    def warmup(
+        cls, initial: dict[str, float], final: dict[str, float], warmup_steps: int
+    ) -> "MixtureSchedule":
+        if warmup_steps <= 0:
+            raise MixtureError("warmup_steps must be positive")
+        initial_n = _normalize(initial)
+        final_n = _normalize(final)
+        names = sorted(set(initial_n) | set(final_n))
+
+        def weight_fn(step: int) -> dict[str, float]:
+            alpha = min(1.0, step / warmup_steps)
+            blended = {
+                name: (1 - alpha) * initial_n.get(name, 0.0) + alpha * final_n.get(name, 0.0)
+                for name in names
+            }
+            return _normalize(blended)
+
+        return cls(weight_fn, names, description=f"warmup[{warmup_steps} steps]")
+
+    @classmethod
+    def adaptive(
+        cls,
+        source_names: list[str],
+        metric_fn: Callable[[int], dict[str, float]],
+        temperature: float = 1.0,
+        refresh_every: int = 10,
+    ) -> "MixtureSchedule":
+        """Weights proportional to softmax(metric / temperature), refreshed periodically.
+
+        ``metric_fn(step)`` returns a per-source score (e.g. recent loss); the
+        schedule up-weights high-score sources, the common loss-driven policy
+        cited in Sec. 2.1.
+        """
+        if temperature <= 0:
+            raise MixtureError("temperature must be positive")
+        if refresh_every <= 0:
+            raise MixtureError("refresh_every must be positive")
+        cache: dict[int, dict[str, float]] = {}
+
+        def weight_fn(step: int) -> dict[str, float]:
+            bucket = step - (step % refresh_every)
+            if bucket not in cache:
+                metrics = metric_fn(bucket)
+                scores = np.array([metrics.get(name, 0.0) for name in source_names], dtype=float)
+                scores = scores / temperature
+                scores -= scores.max() if scores.size else 0.0
+                probs = np.exp(scores)
+                probs = probs / probs.sum() if probs.sum() > 0 else np.full(len(source_names), 1.0 / len(source_names))
+                cache[bucket] = {name: float(p) for name, p in zip(source_names, probs)}
+            return cache[bucket]
+
+        return cls(weight_fn, list(source_names), description="adaptive")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def source_names(self) -> list[str]:
+        return list(self._source_names)
+
+    def weights_at(self, step: int) -> dict[str, float]:
+        """Normalized weights for ``step`` (unknown sources get weight 0)."""
+        if step < 0:
+            raise MixtureError("step must be >= 0")
+        weights = self._weight_fn(step)
+        full = {name: float(weights.get(name, 0.0)) for name in self._source_names}
+        return _normalize(full) if sum(full.values()) > 0 else full
+
+    def sample_sources(
+        self, step: int, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        """Draw ``count`` source names according to the step's weights."""
+        weights = self.weights_at(step)
+        names = list(weights)
+        probs = np.array([weights[name] for name in names], dtype=float)
+        if probs.sum() <= 0:
+            raise MixtureError(f"all mixing weights are zero at step {step}")
+        probs = probs / probs.sum()
+        picks = rng.choice(len(names), size=count, p=probs)
+        return [names[index] for index in picks]
+
+    def moving_average(self, step: int, window: int = 10) -> dict[str, float]:
+        """Average weights over the trailing ``window`` steps (AutoScaler signal)."""
+        if window <= 0:
+            raise MixtureError("window must be positive")
+        start = max(0, step - window + 1)
+        accumulator = {name: 0.0 for name in self._source_names}
+        steps = list(range(start, step + 1))
+        for past_step in steps:
+            for name, weight in self.weights_at(past_step).items():
+                accumulator[name] += weight
+        return {name: value / len(steps) for name, value in accumulator.items()}

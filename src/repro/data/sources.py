@@ -1,0 +1,211 @@
+"""Data sources and the multisource catalog.
+
+A :class:`DataSource` describes one dataset (its storage files, modality and
+preprocessing cost profile); a :class:`SourceCatalog` aggregates the hundreds
+of sources that make up an LFM data mixture and is the unit the AutoScaler
+partitions across Source Loader actors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.samples import Modality, SampleMetadata, metadata_from_record
+from repro.errors import ConfigurationError
+from repro.storage.filesystem import SimulatedFileSystem
+
+
+@dataclass(frozen=True)
+class SourcePreprocessingProfile:
+    """Relative preprocessing cost of one source.
+
+    ``cost_per_token`` is expressed relative to text tokenization (== 1.0).
+    The paper states image decoding is roughly two orders of magnitude more
+    expensive than tokenization per output token and audio is ~4x image.
+    ``fixed_cost_s`` models per-sample constant overhead (e.g. container
+    parsing, keyframe seeking).
+    """
+
+    cost_per_token: float = 1.0
+    fixed_cost_s: float = 0.0005
+    memory_amplification: float = 1.0
+
+
+@dataclass(frozen=True)
+class DataSource:
+    """One data source participating in the mixture."""
+
+    name: str
+    modality: Modality
+    paths: tuple[str, ...]
+    num_samples: int
+    dataset_group: str = "custom"
+    profile: SourcePreprocessingProfile = field(default_factory=SourcePreprocessingProfile)
+    avg_text_tokens: float = 64.0
+    avg_image_tokens: float = 0.0
+    avg_raw_bytes: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ConfigurationError(f"source {self.name!r} must have at least one sample")
+        if not self.paths:
+            raise ConfigurationError(f"source {self.name!r} has no storage paths")
+
+    @property
+    def avg_tokens(self) -> float:
+        return self.avg_text_tokens + self.avg_image_tokens
+
+    def expected_transform_latency(self) -> float:
+        """Expected per-sample transformation latency in seconds.
+
+        Uses the per-token relative cost with tokenization calibrated at
+        ~2 microseconds per text token, matching the cost tables in
+        :mod:`repro.transforms.sample`.
+        """
+        per_token_s = 2.0e-6 * self.profile.cost_per_token
+        return self.profile.fixed_cost_s + per_token_s * self.avg_tokens
+
+
+class SourceCatalog:
+    """An ordered collection of :class:`DataSource` objects."""
+
+    def __init__(self, sources: list[DataSource] | None = None) -> None:
+        self._sources: dict[str, DataSource] = {}
+        for source in sources or []:
+            self.add(source)
+
+    def add(self, source: DataSource) -> None:
+        if source.name in self._sources:
+            raise ConfigurationError(f"duplicate source name {source.name!r}")
+        self._sources[source.name] = source
+
+    def get(self, name: str) -> DataSource:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown source {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._sources.keys())
+
+    def sources(self) -> list[DataSource]:
+        return list(self._sources.values())
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self):
+        return iter(self._sources.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def total_samples(self) -> int:
+        return sum(source.num_samples for source in self)
+
+    def by_modality(self, modality: Modality) -> list[DataSource]:
+        return [source for source in self if source.modality is modality]
+
+    def transform_cost_spread(self) -> float:
+        """Max/min ratio of expected per-sample transformation latency.
+
+        Quantifies the preprocessing-cost heterogeneity that motivates
+        per-source worker sizing (Fig. 5 / Sec. 5.1).
+        """
+        latencies = [source.expected_transform_latency() for source in self]
+        if not latencies:
+            return 1.0
+        return max(latencies) / max(1e-12, min(latencies))
+
+
+class SourceCursor:
+    """Sequential (wrapping) read cursor over one source's samples.
+
+    The cursor reads lightweight metadata records directly from the source's
+    columnar files via the filesystem; payload materialisation is left to the
+    Source Loader / transformation pipeline.
+    """
+
+    def __init__(
+        self,
+        source: DataSource,
+        filesystem: SimulatedFileSystem,
+        start_fraction: float = 0.0,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> None:
+        if shard_count < 1 or not (0 <= shard_index < shard_count):
+            raise ConfigurationError(
+                f"invalid shard ({shard_index}/{shard_count}) for source {source.name!r}"
+            )
+        self.source = source
+        self._fs = filesystem
+        self._files = [filesystem.read(path) for path in source.paths]
+        self._total_rows = sum(f.total_rows for f in self._files)
+        self._shard_index = shard_index
+        self._shard_count = shard_count
+        shard_rows = self._shard_row_indices()
+        offset = int(start_fraction * len(shard_rows)) % max(1, len(shard_rows))
+        self._rows = shard_rows[offset:] + shard_rows[:offset]
+        self._position = 0
+
+    def _shard_row_indices(self) -> list[int]:
+        return [
+            row for row in range(self._total_rows) if row % self._shard_count == self._shard_index
+        ]
+
+    def _locate(self, global_row: int) -> tuple[int, int]:
+        remaining = global_row
+        for file_index, file in enumerate(self._files):
+            if remaining < file.total_rows:
+                return file_index, remaining
+            remaining -= file.total_rows
+        raise ConfigurationError(f"row {global_row} out of range for source {self.source.name!r}")
+
+    def next_metadata(self) -> SampleMetadata:
+        """Return metadata for the next sample (wrapping at the end of shard)."""
+        if not self._rows:
+            raise ConfigurationError(f"source {self.source.name!r} shard is empty")
+        global_row = self._rows[self._position % len(self._rows)]
+        self._position += 1
+        file_index, local_row = self._locate(global_row)
+        record = self._files[file_index].read_row(local_row)
+        return metadata_from_record(record, self.source.name)
+
+    def take(self, count: int) -> list[SampleMetadata]:
+        return [self.next_metadata() for _ in range(count)]
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def state_dict(self) -> dict[str, int]:
+        """Checkpointable cursor state (used by differential checkpointing)."""
+        return {
+            "position": self._position,
+            "shard_index": self._shard_index,
+            "shard_count": self._shard_count,
+        }
+
+    def load_state_dict(self, state: dict[str, int]) -> None:
+        if state.get("shard_index") != self._shard_index or state.get("shard_count") != self._shard_count:
+            raise ConfigurationError("cursor state does not match this shard configuration")
+        self._position = int(state["position"])
+
+
+def estimate_source_weights(sources: list[DataSource]) -> dict[str, float]:
+    """Proportional-to-size default mixing weights for a list of sources."""
+    total = sum(source.num_samples for source in sources)
+    if total == 0:
+        return {source.name: 0.0 for source in sources}
+    return {source.name: source.num_samples / total for source in sources}
+
+
+def heterogeneity_index(sources: list[DataSource]) -> float:
+    """Coefficient of variation of per-source transformation latencies."""
+    latencies = np.array([source.expected_transform_latency() for source in sources], dtype=float)
+    if latencies.size == 0 or latencies.mean() == 0:
+        return 0.0
+    return float(latencies.std() / latencies.mean())

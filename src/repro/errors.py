@@ -1,0 +1,65 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library failures without accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated filesystem and columnar format layer."""
+
+
+class FileNotFoundInStorage(StorageError):
+    """A path does not exist in the simulated filesystem."""
+
+
+class CorruptFileError(StorageError):
+    """A columnar file failed an integrity check (footer / row group)."""
+
+
+class ActorError(ReproError):
+    """Base class for actor-runtime failures."""
+
+
+class ActorDead(ActorError):
+    """A call was issued to an actor that has failed or been stopped."""
+
+
+class ActorTimeout(ActorError):
+    """An RPC to an actor exceeded its simulated timeout."""
+
+
+class SchedulingError(ActorError):
+    """The placement scheduler could not satisfy a resource request."""
+
+
+class PlanError(ReproError):
+    """Raised when a loading plan cannot be generated or validated."""
+
+
+class OrchestrationError(ReproError):
+    """Raised by DGraph / ClientPlaceTree misuse (bad axis, missing cost fn)."""
+
+
+class MixtureError(ReproError):
+    """Raised for invalid mixture schedules (negative weights, empty mix)."""
+
+
+class ScalingError(ReproError):
+    """Raised by the AutoScaler when a partitioning request is infeasible."""
+
+
+class ReshardingError(ReproError):
+    """Raised when an elastic resharding request cannot be satisfied."""
+
+
+class TransformError(ReproError):
+    """Raised when a data transformation receives an incompatible sample."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-facing configuration objects."""

@@ -1,0 +1,74 @@
+"""Tabular metric reports used by the benchmark harness output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class MetricReport:
+    """A named collection of metric rows, printable as an aligned table.
+
+    Benchmarks build one report per paper table/figure and print it so the
+    regenerated series can be compared with the published one side by side.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row; the number of values must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but report defines {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[object]:
+        """Return one column as a list, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the report as an aligned plain-text table."""
+        rendered_rows = [[_format_cell(value) for value in row] for row in self.rows]
+        widths = [len(header) for header in self.columns]
+        for row in rendered_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered_rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summarize(values: list[float] | np.ndarray) -> dict[str, float]:
+    """Mean / std / min / max / p50 / p95 of a numeric series."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+    return {
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+    }

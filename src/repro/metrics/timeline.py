@@ -1,0 +1,83 @@
+"""Event timelines for the discrete-event simulator and breakdown figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """A named interval attributed to a component (Fig. 14 / Fig. 15 style)."""
+
+    component: str
+    name: str
+    start: float
+    duration: float
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Timeline:
+    """Append-only record of :class:`TimelineEvent` intervals."""
+
+    def __init__(self) -> None:
+        self._events: list[TimelineEvent] = []
+
+    def record(
+        self,
+        component: str,
+        name: str,
+        start: float,
+        duration: float,
+        **metadata: object,
+    ) -> TimelineEvent:
+        """Append an event and return it."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} for event {name!r}")
+        event = TimelineEvent(
+            component=component,
+            name=name,
+            start=float(start),
+            duration=float(duration),
+            metadata=dict(metadata),
+        )
+        self._events.append(event)
+        return event
+
+    def events(
+        self, component: str | None = None, name: str | None = None
+    ) -> list[TimelineEvent]:
+        """Events filtered by component and/or name."""
+        selected = self._events
+        if component is not None:
+            selected = [event for event in selected if event.component == component]
+        if name is not None:
+            selected = [event for event in selected if event.name == name]
+        return list(selected)
+
+    def total_duration(self, component: str | None = None, name: str | None = None) -> float:
+        """Sum of durations for the selected events."""
+        return sum(event.duration for event in self.events(component, name))
+
+    def span(self) -> float:
+        """Latest event end time (the makespan of the timeline)."""
+        if not self._events:
+            return 0.0
+        return max(event.end for event in self._events)
+
+    def breakdown(self) -> dict[str, float]:
+        """Total time attributed to each component."""
+        totals: dict[str, float] = {}
+        for event in self._events:
+            totals[event.component] = totals.get(event.component, 0.0) + event.duration
+        return totals
+
+    def merge(self, other: "Timeline") -> None:
+        """Append every event of ``other`` into this timeline."""
+        self._events.extend(other.events())
+
+    def __len__(self) -> int:
+        return len(self._events)

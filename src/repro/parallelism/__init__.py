@@ -1,0 +1,5 @@
+"""Hybrid parallel topology: device meshes, rank coordinates, parallel groups."""
+
+from repro.parallelism.mesh import DeviceMesh, RankCoordinate, ParallelDims
+
+__all__ = ["DeviceMesh", "RankCoordinate", "ParallelDims"]

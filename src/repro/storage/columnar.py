@@ -1,0 +1,175 @@
+"""A Parquet-like columnar file format.
+
+A :class:`ColumnarFile` stores records column-wise in row groups.  Each file
+carries a footer (schema, row-group index, statistics) that a reader must load
+into memory before it can execute queries — exactly the per-source metadata
+state whose replication across dataloader workers drives the memory pressure
+analysed in Sec. 2.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptFileError, StorageError
+
+#: Default row-group payload size used by the synthetic dataset writer.  The
+#: paper quotes 512 MB – 1 GB storage units; the simulated default is smaller
+#: so that laptop-scale experiments stay fast, but the footprint accounting is
+#: proportional either way.
+DEFAULT_ROW_GROUP_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Schema of one column (name, logical type, average encoded width)."""
+
+    name: str
+    dtype: str
+    avg_value_bytes: int = 8
+
+
+@dataclass
+class RowGroup:
+    """A contiguous slice of rows stored column-wise."""
+
+    index: int
+    row_start: int
+    row_count: int
+    columns: dict[str, list] = field(default_factory=dict)
+    compressed_bytes: int = 0
+
+    def column(self, name: str) -> list:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CorruptFileError(f"row group {self.index} has no column {name!r}") from None
+
+
+@dataclass
+class ColumnarFile:
+    """An immutable columnar file: schema + row groups + footer statistics."""
+
+    path: str
+    schema: tuple[ColumnSchema, ...]
+    row_groups: list[RowGroup]
+    footer_bytes: int
+    total_rows: int
+    source_name: str = ""
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.schema]
+
+    def row_group_for_row(self, row_index: int) -> RowGroup:
+        """Locate the row group containing global row ``row_index``."""
+        if row_index < 0 or row_index >= self.total_rows:
+            raise StorageError(
+                f"row {row_index} out of range for file {self.path!r} with {self.total_rows} rows"
+            )
+        for group in self.row_groups:
+            if group.row_start <= row_index < group.row_start + group.row_count:
+                return group
+        raise CorruptFileError(f"row {row_index} not covered by any row group in {self.path!r}")
+
+    def read_row(self, row_index: int) -> dict[str, object]:
+        """Materialise one record as a dict (column name -> value)."""
+        group = self.row_group_for_row(row_index)
+        offset = row_index - group.row_start
+        return {name: group.column(name)[offset] for name in self.column_names()}
+
+    def total_bytes(self) -> int:
+        return self.footer_bytes + sum(group.compressed_bytes for group in self.row_groups)
+
+    def validate(self) -> None:
+        """Integrity check over the row-group index (raises on corruption)."""
+        expected_start = 0
+        for group in self.row_groups:
+            if group.row_start != expected_start:
+                raise CorruptFileError(
+                    f"row group {group.index} starts at {group.row_start}, expected {expected_start}"
+                )
+            for column in self.schema:
+                values = group.columns.get(column.name)
+                if values is None or len(values) != group.row_count:
+                    raise CorruptFileError(
+                        f"row group {group.index} column {column.name!r} has wrong length"
+                    )
+            expected_start += group.row_count
+        if expected_start != self.total_rows:
+            raise CorruptFileError(
+                f"row groups cover {expected_start} rows but footer claims {self.total_rows}"
+            )
+
+
+def write_columnar_file(
+    path: str,
+    records: list[dict[str, object]],
+    schema: list[ColumnSchema] | tuple[ColumnSchema, ...],
+    rows_per_group: int | None = None,
+    row_group_bytes: int = DEFAULT_ROW_GROUP_BYTES,
+    source_name: str = "",
+) -> ColumnarFile:
+    """Build a :class:`ColumnarFile` from row-oriented records.
+
+    Parameters
+    ----------
+    rows_per_group:
+        Explicit rows per row group; when omitted it is derived from
+        ``row_group_bytes`` and the average record size from the schema.
+    """
+    schema = tuple(schema)
+    if not schema:
+        raise StorageError("cannot write a columnar file with an empty schema")
+    avg_record_bytes = max(1, sum(column.avg_value_bytes for column in schema))
+    if rows_per_group is None:
+        rows_per_group = max(1, row_group_bytes // avg_record_bytes)
+
+    row_groups: list[RowGroup] = []
+    for group_index, start in enumerate(range(0, len(records), rows_per_group)):
+        chunk = records[start : start + rows_per_group]
+        columns: dict[str, list] = {column.name: [] for column in schema}
+        for record in chunk:
+            for column in schema:
+                if column.name not in record:
+                    raise StorageError(
+                        f"record {start} is missing column {column.name!r} required by the schema"
+                    )
+                columns[column.name].append(record[column.name])
+        compressed = sum(
+            _encoded_size(columns[column.name], column.avg_value_bytes) for column in schema
+        )
+        row_groups.append(
+            RowGroup(
+                index=group_index,
+                row_start=start,
+                row_count=len(chunk),
+                columns=columns,
+                compressed_bytes=compressed,
+            )
+        )
+
+    # Footer holds schema plus per-row-group, per-column statistics.
+    footer_bytes = 512 + 64 * len(schema) + 96 * len(row_groups) * len(schema)
+    file = ColumnarFile(
+        path=path,
+        schema=schema,
+        row_groups=row_groups,
+        footer_bytes=footer_bytes,
+        total_rows=len(records),
+        source_name=source_name,
+    )
+    file.validate()
+    return file
+
+
+def _encoded_size(values: list, avg_value_bytes: int) -> int:
+    """Approximate the encoded byte size of one column chunk."""
+    total = 0
+    for value in values:
+        if isinstance(value, (bytes, bytearray, str)):
+            total += len(value)
+        elif isinstance(value, (list, tuple)):
+            total += 8 * len(value)
+        else:
+            total += avg_value_bytes
+    return total

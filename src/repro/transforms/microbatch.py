@@ -1,0 +1,236 @@
+"""Microbatch-level transformations: batching, packing, padding, RoPE.
+
+After the Planner assigns samples to microbatches, the Data Constructor
+collates them into fixed-shape inputs: *packing* merges fragmented
+subsequences into complete sequences with segment masks, *padding* aligns
+variable-length sequences with dummy tokens, and RoPE position ids provide the
+positional context the backbone expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.samples import Sample, SampleMetadata
+from repro.errors import TransformError
+
+
+@dataclass
+class Microbatch:
+    """An uncollated microbatch: an ordered list of sample metadata.
+
+    The orchestration layer operates on metadata-only microbatches; payloads
+    are attached later by the Data Constructor when it materialises the batch.
+    """
+
+    index: int
+    samples: list[SampleMetadata] = field(default_factory=list)
+
+    def total_tokens(self) -> int:
+        return sum(sample.total_tokens for sample in self.samples)
+
+    def text_tokens(self) -> int:
+        return sum(sample.text_tokens for sample in self.samples)
+
+    def image_tokens(self) -> int:
+        return sum(sample.image_tokens for sample in self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+@dataclass
+class PackedSequence:
+    """One packed training sequence: token ids, segment ids and a length."""
+
+    tokens: int
+    segments: list[tuple[int, int]]  # (sample_id, token_count)
+    padding: int = 0
+
+    @property
+    def payload_tokens(self) -> int:
+        return self.tokens - self.padding
+
+
+@dataclass
+class CollatedMicrobatch:
+    """A collated microbatch ready for parallelism transformations."""
+
+    index: int
+    sequences: list[PackedSequence]
+    max_sequence_length: int
+    sample_ids: list[int]
+    position_ids: np.ndarray | None = None
+    collation: str = "packed"
+
+    def total_tokens(self) -> int:
+        return sum(sequence.tokens for sequence in self.sequences)
+
+    def padding_tokens(self) -> int:
+        return sum(sequence.padding for sequence in self.sequences)
+
+    def padding_fraction(self) -> float:
+        total = self.total_tokens()
+        return self.padding_tokens() / total if total else 0.0
+
+    def tensor_bytes(self, bytes_per_token: int = 4) -> int:
+        """Approximate memory footprint of the collated token tensor."""
+        return self.total_tokens() * bytes_per_token
+
+
+def batch_samples(samples: list[SampleMetadata], num_microbatches: int) -> list[Microbatch]:
+    """Split samples into ``num_microbatches`` contiguous microbatches.
+
+    This is the *unbalanced* default used by baseline loaders: samples are
+    assigned in arrival order, which is what produces the FLOPs heatmaps of
+    Fig. 3.
+    """
+    if num_microbatches <= 0:
+        raise TransformError("num_microbatches must be positive")
+    microbatches = [Microbatch(index=index) for index in range(num_microbatches)]
+    per_batch = (len(samples) + num_microbatches - 1) // num_microbatches
+    for position, sample in enumerate(samples):
+        target = min(num_microbatches - 1, position // max(1, per_batch))
+        microbatches[target].samples.append(sample)
+    return microbatches
+
+
+class PackingCollator:
+    """Greedy first-fit packing of samples into ``max_sequence_length`` sequences.
+
+    Packing merges fragmented subsequences into complete sequences with
+    segment boundaries so that attention can be masked per segment, minimising
+    padding waste relative to one-sample-per-sequence padding.
+    """
+
+    def __init__(self, max_sequence_length: int, allow_overflow: bool = True) -> None:
+        if max_sequence_length <= 0:
+            raise TransformError("max_sequence_length must be positive")
+        self.max_sequence_length = max_sequence_length
+        self.allow_overflow = allow_overflow
+
+    def collate(self, microbatch: Microbatch) -> CollatedMicrobatch:
+        sequences: list[PackedSequence] = []
+        open_bins: list[PackedSequence] = []
+        for sample in microbatch.samples:
+            length = sample.total_tokens
+            if length > self.max_sequence_length:
+                if not self.allow_overflow:
+                    raise TransformError(
+                        f"sample {sample.sample_id} has {length} tokens, exceeding the "
+                        f"{self.max_sequence_length}-token sequence limit"
+                    )
+                length = self.max_sequence_length
+            placed = False
+            for bin_ in open_bins:
+                if bin_.tokens + length <= self.max_sequence_length:
+                    bin_.tokens += length
+                    bin_.segments.append((sample.sample_id, length))
+                    placed = True
+                    break
+            if not placed:
+                new_bin = PackedSequence(tokens=length, segments=[(sample.sample_id, length)])
+                open_bins.append(new_bin)
+                sequences.append(new_bin)
+        for sequence in sequences:
+            sequence.padding = 0
+        return CollatedMicrobatch(
+            index=microbatch.index,
+            sequences=sequences,
+            max_sequence_length=self.max_sequence_length,
+            sample_ids=[sample.sample_id for sample in microbatch.samples],
+            collation="packed",
+        )
+
+
+class PaddingCollator:
+    """One sample per sequence, padded up to the longest sample in the batch."""
+
+    def __init__(self, max_sequence_length: int | None = None) -> None:
+        self.max_sequence_length = max_sequence_length
+
+    def collate(self, microbatch: Microbatch) -> CollatedMicrobatch:
+        if not microbatch.samples:
+            return CollatedMicrobatch(
+                index=microbatch.index,
+                sequences=[],
+                max_sequence_length=self.max_sequence_length or 0,
+                sample_ids=[],
+                collation="padded",
+            )
+        lengths = [sample.total_tokens for sample in microbatch.samples]
+        target = max(lengths)
+        if self.max_sequence_length is not None:
+            target = min(max(target, 1), self.max_sequence_length)
+        sequences = []
+        for sample, length in zip(microbatch.samples, lengths):
+            clipped = min(length, target)
+            sequences.append(
+                PackedSequence(
+                    tokens=target,
+                    segments=[(sample.sample_id, clipped)],
+                    padding=target - clipped,
+                )
+            )
+        return CollatedMicrobatch(
+            index=microbatch.index,
+            sequences=sequences,
+            max_sequence_length=target,
+            sample_ids=[sample.sample_id for sample in microbatch.samples],
+            collation="padded",
+        )
+
+
+def apply_rope_positions(collated: CollatedMicrobatch, theta: float = 10000.0) -> CollatedMicrobatch:
+    """Attach rotary position ids (restarting at each packed segment boundary).
+
+    The ``theta`` base is recorded so downstream consumers can reconstruct the
+    rotation frequencies; only the integer position ids are materialised here.
+    """
+    if theta <= 0:
+        raise TransformError("RoPE theta must be positive")
+    position_rows = []
+    for sequence in collated.sequences:
+        positions = np.empty(sequence.tokens, dtype=np.int32)
+        cursor = 0
+        for _, segment_tokens in sequence.segments:
+            positions[cursor : cursor + segment_tokens] = np.arange(segment_tokens, dtype=np.int32)
+            cursor += segment_tokens
+        if cursor < sequence.tokens:
+            positions[cursor:] = 0  # padding positions
+        position_rows.append(positions)
+    collated.position_ids = (
+        np.concatenate(position_rows) if position_rows else np.empty(0, dtype=np.int32)
+    )
+    return collated
+
+
+def collate_with_positions(
+    microbatch: Microbatch, max_sequence_length: int, packing: bool = True
+) -> CollatedMicrobatch:
+    """Convenience helper: collate (packed or padded) and attach RoPE positions."""
+    collator = (
+        PackingCollator(max_sequence_length) if packing else PaddingCollator(max_sequence_length)
+    )
+    return apply_rope_positions(collator.collate(microbatch))
+
+
+def materialize_payload(collated: CollatedMicrobatch, samples: list[Sample]) -> dict[str, object]:
+    """Assemble the token tensor payload for a collated microbatch.
+
+    Returns a dict with a fused token-id array and the segment index, sized
+    according to the collated token counts; used by the Data Constructor when
+    producing final per-rank tensors.
+    """
+    by_id = {sample.sample_id: sample for sample in samples}
+    missing = [sid for sid in collated.sample_ids if sid not in by_id]
+    if missing:
+        raise TransformError(f"missing payloads for samples {missing[:5]}")
+    total_tokens = collated.total_tokens()
+    return {
+        "token_ids": np.zeros(total_tokens, dtype=np.int32),
+        "segment_index": [seq.segments for seq in collated.sequences],
+        "position_ids": collated.position_ids,
+    }

@@ -1,0 +1,188 @@
+"""Parallelism transformations: map collated microbatches to per-rank inputs.
+
+Hybrid parallelism determines which fraction of a collated microbatch each
+trainer rank actually needs: DP ranks get disjoint minibatches, CP ranks get
+contiguous slices of each sequence, TP ranks replicate the TP-0 input (or
+receive it via broadcast), and PP stages beyond the first need only metadata
+(shapes, sequence lengths) rather than token payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransformError
+from repro.parallelism.mesh import DeviceMesh
+from repro.transforms.microbatch import CollatedMicrobatch
+
+
+@dataclass(frozen=True)
+class ParallelSlice:
+    """The portion of a collated microbatch destined for one trainer rank."""
+
+    rank: int
+    microbatch_index: int
+    token_count: int
+    payload_bytes: int
+    metadata_only: bool = False
+    replicated_from: int | None = None
+    slice_info: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+def data_parallel_shards(
+    microbatches: list[CollatedMicrobatch], dp_size: int
+) -> list[list[CollatedMicrobatch]]:
+    """Partition microbatches round-robin across DP groups.
+
+    Every DP group receives the same number of microbatches (the trailing
+    remainder is dropped, matching drop-last semantics in the trainer).
+    """
+    if dp_size <= 0:
+        raise TransformError("dp_size must be positive")
+    per_group = len(microbatches) // dp_size
+    shards: list[list[CollatedMicrobatch]] = [[] for _ in range(dp_size)]
+    for index in range(per_group * dp_size):
+        shards[index % dp_size].append(microbatches[index])
+    return shards
+
+
+def context_parallel_slices(
+    collated: CollatedMicrobatch, cp_size: int, bytes_per_token: int = 4
+) -> list[dict[str, object]]:
+    """Slice every sequence of a collated microbatch into ``cp_size`` chunks.
+
+    Each CP rank receives a contiguous 1/cp_size share of every sequence
+    (ring-attention style); the slices jointly cover the full microbatch so
+    only one loader-side copy of the data is needed.
+    """
+    if cp_size <= 0:
+        raise TransformError("cp_size must be positive")
+    slices = []
+    for cp_rank in range(cp_size):
+        tokens = 0
+        for sequence in collated.sequences:
+            chunk = sequence.tokens // cp_size
+            remainder = sequence.tokens % cp_size
+            tokens += chunk + (1 if cp_rank < remainder else 0)
+        slices.append(
+            {
+                "cp_rank": cp_rank,
+                "token_count": tokens,
+                "payload_bytes": tokens * bytes_per_token,
+            }
+        )
+    return slices
+
+
+def tensor_parallel_replicas(
+    token_count: int, tp_size: int, broadcast: bool, bytes_per_token: int = 4
+) -> list[dict[str, object]]:
+    """Describe what each TP rank receives.
+
+    Without broadcasting every TP rank fetches a full replica from the loader;
+    with ``broadcast`` only TP-0 fetches and the rest receive the tensor over
+    the trainer-side TP broadcast (zero loader-side bytes).
+    """
+    if tp_size <= 0:
+        raise TransformError("tp_size must be positive")
+    replicas = []
+    for tp_rank in range(tp_size):
+        fetches = (tp_rank == 0) or not broadcast
+        replicas.append(
+            {
+                "tp_rank": tp_rank,
+                "token_count": token_count if fetches else 0,
+                "payload_bytes": token_count * bytes_per_token if fetches else 0,
+                "via_broadcast": (not fetches),
+            }
+        )
+    return replicas
+
+
+def pipeline_stage_view(
+    collated: CollatedMicrobatch, pp_rank: int, pp_size: int, bytes_per_token: int = 4
+) -> dict[str, object]:
+    """What a PP stage needs from a microbatch.
+
+    Only the first stage (PP0) consumes token payloads; later stages receive
+    activations from their predecessor over P2P and need only shape/length
+    metadata (plus labels on the last stage), which is the redundancy the Data
+    Constructor exploits in Fig. 6.
+    """
+    if not (0 <= pp_rank < pp_size):
+        raise TransformError(f"pp_rank {pp_rank} out of range for pp_size {pp_size}")
+    tokens = collated.total_tokens()
+    if pp_rank == 0:
+        return {
+            "pp_rank": pp_rank,
+            "needs_payload": True,
+            "token_count": tokens,
+            "payload_bytes": tokens * bytes_per_token,
+            "metadata_bytes": 64 * len(collated.sequences),
+        }
+    needs_labels = pp_rank == pp_size - 1
+    metadata_bytes = 64 * len(collated.sequences)
+    label_bytes = tokens * bytes_per_token if needs_labels else 0
+    return {
+        "pp_rank": pp_rank,
+        "needs_payload": needs_labels,
+        "token_count": tokens if needs_labels else 0,
+        "payload_bytes": label_bytes,
+        "metadata_bytes": metadata_bytes,
+    }
+
+
+def build_rank_slices(
+    collated: CollatedMicrobatch,
+    mesh: DeviceMesh,
+    dp_index: int,
+    broadcast_tp: bool = True,
+    broadcast_cp: bool = False,
+    bytes_per_token: int = 4,
+) -> list[ParallelSlice]:
+    """Expand one collated microbatch into per-rank delivery slices.
+
+    The expansion walks the mesh: for the owning DP group, each (PP, CP, TP)
+    coordinate receives a slice sized according to the stage/slice/broadcast
+    rules above.  This is the "parallelism transformation" a Data Constructor
+    applies before delivery.
+    """
+    slices: list[ParallelSlice] = []
+    cp_size = mesh.size("CP")
+    tp_size = mesh.size("TP")
+    pp_size = mesh.size("PP")
+    cp_slices = context_parallel_slices(collated, cp_size, bytes_per_token)
+    for rank in mesh.ranks_where(dp=dp_index):
+        coord = mesh.coordinate(rank)
+        stage = pipeline_stage_view(collated, coord.pp, pp_size, bytes_per_token)
+        if not stage["needs_payload"]:
+            slices.append(
+                ParallelSlice(
+                    rank=rank,
+                    microbatch_index=collated.index,
+                    token_count=0,
+                    payload_bytes=int(stage["metadata_bytes"]),
+                    metadata_only=True,
+                )
+            )
+            continue
+        cp_share = cp_slices[coord.cp]
+        token_count = int(cp_share["token_count"])
+        if broadcast_cp and coord.cp > 0:
+            token_count = 0
+        tp_replicas = tensor_parallel_replicas(token_count, tp_size, broadcast_tp, bytes_per_token)
+        tp_share = tp_replicas[coord.tp]
+        slices.append(
+            ParallelSlice(
+                rank=rank,
+                microbatch_index=collated.index,
+                token_count=int(tp_share["token_count"]),
+                payload_bytes=int(tp_share["payload_bytes"]) + int(stage["metadata_bytes"]),
+                metadata_only=int(tp_share["token_count"]) == 0,
+                replicated_from=mesh.ranks_where(dp=dp_index, cp=coord.cp, pp=coord.pp)[0]
+                if tp_share["via_broadcast"]
+                else None,
+                slice_info={"cp_rank": coord.cp, "tp_rank": coord.tp, "pp_rank": coord.pp},
+            )
+        )
+    return slices

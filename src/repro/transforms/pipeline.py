@@ -1,0 +1,121 @@
+"""Composable transformation pipelines.
+
+A :class:`TransformPipeline` applies an ordered list of sample transforms to a
+sample, accumulating simulated latency and tracking decoded payload bytes.
+Pipelines support *transformation reordering* (Sec. 6.2): heavyweight
+transforms such as image decoding can be deferred past the loader boundary so
+they run on the Data Constructor instead, reducing the bytes shipped between
+actors at the cost of constructor-side CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.samples import Modality, Sample, SampleMetadata
+from repro.errors import TransformError
+from repro.transforms.sample import SampleTransform, default_transforms_for
+
+
+@dataclass
+class TransformResult:
+    """Outcome of running a pipeline over one sample."""
+
+    sample: Sample
+    latency_s: float
+    transferred_bytes: int
+    deferred_transforms: list[str] = field(default_factory=list)
+
+
+class TransformPipeline:
+    """An ordered chain of :class:`SampleTransform` stages.
+
+    Parameters
+    ----------
+    transforms:
+        Stages applied in order; stages whose modality filter does not match a
+        sample are skipped.
+    deferred:
+        Names of transforms to *defer* (not run here); the caller records them
+        so the downstream component (Data Constructor) can run them later.
+    """
+
+    def __init__(
+        self,
+        transforms: list[SampleTransform],
+        deferred: set[str] | None = None,
+    ) -> None:
+        if not transforms:
+            raise TransformError("a pipeline needs at least one transform")
+        self._transforms = list(transforms)
+        self._deferred = set(deferred or ())
+        unknown = self._deferred - {t.name for t in self._transforms}
+        if unknown:
+            raise TransformError(f"cannot defer unknown transforms: {sorted(unknown)}")
+
+    @classmethod
+    def for_modality(cls, modality: Modality, deferred: set[str] | None = None) -> "TransformPipeline":
+        """Build the default pipeline for a modality (Fig. 1's sample stage)."""
+        return cls(default_transforms_for(modality), deferred=deferred)
+
+    @property
+    def transform_names(self) -> list[str]:
+        return [transform.name for transform in self._transforms]
+
+    @property
+    def deferred_names(self) -> list[str]:
+        return sorted(self._deferred)
+
+    def run(self, sample: Sample) -> TransformResult:
+        """Apply the non-deferred stages to ``sample`` in place."""
+        latency = 0.0
+        deferred: list[str] = []
+        for transform in self._transforms:
+            if not transform.applies_to(sample):
+                continue
+            if transform.name in self._deferred:
+                deferred.append(transform.name)
+                continue
+            latency += transform.apply(sample)
+        transferred = self._transfer_bytes(sample.metadata, deferred)
+        return TransformResult(
+            sample=sample,
+            latency_s=latency,
+            transferred_bytes=transferred,
+            deferred_transforms=deferred,
+        )
+
+    def run_deferred(self, sample: Sample, deferred_names: list[str]) -> float:
+        """Apply previously deferred stages (on the receiving component)."""
+        latency = 0.0
+        by_name = {transform.name: transform for transform in self._transforms}
+        for name in deferred_names:
+            transform = by_name.get(name)
+            if transform is None:
+                raise TransformError(f"unknown deferred transform {name!r}")
+            if transform.applies_to(sample):
+                latency += transform.apply(sample)
+        return latency
+
+    def estimate_latency(self, metadata: SampleMetadata, include_deferred: bool = True) -> float:
+        """Latency estimate from metadata only (no payload mutation)."""
+        total = 0.0
+        for transform in self._transforms:
+            if transform.modalities and metadata.modality not in transform.modalities:
+                continue
+            if not include_deferred and transform.name in self._deferred:
+                continue
+            total += transform.estimate_latency(metadata.text_tokens, metadata.image_tokens)
+        return total
+
+    def _transfer_bytes(self, metadata: SampleMetadata, deferred: list[str]) -> int:
+        """Bytes shipped downstream after this pipeline ran.
+
+        If image decoding was deferred, the compressed raw bytes travel;
+        otherwise the (much larger) decoded bytes do — which is exactly the
+        trade-off "transformation reordering" exploits.
+        """
+        decode_deferred = any(name in ("image_decode", "audio_featurize") for name in deferred)
+        if decode_deferred:
+            return max(metadata.raw_bytes, 1)
+        return max(metadata.decoded_bytes, metadata.raw_bytes, 1)

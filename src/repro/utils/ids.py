@@ -1,0 +1,33 @@
+"""Deterministic id allocation for actors, samples and plans."""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class IdAllocator:
+    """Allocates monotonically increasing ids per namespace.
+
+    The allocator is deliberately deterministic (no UUIDs) so that simulated
+    runs with the same seed produce identical ids, which keeps plan digests
+    and checkpoint replay stable.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(itertools.count)
+
+    def next(self, namespace: str) -> int:
+        """Return the next integer id for ``namespace`` (starting at 0)."""
+        return next(self._counters[namespace])
+
+    def next_name(self, namespace: str) -> str:
+        """Return a human-readable id such as ``"source_loader-3"``."""
+        return f"{namespace}-{self.next(namespace)}"
+
+    def reset(self, namespace: str | None = None) -> None:
+        """Reset one namespace, or every namespace when none is given."""
+        if namespace is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(namespace, None)

@@ -1,0 +1,51 @@
+"""Byte / time unit helpers used by memory ledgers and reports."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+
+def bytes_to_mib(n_bytes: float) -> float:
+    """Convert a byte count to mebibytes."""
+    return n_bytes / MIB
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert a byte count to gibibytes."""
+    return n_bytes / GIB
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with a human-readable suffix.
+
+    >>> format_bytes(512)
+    '512 B'
+    >>> format_bytes(2 * 1024 * 1024)
+    '2.00 MiB'
+    """
+    value = float(n_bytes)
+    for suffix, threshold in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f} {suffix}"
+    return f"{int(value)} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit.
+
+    >>> format_seconds(0.0021)
+    '2.10 ms'
+    >>> format_seconds(75)
+    '1m 15.0s'
+    """
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rem:.1f}s"

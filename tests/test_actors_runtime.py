@@ -1,0 +1,258 @@
+"""Unit tests for the actor runtime: nodes, GCS, scheduler, actor system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.actor import Actor, ActorState
+from repro.actors.gcs import GlobalControlStore
+from repro.actors.node import Node, NodeKind, ResourceSpec
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.actors.scheduler import PlacementRequest, PlacementScheduler
+from repro.errors import ActorDead, ActorError, ActorTimeout, SchedulingError
+from repro.utils.units import GIB
+
+
+class Counter(Actor):
+    """Trivial actor used throughout the runtime tests."""
+
+    role = "counter"
+
+    def __init__(self, start: int = 0) -> None:
+        super().__init__()
+        self.value = start
+
+    def increment(self, amount: int = 1) -> int:
+        self.value += amount
+        return self.value
+
+    def allocate(self, n_bytes: int) -> None:
+        self.ledger.charge("buffer", n_bytes)
+
+    def state_dict(self) -> dict:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.value = state["value"]
+
+
+class TestNode:
+    def make_node(self):
+        return Node("n0", NodeKind.ACCELERATOR, ResourceSpec(cpu_cores=8, memory_bytes=GIB))
+
+    def test_reserve_and_release(self):
+        node = self.make_node()
+        node.reserve("a", 4, GIB // 2)
+        assert node.available_cpu == 4
+        node.release("a", 4, GIB // 2)
+        assert node.available_cpu == 8
+
+    def test_over_reservation_rejected(self):
+        node = self.make_node()
+        with pytest.raises(SchedulingError):
+            node.reserve("a", 16, 0)
+
+    def test_release_unknown_actor_is_noop(self):
+        node = self.make_node()
+        node.release("ghost", 4, 100)
+        assert node.available_cpu == 8
+
+    def test_utilization(self):
+        node = self.make_node()
+        node.reserve("a", 4, GIB // 2)
+        util = node.utilization()
+        assert util["cpu"] == pytest.approx(0.5)
+        assert util["memory"] == pytest.approx(0.5)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(SchedulingError):
+            ResourceSpec(cpu_cores=-1, memory_bytes=10)
+
+
+class TestGcs:
+    def test_put_get_versioned(self):
+        gcs = GlobalControlStore()
+        assert gcs.put("k", {"a": 1}) == 1
+        assert gcs.put("k", {"a": 2}) == 2
+        assert gcs.get("k") == {"a": 2}
+        assert gcs.version("k") == 2
+
+    def test_get_returns_deep_copy(self):
+        gcs = GlobalControlStore()
+        gcs.put("k", {"a": [1]})
+        value = gcs.get("k")
+        value["a"].append(2)
+        assert gcs.get("k") == {"a": [1]}
+
+    def test_missing_key_default(self):
+        assert GlobalControlStore().get("missing", 42) == 42
+
+    def test_keys_prefix(self):
+        gcs = GlobalControlStore()
+        gcs.put("plan/1", 1)
+        gcs.put("plan/2", 2)
+        gcs.put("other", 3)
+        assert gcs.keys("plan/") == ["plan/1", "plan/2"]
+
+    def test_actor_registry_and_roles(self):
+        gcs = GlobalControlStore()
+        gcs.register_actor("a", {"role": "loader"})
+        gcs.register_actor("b", {"role": "planner"})
+        assert gcs.list_actors("loader") == ["a"]
+        gcs.deregister_actor("a")
+        assert gcs.list_actors() == ["b"]
+
+    def test_stale_actor_detection(self):
+        gcs = GlobalControlStore()
+        gcs.register_actor("a", {"role": "loader"})
+        gcs.register_actor("b", {"role": "loader"})
+        gcs.heartbeat("a", timestamp=100.0)
+        assert gcs.stale_actors(now=130.0, timeout_s=10.0) == ["a", "b"]
+        gcs.heartbeat("a", timestamp=125.0)
+        assert gcs.stale_actors(now=130.0, timeout_s=10.0) == ["b"]
+
+
+class TestScheduler:
+    def make_scheduler(self):
+        nodes = [
+            Node("accel-0", NodeKind.ACCELERATOR, ResourceSpec(cpu_cores=8, memory_bytes=4 * GIB)),
+            Node("cpu-0", NodeKind.CPU, ResourceSpec(cpu_cores=16, memory_bytes=8 * GIB)),
+        ]
+        return PlacementScheduler(nodes)
+
+    def test_prefers_requested_kind(self):
+        scheduler = self.make_scheduler()
+        decision = scheduler.place(PlacementRequest("a", 2, GIB, prefer=NodeKind.ACCELERATOR))
+        assert decision.node_name == "accel-0"
+        assert not decision.spilled
+
+    def test_spills_when_preferred_full(self):
+        scheduler = self.make_scheduler()
+        scheduler.place(PlacementRequest("a", 8, GIB, prefer=NodeKind.ACCELERATOR))
+        decision = scheduler.place(PlacementRequest("b", 2, GIB, prefer=NodeKind.ACCELERATOR))
+        assert decision.node_name == "cpu-0"
+        assert decision.spilled
+
+    def test_no_spill_when_disallowed(self):
+        scheduler = self.make_scheduler()
+        scheduler.place(PlacementRequest("a", 8, GIB, prefer=NodeKind.ACCELERATOR))
+        with pytest.raises(SchedulingError):
+            scheduler.place(
+                PlacementRequest("b", 2, GIB, prefer=NodeKind.ACCELERATOR, allow_spill=False)
+            )
+
+    def test_node_affinity(self):
+        scheduler = self.make_scheduler()
+        decision = scheduler.place(PlacementRequest("a", 1, GIB, node_affinity="cpu-0"))
+        assert decision.node_name == "cpu-0"
+
+    def test_duplicate_node_rejected(self):
+        scheduler = self.make_scheduler()
+        with pytest.raises(SchedulingError):
+            scheduler.add_node(Node("cpu-0", NodeKind.CPU, ResourceSpec(1, 1)))
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(SchedulingError):
+            PlacementScheduler([])
+
+
+class TestActorSystem:
+    def make_system(self):
+        return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+    def test_create_and_call(self):
+        system = self.make_system()
+        handle = system.create_actor(lambda: Counter(10))
+        assert handle.call("increment", 5) == 15
+        assert handle.increment() == 16  # attribute-style call
+        assert handle.state is ActorState.RUNNING
+
+    def test_duplicate_name_rejected(self):
+        system = self.make_system()
+        system.create_actor(Counter, name="c")
+        with pytest.raises(ActorError):
+            system.create_actor(Counter, name="c")
+
+    def test_unknown_method(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter)
+        with pytest.raises(ActorError):
+            handle.call("explode")
+
+    def test_kill_and_restart_with_state(self):
+        system = self.make_system()
+        handle = system.create_actor(lambda: Counter(0), name="c")
+        handle.increment(7)
+        state = handle.instance().state_dict()
+        system.kill_actor("c")
+        with pytest.raises(ActorDead):
+            handle.increment()
+        restarted = system.restart_actor("c", state=state)
+        assert restarted.call("increment") == 8
+        assert system.restart_count("c") == 1
+
+    def test_failure_injection_timeout(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        system.failures.timeout("c")
+        with pytest.raises(ActorTimeout):
+            handle.increment()
+        system.failures.clear("c")
+        assert handle.increment() == 1
+
+    def test_failure_injection_death(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        system.failures.fail("c")
+        with pytest.raises(ActorDead):
+            handle.increment()
+        assert handle.state is ActorState.FAILED
+
+    def test_memory_by_node_tracks_actor_ledger(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        handle.allocate(1000)
+        node = system.actor_node("c")
+        assert system.memory_by_node()[node] == 1000
+        assert system.total_memory() == 1000
+
+    def test_stop_actor_releases_resources_and_memory(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c", cpu_cores=2.0, memory_bytes=GIB)
+        handle.allocate(500)
+        node_name = system.actor_node("c")
+        system.stop_actor("c")
+        assert system.memory_by_node()[node_name] == 0
+        assert system.node(node_name).available_cpu == system.node(node_name).resources.cpu_cores
+
+    def test_kill_releases_actor_memory(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        handle.allocate(2048)
+        system.kill_actor("c")
+        assert system.total_memory() == 0
+
+    def test_handles_filtered_by_role(self):
+        system = self.make_system()
+        system.create_actor(Counter, name="a")
+        system.create_actor(Counter, name="b")
+        assert {h.name for h in system.handles("counter")} == {"a", "b"}
+        assert system.handles("planner") == []
+
+    def test_call_log_and_clock(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        before = system.clock_s
+        handle.increment()
+        assert system.clock_s > before
+        assert any(record.method == "increment" for record in system.call_log())
+
+    def test_clock_cannot_go_backwards(self):
+        system = self.make_system()
+        with pytest.raises(ActorError):
+            system.advance_clock(-1.0)
+
+    def test_unknown_actor(self):
+        system = self.make_system()
+        with pytest.raises(ActorError):
+            system.actor_state("ghost")

@@ -1,0 +1,173 @@
+"""Unit tests for the multisource AutoScaler (partitioning + online scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autoscaler import (
+    MixtureDrivenScaler,
+    PartitionPlan,
+    ResourceBudget,
+    SourceAutoPartitioner,
+    SourceLoaderConfig,
+)
+from repro.data.samples import Modality
+from repro.data.sources import DataSource, SourceCatalog
+from repro.errors import ScalingError
+from repro.utils.units import GIB
+
+
+def heterogeneous_catalog():
+    """Sources whose per-sample cost spans ~3 orders of magnitude."""
+    catalog = SourceCatalog()
+    specs = [
+        ("text-a", Modality.TEXT, 0.0, 64.0),
+        ("text-b", Modality.TEXT, 0.0, 128.0),
+        ("image-a", Modality.IMAGE, 2048.0, 32.0),
+        ("image-b", Modality.IMAGE, 8192.0, 32.0),
+        ("video-a", Modality.VIDEO, 16384.0, 16.0),
+        ("audio-a", Modality.AUDIO, 0.0, 2048.0),
+    ]
+    for name, modality, image_tokens, text_tokens in specs:
+        catalog.add(
+            DataSource(
+                name=name,
+                modality=modality,
+                paths=(f"/data/{name}",),
+                num_samples=1000,
+                avg_text_tokens=text_tokens,
+                avg_image_tokens=image_tokens,
+            )
+        )
+    return catalog
+
+
+BUDGET = ResourceBudget(cpu_cores=128.0, memory_bytes=256 * GIB)
+
+
+class TestSourceAutoPartitioner:
+    def test_every_source_gets_a_config(self):
+        plan = SourceAutoPartitioner().partition(heterogeneous_catalog(), BUDGET)
+        assert set(plan.configs) == {s.name for s in heterogeneous_catalog()}
+        assert plan.total_actors() >= len(plan.configs)
+
+    def test_costlier_sources_get_more_workers(self):
+        plan = SourceAutoPartitioner().partition(heterogeneous_catalog(), BUDGET)
+        cheap = plan.config_for("text-a")
+        expensive = plan.config_for("video-a")
+        assert expensive.total_workers >= cheap.total_workers
+        assert expensive.total_workers > 1
+        assert cheap.total_workers == 1
+
+    def test_worker_caps_respected(self):
+        partitioner = SourceAutoPartitioner(max_workers_per_source=4, max_workers_per_actor=2)
+        plan = partitioner.partition(heterogeneous_catalog(), BUDGET)
+        for config in plan.configs.values():
+            assert config.total_workers <= 4
+            assert config.workers_per_actor <= 2
+
+    def test_cluster_count_bounded_by_sources(self):
+        partitioner = SourceAutoPartitioner(num_clusters=50)
+        plan = partitioner.partition(heterogeneous_catalog(), BUDGET)
+        assert plan.num_clusters <= len(heterogeneous_catalog())
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ScalingError):
+            SourceAutoPartitioner().partition(SourceCatalog(), BUDGET)
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ScalingError):
+            SourceAutoPartitioner(num_clusters=0)
+
+    def test_memory_budget_shrinks_configs(self):
+        generous = SourceAutoPartitioner().partition(heterogeneous_catalog(), BUDGET)
+        tight_budget = ResourceBudget(cpu_cores=128.0, memory_bytes=2 * GIB)
+        tight = SourceAutoPartitioner().partition(heterogeneous_catalog(), tight_budget)
+        assert tight.total_memory_bytes() <= tight_budget.memory_bytes
+        assert tight.total_workers() <= generous.total_workers()
+        assert tight.notes  # shrink actions were recorded
+
+    def test_infeasible_budget_rejected(self):
+        tiny = ResourceBudget(cpu_cores=64.0, memory_bytes=1024)
+        with pytest.raises(ScalingError):
+            SourceAutoPartitioner().partition(heterogeneous_catalog(), tiny)
+
+    def test_budget_must_leave_loader_cores(self):
+        bad = ResourceBudget(cpu_cores=6.0, memory_bytes=GIB, constructor_cores=4.0, planner_cores=4.0)
+        with pytest.raises(ScalingError):
+            bad.loader_cores()
+
+    def test_partition_real_synthetic_catalog(self, small_catalog):
+        plan = SourceAutoPartitioner().partition(small_catalog, BUDGET)
+        assert plan.total_workers() >= len(small_catalog)
+        assert plan.worker_block_cores > 0
+
+
+class TestMixtureDrivenScaler:
+    def make_plan(self, sources=("a", "b", "c")):
+        plan = PartitionPlan()
+        for name in sources:
+            plan.configs[name] = SourceLoaderConfig(
+                source=name,
+                num_actors=1,
+                workers_per_actor=2,
+                cluster_index=0,
+                estimated_cost_s=0.001,
+                estimated_memory_bytes=1024,
+            )
+        return plan
+
+    def test_scale_up_after_consecutive_hot_intervals(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=3)
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        directives = []
+        for step in range(5):
+            directives.extend(scaler.observe(step, hot).directives)
+        assert any(d.source == "a" and d.target_actors == 2 for d in directives)
+        assert scaler.current_actors("a") == 2
+        assert scaler.rescale_events >= 1
+
+    def test_no_scale_up_for_transient_spike(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=3)
+        scaler.observe(0, {"a": 0.9, "b": 0.05, "c": 0.05})
+        plan = scaler.observe(1, {"a": 0.33, "b": 0.33, "c": 0.34})
+        assert plan.is_empty()
+        assert scaler.current_actors("a") == 1
+
+    def test_scale_down_reclaims_idle_actors(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=2)
+        for step in range(4):
+            scaler.observe(step, {"a": 0.9, "b": 0.05, "c": 0.05})
+        assert scaler.current_actors("a") >= 2
+        directives = []
+        for step in range(4, 10):
+            directives.extend(scaler.observe(step, {"a": 0.02, "b": 0.49, "c": 0.49}).directives)
+        assert any(d.source == "a" and d.target_actors == 1 for d in directives)
+        assert scaler.current_actors("a") == 1
+
+    def test_actor_cap_respected(self):
+        scaler = MixtureDrivenScaler(
+            self.make_plan(), consecutive_intervals=1, max_actors_per_source=2
+        )
+        for step in range(10):
+            scaler.observe(step, {"a": 0.9, "b": 0.05, "c": 0.05})
+        assert scaler.current_actors("a") == 2
+
+    def test_never_scales_below_one(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=1)
+        for step in range(10):
+            scaler.observe(step, {"a": 0.0, "b": 0.5, "c": 0.5})
+        assert scaler.current_actors("a") == 1
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ScalingError):
+            MixtureDrivenScaler(self.make_plan(), consecutive_intervals=0)
+
+    def test_total_current_actors(self):
+        scaler = MixtureDrivenScaler(self.make_plan())
+        assert scaler.total_current_actors() == 3
+
+    def test_unknown_source_lookup(self):
+        plan = self.make_plan()
+        with pytest.raises(ScalingError):
+            plan.config_for("zzz")

@@ -1,0 +1,135 @@
+"""Unit tests for the balancing strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.balancing import (
+    WeightedItem,
+    available_strategies,
+    balance_items,
+    get_strategy,
+    greedy_binpack,
+    hierarchical_balance,
+    imbalance_statistics,
+    interleaved_balance,
+    karmarkar_karp,
+    register_strategy,
+)
+from repro.errors import OrchestrationError
+
+
+def items_from(costs):
+    return [WeightedItem(key=i, cost=float(c)) for i, c in enumerate(costs)]
+
+
+class TestGreedy:
+    def test_perfect_split_when_possible(self):
+        result = greedy_binpack(items_from([4, 4, 4, 4]), 2)
+        assert result.bin_costs == [8.0, 8.0]
+        assert result.imbalance_ratio == pytest.approx(1.0)
+
+    def test_all_items_assigned_exactly_once(self):
+        items = items_from(range(1, 20))
+        result = greedy_binpack(items, 4)
+        keys = sorted(key for bin_keys in result.keys_per_bin() for key in bin_keys)
+        assert keys == list(range(19))
+
+    def test_beats_naive_split_on_skewed_costs(self):
+        costs = [100, 1, 1, 1, 1, 1, 1, 95]
+        naive_max = sum(costs[:4])  # arrival-order split
+        result = greedy_binpack(items_from(costs), 2)
+        assert result.max_cost < naive_max
+
+    def test_invalid_bin_count(self):
+        with pytest.raises(OrchestrationError):
+            greedy_binpack(items_from([1]), 0)
+
+    def test_empty_items(self):
+        result = greedy_binpack([], 3)
+        assert result.bin_costs == [0.0, 0.0, 0.0]
+        assert result.imbalance_ratio == 1.0
+
+
+class TestKarmarkarKarp:
+    def test_two_way_partition_quality(self):
+        costs = [8, 7, 6, 5, 4]
+        result = karmarkar_karp(items_from(costs), 2)
+        assert result.max_cost - result.min_cost <= 2
+
+    def test_all_items_preserved(self):
+        items = items_from([3, 1, 4, 1, 5, 9, 2, 6])
+        result = karmarkar_karp(items, 3)
+        assert sorted(k for b in result.keys_per_bin() for k in b) == list(range(8))
+        assert sum(result.bin_costs) == pytest.approx(sum(i.cost for i in items))
+
+    def test_not_worse_than_greedy_on_skewed_input(self):
+        costs = [2**k for k in range(12)]
+        kk = karmarkar_karp(items_from(costs), 3)
+        greedy = greedy_binpack(items_from(costs), 3)
+        assert kk.max_cost <= greedy.max_cost * 1.05
+
+    def test_empty(self):
+        assert karmarkar_karp([], 2).bin_costs == [0.0, 0.0]
+
+    def test_invalid_bins(self):
+        with pytest.raises(OrchestrationError):
+            karmarkar_karp(items_from([1]), 0)
+
+
+class TestInterleave:
+    def test_zigzag_order(self):
+        result = interleaved_balance(items_from([8, 7, 6, 5, 4, 3, 2, 1]), 4)
+        # descending deal: bins get (8,1),(7,2),(6,3),(5,4)
+        assert sorted(result.bin_costs) == [9.0, 9.0, 9.0, 9.0]
+
+    def test_single_bin(self):
+        result = interleaved_balance(items_from([1, 2, 3]), 1)
+        assert result.bin_costs == [6.0]
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"greedy", "karmarkar-karp", "interleave"} <= set(available_strategies())
+
+    def test_dispatch(self):
+        result = balance_items(items_from([1, 2, 3, 4]), 2, method="karmarkar-karp")
+        assert sum(result.bin_costs) == 10.0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(OrchestrationError):
+            get_strategy("zigzag-ultra")
+
+    def test_register_custom_strategy(self):
+        def first_fit(items, num_bins):
+            return greedy_binpack(items, num_bins)
+
+        register_strategy("first_fit_test", first_fit, overwrite=True)
+        assert "first_fit_test" in available_strategies()
+        result = balance_items(items_from([1, 2]), 2, method="first_fit_test")
+        assert sum(result.bin_costs) == 3.0
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(OrchestrationError):
+            register_strategy("greedy", greedy_binpack)
+
+
+class TestHierarchicalAndStats:
+    def test_hierarchical_levels(self):
+        results = hierarchical_balance(items_from(range(1, 33)), num_buckets=4, bins_per_bucket=2)
+        assert len(results) == 4
+        assert all(len(r.bins) == 2 for r in results)
+        total = sum(cost for r in results for cost in r.bin_costs)
+        assert total == pytest.approx(sum(range(1, 33)))
+
+    def test_imbalance_statistics(self):
+        stats = imbalance_statistics([10.0, 20.0, 30.0, 40.0])
+        assert stats["max"] == 40.0
+        assert stats["ratio"] == pytest.approx(4.0)
+        assert stats["cv"] > 0
+
+    def test_imbalance_statistics_empty(self):
+        assert imbalance_statistics([])["ratio"] == 1.0
+
+    def test_imbalance_statistics_zero_min(self):
+        assert imbalance_statistics([0.0, 5.0])["ratio"] == float("inf")

@@ -1,0 +1,86 @@
+"""Unit tests for the encoder/backbone cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import (
+    BackboneCostModel,
+    CombinedVLMCostModel,
+    EncoderCostModel,
+    image_token_cost,
+    quadratic_token_cost,
+    token_count_cost,
+)
+from repro.training.models import llama_12b, mixtral_8x7b, vit_1b, vit_2b
+from repro.training.simulator import GpuSpec
+
+
+class TestEncoderCostModel:
+    def test_cost_grows_superlinearly_with_patches(self, sample_factory):
+        model = EncoderCostModel(vit_1b())
+        small, _ = model(sample_factory(0, image_tokens=1024))
+        large, _ = model(sample_factory(1, image_tokens=4096))
+        assert large > 4 * small
+
+    def test_larger_encoder_costs_more(self, sample_factory):
+        metadata = sample_factory(0, image_tokens=2048)
+        assert EncoderCostModel(vit_2b())(metadata)[0] > EncoderCostModel(vit_1b())(metadata)[0]
+
+    def test_memory_component_positive(self, sample_factory):
+        estimate = EncoderCostModel(vit_1b()).cost(sample_factory(0, image_tokens=128))
+        assert estimate.memory > 0
+
+    def test_inference_cheaper_than_training(self, sample_factory):
+        metadata = sample_factory(0, image_tokens=1024)
+        train, _ = EncoderCostModel(vit_1b(), training=True)(metadata)
+        infer, _ = EncoderCostModel(vit_1b(), training=False)(metadata)
+        assert infer < train
+
+
+class TestBackboneCostModel:
+    def test_cost_grows_with_tokens(self, sample_factory):
+        model = BackboneCostModel(llama_12b())
+        assert model(sample_factory(0, text_tokens=4096))[0] > model(sample_factory(1, text_tokens=512))[0]
+
+    def test_model_parallel_shard_divides_latency(self, sample_factory):
+        metadata = sample_factory(0, text_tokens=2048)
+        full, _ = BackboneCostModel(llama_12b(), model_parallel_shard=1)(metadata)
+        sharded, _ = BackboneCostModel(llama_12b(), model_parallel_shard=8)(metadata)
+        assert sharded == pytest.approx(full / 8)
+
+    def test_invalid_shard(self):
+        with pytest.raises(ValueError):
+            BackboneCostModel(llama_12b(), model_parallel_shard=0)
+
+    def test_moe_backbone_supported(self, sample_factory):
+        load, memory = BackboneCostModel(mixtral_8x7b())(sample_factory(0, text_tokens=1024))
+        assert load > 0 and memory > 0
+
+    def test_combined_model_sums_components(self, sample_factory):
+        metadata = sample_factory(0, text_tokens=64, image_tokens=1024)
+        encoder = EncoderCostModel(vit_1b())
+        backbone = BackboneCostModel(llama_12b())
+        combined = CombinedVLMCostModel(encoder, backbone)
+        load, memory = combined(metadata)
+        assert load == pytest.approx(encoder(metadata)[0] + backbone(metadata)[0])
+        assert memory == pytest.approx(encoder(metadata)[1] + backbone(metadata)[1])
+
+
+class TestSimpleCostFns:
+    def test_token_count_cost(self, sample_factory):
+        assert token_count_cost(sample_factory(0, text_tokens=10, image_tokens=5)) == (15.0, 15.0)
+
+    def test_quadratic_token_cost(self, sample_factory):
+        load, _ = quadratic_token_cost(sample_factory(0, text_tokens=10))
+        assert load == 100.0
+
+    def test_image_token_cost_ignores_text(self, sample_factory):
+        load, _ = image_token_cost(sample_factory(0, text_tokens=100, image_tokens=4))
+        assert load == 16.0
+
+    def test_gpu_spec_affects_latency(self, sample_factory):
+        metadata = sample_factory(0, text_tokens=1024)
+        fast = BackboneCostModel(llama_12b(), gpu=GpuSpec(peak_flops=1e15))(metadata)[0]
+        slow = BackboneCostModel(llama_12b(), gpu=GpuSpec(peak_flops=1e13))(metadata)[0]
+        assert slow > fast

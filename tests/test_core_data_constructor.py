@@ -1,0 +1,168 @@
+"""Unit tests for Data Constructor actors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.data_constructor import DataConstructor
+from repro.core.plans import MicrobatchAssignment, ModulePlan
+from repro.core.source_loader import PreparedSample
+from repro.data.samples import Sample
+from repro.errors import PlanError
+from repro.parallelism.mesh import DeviceMesh
+from repro.utils.units import GIB
+
+
+def make_plan(sample_factory, buckets=2, microbatches=2, tokens=128):
+    plan = ModulePlan(module="backbone", axis="DP", num_buckets=buckets, num_microbatches=microbatches)
+    sid = 0
+    for bucket in range(buckets):
+        for mb in range(microbatches):
+            samples = tuple(sample_factory(sid + k, text_tokens=tokens) for k in range(2))
+            sid += 2
+            plan.assignments.append(
+                MicrobatchAssignment(bucket_index=bucket, microbatch_index=mb, samples=samples)
+            )
+    return plan
+
+
+def prepared_for(plan):
+    prepared = {}
+    for assignment in plan.assignments:
+        for metadata in assignment.samples:
+            prepared[metadata.sample_id] = PreparedSample(
+                sample=Sample(metadata=metadata),
+                transform_latency_s=0.001,
+                transferred_bytes=metadata.raw_bytes,
+            )
+    return prepared
+
+
+@pytest.fixture()
+def system():
+    return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+
+def spawn_constructor(system, mesh, dp_index=0, **kwargs):
+    return system.create_actor(
+        lambda: DataConstructor(bucket_index=dp_index, mesh=mesh, dp_index=dp_index, **kwargs),
+        name=f"constructor-{dp_index}",
+        memory_bytes=GIB,
+    )
+
+
+class TestConstruct:
+    def test_construct_and_deliver(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh)
+        plan = make_plan(sample_factory)
+        stats = handle.call("construct", 0, plan, prepared_for(plan))
+        assert stats["num_microbatches"] == 2
+        constructor = handle.instance()
+        served = constructor.ranks_served(0)
+        assert set(served) == set(vlm_mesh.ranks_where(dp=0))
+        delivery = handle.call("get_batch", 0, served[0])
+        assert delivery.rank == served[0]
+        assert len(delivery.slices) == 2
+
+    def test_missing_prepared_sample_rejected(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh)
+        plan = make_plan(sample_factory)
+        with pytest.raises(PlanError):
+            handle.call("construct", 0, plan, {})
+
+    def test_plan_without_bucket_rejected(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh, dp_index=1)
+        plan = ModulePlan(module="backbone", axis="DP", num_buckets=2, num_microbatches=1)
+        plan.assignments.append(
+            MicrobatchAssignment(bucket_index=0, microbatch_index=0, samples=(sample_factory(0),))
+        )
+        with pytest.raises(PlanError):
+            handle.call("construct", 0, plan, prepared_for(plan))
+
+    def test_get_batch_unknown_step(self, system, vlm_mesh):
+        handle = spawn_constructor(system, vlm_mesh)
+        with pytest.raises(PlanError):
+            handle.call("get_batch", 5, 0)
+
+    def test_get_batch_foreign_rank(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh, dp_index=0)
+        plan = make_plan(sample_factory)
+        handle.call("construct", 0, plan, prepared_for(plan))
+        foreign_rank = vlm_mesh.ranks_where(dp=1)[0]
+        with pytest.raises(PlanError):
+            handle.call("get_batch", 0, foreign_rank)
+
+
+class TestParallelismSharing:
+    def test_tp_broadcast_saves_bytes(self, system, sample_factory):
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=4)
+        with_bcast = spawn_constructor(system, mesh, broadcast_tp=True)
+        plan = make_plan(sample_factory, buckets=1)
+        with_bcast.call("construct", 0, plan, prepared_for(plan))
+        assert with_bcast.instance().stats.broadcast_bytes_saved > 0
+
+    def test_memory_released_after_step(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh)
+        plan = make_plan(sample_factory)
+        handle.call("construct", 0, plan, prepared_for(plan))
+        constructor = handle.instance()
+        assert constructor.ledger.live_bytes("constructed_batch") > 0
+        handle.call("release_step", 0)
+        assert constructor.ledger.live_bytes("constructed_batch") == 0
+        assert constructor.staged_steps() == []
+
+    def test_pp_later_stage_gets_metadata_only(self, system, sample_factory):
+        mesh = DeviceMesh(pp=4, dp=1, cp=1, tp=1)
+        handle = spawn_constructor(system, mesh)
+        plan = make_plan(sample_factory, buckets=1)
+        handle.call("construct", 0, plan, prepared_for(plan))
+        constructor = handle.instance()
+        middle_rank = mesh.ranks_where(pp=1)[0]
+        delivery = constructor.get_batch(0, middle_rank)
+        assert all(piece.metadata_only for piece in delivery.slices)
+        first_rank = mesh.ranks_where(pp=0)[0]
+        first_delivery = constructor.get_batch(0, first_rank)
+        assert first_delivery.total_tokens() > 0
+
+    def test_packing_vs_padding_payload(self, system, sample_factory):
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=1)
+        packed = spawn_constructor(system, mesh, packing=True)
+        padded = system.create_actor(
+            lambda: DataConstructor(0, mesh, 0, packing=False),
+            name="padded-constructor",
+            memory_bytes=GIB,
+        )
+        plan = make_plan(sample_factory, buckets=1, tokens=100)
+        packed.call("construct", 0, plan, prepared_for(plan))
+        padded.call("construct", 0, plan, prepared_for(plan))
+        packed_bytes = packed.instance().get_batch(0, 0).total_payload_bytes()
+        padded_bytes = padded.instance().get_batch(0, 0).total_payload_bytes()
+        assert packed_bytes <= padded_bytes
+
+
+class TestReshardAndCheckpoint:
+    def test_reshard_drops_staged_and_adopts_mesh(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh)
+        plan = make_plan(sample_factory)
+        handle.call("construct", 0, plan, prepared_for(plan))
+        new_mesh = DeviceMesh(pp=1, dp=2, cp=1, tp=2)
+        handle.call("reshard", new_mesh, 1)
+        constructor = handle.instance()
+        assert constructor.mesh is new_mesh
+        assert constructor.dp_index == 1
+        assert constructor.staged_steps() == []
+        assert constructor.ledger.live_bytes("constructed_batch") == 0
+
+    def test_state_dict_roundtrip(self, system, vlm_mesh, sample_factory):
+        handle = spawn_constructor(system, vlm_mesh)
+        state = handle.instance().state_dict()
+        handle.instance().load_state_dict(state)
+        other = DataConstructor(bucket_index=3, mesh=vlm_mesh, dp_index=3)
+        with pytest.raises(PlanError):
+            other.load_state_dict(state)
+
+    def test_heartbeat_payload(self, system, vlm_mesh):
+        handle = spawn_constructor(system, vlm_mesh)
+        payload = handle.call("heartbeat_payload")
+        assert payload["bucket"] == 0

@@ -1,0 +1,174 @@
+"""Unit tests for the MegaScaleData facade and TrainingJobSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import MegaScaleData, TrainingJobSpec
+from repro.core.resharding import ReshardNotification
+from repro.data.mixture import MixtureSchedule
+from repro.errors import ConfigurationError
+from repro.parallelism.mesh import DeviceMesh
+
+
+@pytest.fixture(scope="module")
+def deployed_system():
+    job = TrainingJobSpec(
+        pp=1,
+        dp=2,
+        cp=1,
+        tp=2,
+        backbone="Llama-12B",
+        encoder="ViT-1B",
+        samples_per_dp_step=8,
+        num_microbatches=2,
+        num_sources=4,
+        samples_per_source=64,
+        strategy="hybrid",
+        seed=11,
+    )
+    return MegaScaleData.deploy(job)
+
+
+class TestTrainingJobSpec:
+    def test_device_mesh_shape(self):
+        job = TrainingJobSpec(pp=2, dp=3, cp=1, tp=2)
+        mesh = job.device_mesh()
+        assert mesh.world_size == 12
+
+    def test_vlm_model_built(self):
+        job = TrainingJobSpec(backbone="Llama-12B", encoder="ViT-2B")
+        model = job.model()
+        assert model.backbone.name == "Llama-12B"
+        assert model.encoder.name == "ViT-2B"
+
+    def test_text_only_model(self):
+        job = TrainingJobSpec.text_example()
+        assert job.model().name == job.backbone
+
+    def test_invalid_batching(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJobSpec(samples_per_dp_step=2, num_microbatches=4)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJobSpec(backbone="GPT-9")
+        with pytest.raises(ConfigurationError):
+            TrainingJobSpec(encoder="CLIP-XXL")
+
+    def test_global_samples_per_step(self):
+        job = TrainingJobSpec(dp=4, samples_per_dp_step=8)
+        assert job.global_samples_per_step() == 32
+
+    def test_example_specs_valid(self):
+        assert TrainingJobSpec.vlm_example().encoder is not None
+        assert TrainingJobSpec.text_example().encoder is None
+
+
+class TestDeployment:
+    def test_actor_inventory(self, deployed_system):
+        system = deployed_system
+        assert len(system.constructor_handles) == system.job.dp
+        assert len(system.loader_handles) >= system.job.num_sources
+        assert system.planner_handle.instance().loader_names
+
+    def test_planner_on_cpu_pod(self, deployed_system):
+        node = deployed_system.system.actor_node("planner")
+        assert node.startswith("cpu-pod")
+
+    def test_partition_plan_covers_sources(self, deployed_system):
+        assert set(deployed_system.partition_plan.configs) == set(
+            deployed_system.catalog.names()
+        )
+
+    def test_memory_report_nonzero(self, deployed_system):
+        report = deployed_system.memory_report()
+        assert report["total"] > 0
+        assert deployed_system.loader_memory_bytes() > 0
+
+
+class TestRunStep:
+    def test_step_produces_deliveries_for_fetching_ranks(self, deployed_system):
+        result = deployed_system.run_step()
+        fetchers = set(result.plan.fetching_ranks)
+        assert fetchers
+        assert fetchers <= set(result.deliveries)
+        assert result.fetched_bytes() > 0
+        assert result.data_fetch_latency_s > 0
+
+    def test_assignments_match_mesh(self, deployed_system):
+        result = deployed_system.run_step()
+        assert len(result.backbone_assignments) == deployed_system.job.dp
+        assert all(
+            len(bucket) == deployed_system.job.num_microbatches
+            for bucket in result.backbone_assignments
+        )
+        assert result.encoder_assignments is not None
+        assert len(result.encoder_assignments) == deployed_system.tree.mesh.world_size
+
+    def test_simulate_iteration(self, deployed_system):
+        result = deployed_system.run_step(simulate=True)
+        assert result.iteration is not None
+        assert result.iteration.iteration_time_s > 0
+        assert result.iteration.total_tokens > 0
+
+    def test_steps_advance_and_history_recorded(self, deployed_system):
+        before = len(deployed_system.history())
+        deployed_system.run_step()
+        deployed_system.run_step()
+        history = deployed_system.history()
+        assert len(history) == before + 2
+        assert history[-1].step == history[-2].step + 1
+
+    def test_next_batch_wrapper(self, deployed_system):
+        deliveries = deployed_system.next_batch()
+        assert deliveries
+
+    def test_run_training_summary(self, deployed_system):
+        summary = deployed_system.run_training(num_steps=2)
+        assert summary["steps"] == 2
+        assert summary["avg_iteration_time_s"] > 0
+        assert summary["throughput_tokens_per_s"] > 0
+
+
+class TestReshard:
+    def test_handle_reshard_updates_topology(self):
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3, samples_per_source=32,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        new_mesh = DeviceMesh(pp=1, dp=2, cp=1, tp=2)
+        report = system.handle_reshard(ReshardNotification(step=1, new_mesh=new_mesh))
+        assert report.new_world_size == 4
+        assert system.tree.mesh is new_mesh
+        result = system.run_step()
+        assert result.deliveries
+
+
+class TestShutdownAndMixture:
+    def test_shutdown_releases_memory(self):
+        job = TrainingJobSpec(
+            pp=1, dp=1, cp=1, tp=1, encoder=None, strategy="vanilla",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=2, samples_per_source=32,
+        )
+        system = MegaScaleData.deploy(job)
+        assert system.memory_report()["total"] > 0
+        system.shutdown()
+        assert system.memory_report()["total"] == 0
+
+    def test_user_mixture_respected(self):
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3, samples_per_source=32,
+        )
+        system = MegaScaleData.deploy(job)
+        names = system.catalog.names()
+        system.set_mixture(
+            MixtureSchedule.static({names[0]: 0.98, **{n: 0.01 for n in names[1:]}})
+        )
+        result = system.run_step()
+        demands = result.plan.source_demands
+        total = sum(len(ids) for ids in demands.values())
+        assert len(demands.get(names[0], [])) > 0.5 * total

@@ -1,0 +1,174 @@
+"""Unit tests for the Planner actor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.autoscaler import MixtureDrivenScaler, ResourceBudget, SourceAutoPartitioner
+from repro.core.place_tree import ClientPlaceTree
+from repro.core.planner import Planner
+from repro.core.source_loader import SourceLoader
+from repro.core.strategies import StrategyConfig, backbone_balance_strategy
+from repro.data.mixture import MixturePhase, MixtureSchedule
+from repro.errors import PlanError
+from repro.utils.units import GIB
+
+
+@pytest.fixture()
+def system():
+    return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+
+@pytest.fixture()
+def loader_handles(system, small_catalog, filesystem):
+    handles = []
+    for index, source in enumerate(small_catalog.sources()[:4]):
+        handles.append(
+            system.create_actor(
+                lambda src=source: SourceLoader(src, filesystem, buffer_size=16),
+                name=f"loader-{index}",
+                memory_bytes=GIB,
+            )
+        )
+    return handles
+
+
+def make_planner(system, tree, loader_handles, mixture=None, scaler=None, **kwargs):
+    handle = system.create_actor(
+        lambda: Planner(
+            strategy=backbone_balance_strategy(StrategyConfig(mixture=mixture, num_microbatches=2)),
+            tree=tree,
+            mixture=mixture,
+            scaler=scaler,
+            gcs=system.gcs,
+            **kwargs,
+        ),
+        name=f"planner-{len(system.list_actor_names())}",
+        memory_bytes=GIB,
+    )
+    handle.instance().register_loaders(loader_handles)
+    return handle
+
+
+class TestPlanning:
+    def test_generate_plan_demands_buffered_samples(self, system, dp_mesh, loader_handles):
+        tree = ClientPlaceTree(dp_mesh)
+        planner = make_planner(system, tree, loader_handles)
+        plan = planner.call("generate_plan")
+        assert plan.step == 0
+        assert plan.total_samples() == 4 * 16
+        assert set(plan.source_demands) == {
+            handle.instance().source.name for handle in loader_handles
+        }
+
+    def test_planner_requires_loaders(self, system, dp_mesh):
+        tree = ClientPlaceTree(dp_mesh)
+        handle = system.create_actor(
+            lambda: Planner(
+                strategy=backbone_balance_strategy(StrategyConfig()), tree=tree
+            ),
+            name="lonely-planner",
+        )
+        with pytest.raises(PlanError):
+            handle.call("generate_plan")
+
+    def test_timings_recorded_per_step(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        planner.call("generate_plan")
+        planner.call("generate_plan")
+        stats = planner.instance().stats
+        assert stats.plans_generated == 2
+        assert len(stats.timings) == 2
+        timings = stats.latest_timings()
+        assert timings.buffer_gather_s > 0
+        assert timings.compute_plan_s > 0
+        assert timings.broadcast_plan_s > 0
+        assert timings.total_s == pytest.approx(
+            timings.buffer_gather_s + timings.compute_plan_s + timings.broadcast_plan_s
+        )
+
+    def test_steps_advance_automatically(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        assert planner.call("generate_plan").step == 0
+        assert planner.call("generate_plan").step == 1
+        history = planner.instance().plan_history()
+        assert [p.step for p in history] == [0, 1]
+
+    def test_latest_plan_requires_history(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        with pytest.raises(PlanError):
+            planner.instance().latest_plan()
+        planner.call("generate_plan")
+        assert planner.instance().latest_plan().step == 0
+
+
+class TestMixtureAndScaling:
+    def test_mixture_weights_recorded(self, system, dp_mesh, loader_handles, small_catalog):
+        names = [h.instance().source.name for h in loader_handles]
+        mixture = MixtureSchedule.uniform(names)
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles, mixture=mixture)
+        plan = planner.call("generate_plan")
+        assert set(plan.mixture_weights) == set(names)
+
+    def test_scaling_plan_piggybacked_on_weight_shift(
+        self, system, dp_mesh, loader_handles, small_catalog
+    ):
+        names = [h.instance().source.name for h in loader_handles]
+        hot = names[0]
+        mixture = MixtureSchedule.staged(
+            [
+                MixturePhase(0, {name: 1.0 for name in names}),
+                MixturePhase(5, {hot: 0.97, **{n: 0.01 for n in names[1:]}}),
+            ]
+        )
+        partition = SourceAutoPartitioner().partition(
+            small_catalog, ResourceBudget(cpu_cores=64, memory_bytes=64 * GIB)
+        )
+        scaler = MixtureDrivenScaler(partition, consecutive_intervals=2, window=3)
+        planner = make_planner(
+            system, ClientPlaceTree(dp_mesh), loader_handles, mixture=mixture, scaler=scaler
+        )
+        scaling_seen = False
+        for step in range(15):
+            plan = planner.call("generate_plan", step)
+            if plan.scaling is not None and plan.scaling.for_source(hot):
+                scaling_seen = True
+                break
+        assert scaling_seen
+
+
+class TestFaultTolerance:
+    def test_checkpoints_written_to_gcs(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        planner.call("generate_plan")
+        planner.call("generate_plan")
+        assert system.gcs.get("planner/last_step") == 1
+        assert system.gcs.keys("planner/plan/") == ["planner/plan/0", "planner/plan/1"]
+
+    def test_replay_from_gcs_resumes_step(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        for _ in range(3):
+            planner.call("generate_plan")
+        fresh = Planner(
+            strategy=backbone_balance_strategy(StrategyConfig()),
+            tree=ClientPlaceTree(dp_mesh),
+            gcs=system.gcs,
+        )
+        assert fresh.replay_from_gcs() == 3
+
+    def test_replay_without_gcs_keeps_step(self, dp_mesh):
+        planner = Planner(
+            strategy=backbone_balance_strategy(StrategyConfig()), tree=ClientPlaceTree(dp_mesh)
+        )
+        assert planner.replay_from_gcs() == 0
+
+    def test_state_dict_roundtrip(self, system, dp_mesh, loader_handles):
+        planner = make_planner(system, ClientPlaceTree(dp_mesh), loader_handles)
+        planner.call("generate_plan")
+        state = planner.instance().state_dict()
+        fresh = Planner(
+            strategy=backbone_balance_strategy(StrategyConfig()), tree=ClientPlaceTree(dp_mesh)
+        )
+        fresh.load_state_dict(state)
+        assert fresh.heartbeat_payload()["step"] == 1

@@ -1,0 +1,161 @@
+"""Unit tests for Source Loader actors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.source_loader import WORKER_CONTEXT_BYTES, SourceLoader
+from repro.errors import PlanError
+from repro.utils.units import GIB
+
+
+@pytest.fixture()
+def system():
+    return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+
+def spawn_loader(system, catalog, filesystem, source_index=0, **kwargs):
+    source = catalog.sources()[source_index]
+    unique = len(system.list_actor_names())
+    return system.create_actor(
+        lambda: SourceLoader(source, filesystem, **kwargs),
+        name=f"loader-{source_index}-{kwargs.get('shard_index', 0)}-{unique}",
+        memory_bytes=GIB,
+    )
+
+
+class TestLifecycle:
+    def test_on_start_opens_files_and_fills_buffer(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=32, num_workers=2)
+        loader = handle.instance()
+        assert loader.buffer_depth() == 32
+        assert loader.ledger.live_bytes("file_state") > 0
+        assert loader.ledger.live_bytes("worker_context") == 2 * WORKER_CONTEXT_BYTES
+
+    def test_stop_releases_memory(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        system.stop_actor(handle.name)
+        assert system.total_memory() == 0
+
+    def test_invalid_configuration(self, small_catalog, filesystem):
+        source = small_catalog.sources()[0]
+        with pytest.raises(PlanError):
+            SourceLoader(source, filesystem, num_workers=0)
+        with pytest.raises(PlanError):
+            SourceLoader(source, filesystem, buffer_size=0)
+
+
+class TestPrepareAndFetch:
+    def test_prepare_stages_and_fetch_delivers(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        loader = handle.instance()
+        sample_ids = [m.sample_id for m in loader.summary_buffer()[:4]]
+        result = handle.call("prepare", sample_ids)
+        assert result["num_samples"] == 4
+        assert result["transform_latency_s"] > 0
+        assert loader.staged_count() == 4
+        delivered = handle.call("fetch_prepared", sample_ids)
+        assert [d.sample.sample_id for d in delivered] == sample_ids
+        assert loader.staged_count() == 0
+
+    def test_prepare_refills_buffer(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        loader = handle.instance()
+        sample_ids = [m.sample_id for m in loader.summary_buffer()[:8]]
+        handle.call("prepare", sample_ids)
+        assert loader.buffer_depth() == 16
+
+    def test_worker_parallelism_amortizes_wall_clock(self, system, small_catalog, filesystem):
+        one = spawn_loader(system, small_catalog, filesystem, buffer_size=16, num_workers=1)
+        four = spawn_loader(
+            system, small_catalog, filesystem, buffer_size=16, num_workers=4, shard_index=0,
+        )
+        ids_one = [m.sample_id for m in one.instance().summary_buffer()[:8]]
+        ids_four = [m.sample_id for m in four.instance().summary_buffer()[:8]]
+        slow = one.call("prepare", ids_one)
+        fast = four.call("prepare", ids_four)
+        assert fast["wall_clock_s"] < slow["wall_clock_s"]
+
+    def test_unknown_sample_rejected(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem)
+        with pytest.raises(PlanError):
+            handle.call("prepare", [999_999])
+
+    def test_fetch_unstaged_sample_rejected(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem)
+        with pytest.raises(PlanError):
+            handle.call("fetch_prepared", [123456])
+
+    def test_staged_memory_released_on_fetch(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        loader = handle.instance()
+        ids = [m.sample_id for m in loader.summary_buffer()[:4]]
+        handle.call("prepare", ids)
+        staged_bytes = loader.ledger.live_bytes("sample_payload")
+        assert staged_bytes > 0
+        handle.call("fetch_prepared", ids)
+        assert loader.ledger.live_bytes("sample_payload") == 0
+
+    def test_deferred_transforms_reduce_transfer(self, system, small_catalog, filesystem):
+        image_index = next(
+            i for i, s in enumerate(small_catalog.sources()) if s.avg_image_tokens > 0
+        )
+        eager = spawn_loader(system, small_catalog, filesystem, source_index=image_index)
+        deferred = system.create_actor(
+            lambda: SourceLoader(
+                small_catalog.sources()[image_index],
+                filesystem,
+                deferred_transforms={"image_decode"},
+            ),
+            name="deferred-loader",
+            memory_bytes=GIB,
+        )
+        ids_eager = [m.sample_id for m in eager.instance().summary_buffer()[:4]]
+        ids_deferred = [m.sample_id for m in deferred.instance().summary_buffer()[:4]]
+        eager_bytes = eager.call("prepare", ids_eager)["staged_bytes"]
+        deferred_bytes = deferred.call("prepare", ids_deferred)["staged_bytes"]
+        assert deferred_bytes < eager_bytes
+
+
+class TestShardingAndCheckpoint:
+    def test_shards_have_disjoint_buffers(self, system, small_catalog, filesystem):
+        a = spawn_loader(system, small_catalog, filesystem, shard_index=0, shard_count=2, buffer_size=8)
+        b = spawn_loader(system, small_catalog, filesystem, shard_index=1, shard_count=2, buffer_size=8)
+        ids_a = {m.sample_id for m in a.instance().summary_buffer()}
+        ids_b = {m.sample_id for m in b.instance().summary_buffer()}
+        assert not ids_a & ids_b
+
+    def test_state_dict_roundtrip(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        loader = handle.instance()
+        ids = [m.sample_id for m in loader.summary_buffer()[:4]]
+        handle.call("prepare", ids)
+        state = loader.state_dict()
+        assert state["samples_prepared"] == 4
+
+        fresh = SourceLoader(loader.source, filesystem, buffer_size=8)
+        fresh.on_start()
+        fresh.load_state_dict(state)
+        assert fresh.stats.samples_prepared == 4
+
+    def test_state_dict_source_mismatch(self, system, small_catalog, filesystem):
+        a = spawn_loader(system, small_catalog, filesystem, source_index=0)
+        b = spawn_loader(system, small_catalog, filesystem, source_index=1)
+        with pytest.raises(PlanError):
+            b.instance().load_state_dict(a.instance().state_dict())
+
+    def test_heartbeat_payload(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        payload = handle.call("heartbeat_payload")
+        assert payload["buffer_depth"] == 8
+        assert payload["source"] == small_catalog.sources()[0].name
+
+    def test_differential_checkpoint_interval(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        loader = handle.instance()
+        assert not loader.should_checkpoint()
+        loader._steps_since_checkpoint = loader._checkpoint_interval
+        assert loader.should_checkpoint()
+        loader.mark_checkpointed()
+        assert not loader.should_checkpoint()

@@ -1,0 +1,89 @@
+"""Unit tests for the Fig. 2 token length distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    COYO_IMAGE,
+    COYO_TEXT,
+    LENGTH_BUCKETS,
+    NAVIT_IMAGE,
+    NAVIT_TEXT,
+    BucketedLengthDistribution,
+    distribution_for,
+    skewness_ratio,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestConstruction:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            BucketedLengthDistribution("bad", tuple([0.5] * len(LENGTH_BUCKETS)))
+
+    def test_wrong_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            BucketedLengthDistribution("bad", (0.5, 0.5))
+
+    @pytest.mark.parametrize("dist", [COYO_TEXT, COYO_IMAGE, NAVIT_TEXT, NAVIT_IMAGE])
+    def test_published_distributions_are_normalized(self, dist):
+        assert sum(dist.bucket_probs) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSampling:
+    def test_lengths_within_bucket_range(self):
+        rng = derive_rng(0, "t")
+        lengths = COYO_TEXT.sample_lengths(5000, rng)
+        assert lengths.min() >= 1
+        assert lengths.max() <= LENGTH_BUCKETS[-1]
+
+    def test_sampling_is_deterministic_per_seed(self):
+        a = COYO_TEXT.sample_lengths(100, derive_rng(3, "x"))
+        b = COYO_TEXT.sample_lengths(100, derive_rng(3, "x"))
+        assert np.array_equal(a, b)
+
+    def test_coyo_text_is_mostly_short(self):
+        lengths = COYO_TEXT.sample_lengths(20000, derive_rng(0, "coyo"))
+        assert (lengths <= 64).mean() > 0.85
+
+    def test_navit_text_has_long_tail(self):
+        lengths = NAVIT_TEXT.sample_lengths(20000, derive_rng(0, "navit"))
+        assert (lengths > 1024).mean() > 0.3
+
+    def test_image_distributions_are_heavier_than_text(self):
+        text = COYO_TEXT.sample_lengths(5000, derive_rng(0, "a")).mean()
+        image = COYO_IMAGE.sample_lengths(5000, derive_rng(0, "b")).mean()
+        assert image > 10 * text
+
+    def test_histogram_matches_published_marginals(self):
+        lengths = NAVIT_IMAGE.sample_lengths(50000, derive_rng(0, "h"))
+        hist = NAVIT_IMAGE.bucket_histogram(lengths)
+        assert np.abs(hist - np.array(NAVIT_IMAGE.bucket_probs)).max() < 0.02
+
+    def test_token_share_histogram_sums_to_one(self):
+        lengths = COYO_TEXT.sample_lengths(5000, derive_rng(0, "s"))
+        shares = COYO_TEXT.token_share_histogram(lengths)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_long_tail_dominates_tokens_for_coyo(self):
+        """The paper: 1.62% of long samples account for 9.3% of tokens."""
+        lengths = COYO_TEXT.sample_lengths(50000, derive_rng(0, "skew"))
+        assert skewness_ratio(lengths) > 3.0
+
+
+class TestLookup:
+    def test_known_combinations(self):
+        assert distribution_for("coyo700m", "text") is COYO_TEXT
+        assert distribution_for("navit_data", "image") is NAVIT_IMAGE
+
+    def test_unknown_combination(self):
+        with pytest.raises(KeyError):
+            distribution_for("laion", "text")
+
+    def test_skewness_of_empty_series(self):
+        assert skewness_ratio(np.array([])) == 0.0
+
+    def test_skewness_of_uniform_short_series(self):
+        assert skewness_ratio(np.full(100, 10)) == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for mixture schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.mixture import MixturePhase, MixtureSchedule
+from repro.errors import MixtureError
+from repro.utils.rng import derive_rng
+
+
+class TestStatic:
+    def test_weights_normalized(self):
+        schedule = MixtureSchedule.static({"a": 2.0, "b": 2.0})
+        weights = schedule.weights_at(0)
+        assert weights == {"a": 0.5, "b": 0.5}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.static({"a": -1.0, "b": 2.0})
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.static({"a": 0.0})
+
+    def test_uniform(self):
+        schedule = MixtureSchedule.uniform(["a", "b", "c", "d"])
+        assert schedule.weights_at(10)["c"] == pytest.approx(0.25)
+
+    def test_uniform_requires_sources(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.uniform([])
+
+    def test_negative_step_rejected(self):
+        schedule = MixtureSchedule.uniform(["a"])
+        with pytest.raises(MixtureError):
+            schedule.weights_at(-1)
+
+
+class TestStaged:
+    def test_phase_switching(self):
+        schedule = MixtureSchedule.staged(
+            [
+                MixturePhase(0, {"easy": 0.9, "hard": 0.1}),
+                MixturePhase(100, {"easy": 0.3, "hard": 0.7}),
+            ]
+        )
+        assert schedule.weights_at(50)["easy"] == pytest.approx(0.9)
+        assert schedule.weights_at(150)["hard"] == pytest.approx(0.7)
+
+    def test_first_phase_must_start_at_zero(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.staged([MixturePhase(10, {"a": 1.0})])
+
+    def test_missing_source_in_phase_gets_zero(self):
+        schedule = MixtureSchedule.staged(
+            [MixturePhase(0, {"a": 1.0}), MixturePhase(5, {"b": 1.0})]
+        )
+        assert schedule.weights_at(0)["b"] == 0.0
+        assert schedule.weights_at(6)["a"] == 0.0
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.staged([])
+
+
+class TestWarmup:
+    def test_interpolation(self):
+        schedule = MixtureSchedule.warmup({"a": 1.0, "b": 0.0001}, {"a": 0.0001, "b": 1.0}, 100)
+        early = schedule.weights_at(0)
+        late = schedule.weights_at(100)
+        assert early["a"] > 0.9
+        assert late["b"] > 0.9
+        mid = schedule.weights_at(50)
+        assert 0.4 < mid["a"] < 0.6
+
+    def test_requires_positive_steps(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.warmup({"a": 1.0}, {"a": 1.0}, 0)
+
+
+class TestAdaptive:
+    def test_upweights_high_loss_sources(self):
+        losses = {"hard": 5.0, "easy": 1.0}
+        schedule = MixtureSchedule.adaptive(["hard", "easy"], lambda step: losses)
+        weights = schedule.weights_at(0)
+        assert weights["hard"] > weights["easy"]
+
+    def test_refresh_interval_caches_weights(self):
+        calls = []
+
+        def metric_fn(step):
+            calls.append(step)
+            return {"a": 1.0, "b": 1.0}
+
+        schedule = MixtureSchedule.adaptive(["a", "b"], metric_fn, refresh_every=5)
+        for step in range(10):
+            schedule.weights_at(step)
+        assert calls == [0, 5]
+
+    def test_invalid_temperature(self):
+        with pytest.raises(MixtureError):
+            MixtureSchedule.adaptive(["a"], lambda s: {"a": 1.0}, temperature=0.0)
+
+
+class TestSamplingAndAverages:
+    def test_sample_sources_respects_weights(self):
+        schedule = MixtureSchedule.static({"a": 0.9, "b": 0.1})
+        picks = schedule.sample_sources(0, 2000, derive_rng(0, "mix"))
+        frac_a = picks.count("a") / len(picks)
+        assert 0.85 < frac_a < 0.95
+
+    def test_sample_sources_deterministic(self):
+        schedule = MixtureSchedule.static({"a": 0.5, "b": 0.5})
+        a = schedule.sample_sources(0, 50, derive_rng(1, "m"))
+        b = schedule.sample_sources(0, 50, derive_rng(1, "m"))
+        assert a == b
+
+    def test_moving_average_tracks_schedule_change(self):
+        schedule = MixtureSchedule.staged(
+            [MixturePhase(0, {"a": 1.0, "b": 0.0001}), MixturePhase(10, {"a": 0.0001, "b": 1.0})]
+        )
+        avg_before = schedule.moving_average(5, window=5)
+        avg_after = schedule.moving_average(30, window=5)
+        assert avg_before["a"] > 0.9
+        assert avg_after["b"] > 0.9
+
+    def test_moving_average_window_validation(self):
+        schedule = MixtureSchedule.uniform(["a"])
+        with pytest.raises(MixtureError):
+            schedule.moving_average(5, window=0)

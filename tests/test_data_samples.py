@@ -1,0 +1,75 @@
+"""Unit tests for sample metadata and payload types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.samples import Modality, Sample, SampleMetadata, metadata_from_record
+
+
+class TestSampleMetadata:
+    def test_total_tokens(self, sample_factory):
+        metadata = sample_factory(1, text_tokens=30, image_tokens=70)
+        assert metadata.total_tokens == 100
+
+    def test_with_updates_returns_copy(self, sample_factory):
+        metadata = sample_factory(1, text_tokens=10)
+        updated = metadata.with_updates(text_tokens=20)
+        assert metadata.text_tokens == 10
+        assert updated.text_tokens == 20
+        assert updated.sample_id == metadata.sample_id
+
+    def test_metadata_is_hashable(self, sample_factory):
+        assert len({sample_factory(1), sample_factory(1)}) == 1
+
+    def test_modality_string_round_trip(self):
+        assert Modality("image") is Modality.IMAGE
+        assert str(Modality.VIDEO) == "video"
+
+
+class TestSample:
+    def test_mark_transformed_records_history(self, sample_factory):
+        sample = Sample(metadata=sample_factory(1))
+        sample.mark_transformed("tokenize", new_state="tokenized")
+        sample.mark_transformed("crop")
+        assert sample.applied_transforms == ["tokenize", "crop"]
+        assert sample.state == "tokenized"
+
+    def test_payload_bytes_counts_arrays_and_bytes(self, sample_factory):
+        sample = Sample(metadata=sample_factory(1))
+        sample.payload["tokens"] = np.zeros(100, dtype=np.int32)
+        sample.payload["raw"] = b"x" * 50
+        sample.payload["list"] = [1, 2, 3]
+        assert sample.payload_bytes() == 400 + 50 + 24
+
+    def test_convenience_properties(self, sample_factory):
+        sample = Sample(metadata=sample_factory(7, source="s"))
+        assert sample.sample_id == 7
+        assert sample.source == "s"
+
+
+class TestMetadataFromRecord:
+    def test_full_record(self):
+        record = {
+            "sample_id": 5,
+            "modality": "image",
+            "text_tokens": 12,
+            "image_tokens": 300,
+            "raw_bytes": 1000,
+            "decoded_bytes": 12000,
+        }
+        metadata = metadata_from_record(record, source="src-a")
+        assert metadata.sample_id == 5
+        assert metadata.modality is Modality.IMAGE
+        assert metadata.source == "src-a"
+        assert metadata.total_tokens == 312
+
+    def test_defaults_for_missing_fields(self):
+        metadata = metadata_from_record({"sample_id": 1}, source="s")
+        assert metadata.modality is Modality.TEXT
+        assert metadata.text_tokens == 0
+
+    def test_invalid_modality_raises(self):
+        with pytest.raises(ValueError):
+            metadata_from_record({"sample_id": 1, "modality": "hologram"}, source="s")

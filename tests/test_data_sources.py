@@ -1,0 +1,135 @@
+"""Unit tests for data sources, catalogs and cursors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.samples import Modality
+from repro.data.sources import (
+    DataSource,
+    SourceCatalog,
+    SourceCursor,
+    estimate_source_weights,
+    heterogeneity_index,
+)
+from repro.data.synthetic import build_source_catalog, navit_like_spec
+from repro.errors import ConfigurationError
+
+
+def make_source(name="s", modality=Modality.TEXT, num_samples=10):
+    return DataSource(
+        name=name, modality=modality, paths=("/data/x",), num_samples=num_samples
+    )
+
+
+class TestDataSource:
+    def test_requires_samples(self):
+        with pytest.raises(ConfigurationError):
+            make_source(num_samples=0)
+
+    def test_requires_paths(self):
+        with pytest.raises(ConfigurationError):
+            DataSource(name="s", modality=Modality.TEXT, paths=(), num_samples=1)
+
+    def test_expected_latency_scales_with_cost(self):
+        cheap = make_source("cheap")
+        expensive = DataSource(
+            name="exp",
+            modality=Modality.IMAGE,
+            paths=("/p",),
+            num_samples=1,
+            avg_image_tokens=1000,
+        )
+        assert expensive.expected_transform_latency() > cheap.expected_transform_latency()
+
+
+class TestSourceCatalog:
+    def test_add_and_get(self):
+        catalog = SourceCatalog([make_source("a"), make_source("b")])
+        assert catalog.get("a").name == "a"
+        assert len(catalog) == 2
+        assert "a" in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = SourceCatalog([make_source("a")])
+        with pytest.raises(ConfigurationError):
+            catalog.add(make_source("a"))
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceCatalog().get("nope")
+
+    def test_total_samples(self):
+        catalog = SourceCatalog([make_source("a", num_samples=5), make_source("b", num_samples=7)])
+        assert catalog.total_samples() == 12
+
+    def test_by_modality(self, small_catalog):
+        images = small_catalog.by_modality(Modality.IMAGE)
+        assert all(source.modality is Modality.IMAGE for source in images)
+
+    def test_transform_cost_spread_is_large_for_heterogeneous_catalog(self, small_catalog):
+        assert small_catalog.transform_cost_spread() > 2.0
+
+    def test_empty_catalog_spread(self):
+        assert SourceCatalog().transform_cost_spread() == 1.0
+
+
+class TestSourceCursor:
+    @pytest.fixture()
+    def catalog(self, filesystem):
+        return build_source_catalog(
+            navit_like_spec(num_sources=2, samples_per_source=20, seed=1), filesystem
+        )
+
+    def test_sequential_reads_and_wraparound(self, filesystem, catalog):
+        source = catalog.sources()[0]
+        cursor = SourceCursor(source, filesystem)
+        first = cursor.next_metadata()
+        for _ in range(source.num_samples - 1):
+            cursor.next_metadata()
+        wrapped = cursor.next_metadata()
+        assert wrapped.sample_id == first.sample_id
+
+    def test_sharding_partitions_rows(self, filesystem, catalog):
+        source = catalog.sources()[0]
+        shard0 = SourceCursor(source, filesystem, shard_index=0, shard_count=2)
+        shard1 = SourceCursor(source, filesystem, shard_index=1, shard_count=2)
+        ids0 = {m.sample_id for m in shard0.take(source.num_samples // 2)}
+        ids1 = {m.sample_id for m in shard1.take(source.num_samples // 2)}
+        assert not ids0 & ids1
+
+    def test_invalid_shard_rejected(self, filesystem, catalog):
+        source = catalog.sources()[0]
+        with pytest.raises(ConfigurationError):
+            SourceCursor(source, filesystem, shard_index=2, shard_count=2)
+
+    def test_state_dict_roundtrip(self, filesystem, catalog):
+        source = catalog.sources()[0]
+        cursor = SourceCursor(source, filesystem)
+        cursor.take(5)
+        state = cursor.state_dict()
+        other = SourceCursor(source, filesystem)
+        other.load_state_dict(state)
+        assert other.next_metadata().sample_id == cursor.next_metadata().sample_id
+
+    def test_state_dict_shard_mismatch(self, filesystem, catalog):
+        source = catalog.sources()[0]
+        cursor = SourceCursor(source, filesystem, shard_index=0, shard_count=2)
+        other = SourceCursor(source, filesystem)
+        with pytest.raises(ConfigurationError):
+            other.load_state_dict(cursor.state_dict())
+
+
+class TestHelpers:
+    def test_estimate_source_weights_proportional(self):
+        sources = [make_source("a", num_samples=30), make_source("b", num_samples=10)]
+        weights = estimate_source_weights(sources)
+        assert weights["a"] == pytest.approx(0.75)
+        assert weights["b"] == pytest.approx(0.25)
+
+    def test_heterogeneity_index_zero_for_identical_sources(self):
+        sources = [make_source("a"), make_source("b")]
+        assert heterogeneity_index(sources) == pytest.approx(0.0)
+
+    def test_heterogeneity_index_positive_for_mixed_catalog(self, small_catalog):
+        assert heterogeneity_index(small_catalog.sources()) > 0.0

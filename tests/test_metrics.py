@@ -1,0 +1,183 @@
+"""Unit tests for memory ledgers, timelines and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.memory import MemoryLedger
+from repro.metrics.report import MetricReport, summarize
+from repro.metrics.timeline import Timeline
+
+
+class TestMemoryLedger:
+    def test_charge_and_total(self):
+        ledger = MemoryLedger()
+        ledger.charge("buffer", 100)
+        ledger.charge("buffer", 50)
+        assert ledger.total_bytes() == 150
+        assert ledger.live_bytes("buffer") == 150
+
+    def test_release_partial(self):
+        ledger = MemoryLedger()
+        ledger.charge("buffer", 100)
+        ledger.release("buffer", 40)
+        assert ledger.total_bytes() == 60
+
+    def test_release_clamps_to_zero(self):
+        ledger = MemoryLedger()
+        ledger.charge("buffer", 10)
+        ledger.release("buffer", 100)
+        assert ledger.total_bytes() == 0
+
+    def test_negative_charge_rejected(self):
+        ledger = MemoryLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("buffer", -1)
+
+    def test_negative_release_rejected(self):
+        ledger = MemoryLedger()
+        with pytest.raises(ValueError):
+            ledger.release("buffer", -1)
+
+    def test_peak_tracking(self):
+        ledger = MemoryLedger()
+        ledger.charge("a", 100)
+        ledger.release("a", 100)
+        ledger.charge("a", 30)
+        assert ledger.peak_bytes() >= 100
+        assert ledger.total_bytes() == 30
+
+    def test_hierarchical_adoption(self):
+        parent = MemoryLedger(name="node")
+        child = MemoryLedger(name="actor")
+        parent.adopt(child)
+        child.charge("x", 42)
+        assert parent.total_bytes() == 42
+
+    def test_disown_removes_child(self):
+        parent = MemoryLedger()
+        child = MemoryLedger()
+        parent.adopt(child)
+        child.charge("x", 10)
+        parent.disown(child)
+        assert parent.total_bytes() == 0
+
+    def test_disown_unknown_child_is_noop(self):
+        parent = MemoryLedger()
+        parent.disown(MemoryLedger())
+
+    def test_snapshot_merges_categories(self):
+        parent = MemoryLedger()
+        child = MemoryLedger()
+        parent.adopt(child)
+        parent.charge("a", 10)
+        child.charge("a", 5)
+        child.charge("b", 1)
+        snapshot = parent.snapshot()
+        assert snapshot.category("a") == 15
+        assert snapshot.category("b") == 1
+        assert snapshot.total_bytes == 16
+
+    def test_snapshot_fraction(self):
+        ledger = MemoryLedger()
+        ledger.charge("a", 75)
+        ledger.charge("b", 25)
+        assert ledger.snapshot().fraction("a") == pytest.approx(0.75)
+
+    def test_release_all_category(self):
+        ledger = MemoryLedger()
+        ledger.charge("a", 10)
+        ledger.charge("b", 5)
+        ledger.release_all("a")
+        assert ledger.total_bytes() == 5
+
+    def test_release_all(self):
+        ledger = MemoryLedger()
+        ledger.charge("a", 10)
+        ledger.release_all()
+        assert ledger.total_bytes() == 0
+
+
+class TestTimeline:
+    def test_record_and_filter(self):
+        timeline = Timeline()
+        timeline.record("planner", "gather", 0.0, 1.0)
+        timeline.record("loader", "prepare", 1.0, 2.0)
+        assert len(timeline) == 2
+        assert len(timeline.events(component="planner")) == 1
+        assert len(timeline.events(name="prepare")) == 1
+
+    def test_negative_duration_rejected(self):
+        timeline = Timeline()
+        with pytest.raises(ValueError):
+            timeline.record("x", "y", 0.0, -1.0)
+
+    def test_total_duration(self):
+        timeline = Timeline()
+        timeline.record("a", "x", 0.0, 1.5)
+        timeline.record("a", "y", 2.0, 0.5)
+        assert timeline.total_duration(component="a") == pytest.approx(2.0)
+
+    def test_span_is_latest_end(self):
+        timeline = Timeline()
+        timeline.record("a", "x", 0.0, 1.0)
+        timeline.record("b", "y", 5.0, 2.0)
+        assert timeline.span() == pytest.approx(7.0)
+
+    def test_empty_span_is_zero(self):
+        assert Timeline().span() == 0.0
+
+    def test_breakdown_by_component(self):
+        timeline = Timeline()
+        timeline.record("a", "x", 0.0, 1.0)
+        timeline.record("a", "y", 0.0, 2.0)
+        timeline.record("b", "z", 0.0, 4.0)
+        breakdown = timeline.breakdown()
+        assert breakdown["a"] == pytest.approx(3.0)
+        assert breakdown["b"] == pytest.approx(4.0)
+
+    def test_merge(self):
+        a = Timeline()
+        b = Timeline()
+        a.record("a", "x", 0.0, 1.0)
+        b.record("b", "y", 0.0, 1.0)
+        a.merge(b)
+        assert len(a) == 2
+
+    def test_event_metadata_preserved(self):
+        timeline = Timeline()
+        event = timeline.record("a", "x", 0.0, 1.0, microbatch=3)
+        assert event.metadata["microbatch"] == 3
+        assert event.end == pytest.approx(1.0)
+
+
+class TestMetricReport:
+    def test_add_row_and_column(self):
+        report = MetricReport(title="t", columns=["name", "value"])
+        report.add_row("a", 1.0)
+        report.add_row("b", 2.0)
+        assert report.column("value") == [1.0, 2.0]
+
+    def test_row_arity_checked(self):
+        report = MetricReport(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row(1)
+
+    def test_to_text_contains_title_and_values(self):
+        report = MetricReport(title="Fig X", columns=["metric", "value"])
+        report.add_row("speedup", 4.5)
+        text = report.to_text()
+        assert "Fig X" in text
+        assert "speedup" in text
+        assert "4.500" in text
+
+    def test_summarize_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_summarize_empty(self):
+        stats = summarize([])
+        assert stats["mean"] == 0.0
+        assert stats["p95"] == 0.0

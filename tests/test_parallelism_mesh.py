@@ -1,0 +1,92 @@
+"""Unit tests for the hybrid-parallel device mesh."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallelism.mesh import DeviceMesh, ParallelDims
+
+
+class TestParallelDims:
+    def test_world_size(self):
+        assert ParallelDims(pp=2, dp=3, cp=2, tp=4).world_size == 48
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            ParallelDims(pp=0)
+
+
+class TestDeviceMesh:
+    def test_world_size_and_nodes(self):
+        mesh = DeviceMesh(pp=2, dp=2, cp=2, tp=2, gpus_per_node=8)
+        assert mesh.world_size == 16
+        assert mesh.num_nodes == 2
+
+    def test_coordinate_round_trip(self):
+        mesh = DeviceMesh(pp=2, dp=2, cp=2, tp=2)
+        for rank in range(mesh.world_size):
+            coord = mesh.coordinate(rank)
+            assert coord.rank == rank
+            assert mesh.ranks_where(pp=coord.pp, dp=coord.dp, cp=coord.cp, tp=coord.tp) == [rank]
+
+    def test_tp_is_innermost(self):
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=4)
+        assert [mesh.coordinate(r).tp for r in range(4)] == [0, 1, 2, 3]
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMesh(dp=2).coordinate(2)
+
+    def test_invalid_gpus_per_node(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMesh(gpus_per_node=0)
+
+    def test_node_of_rank(self):
+        mesh = DeviceMesh(pp=1, dp=4, cp=1, tp=4, gpus_per_node=8)
+        assert mesh.node_of_rank(0) == 0
+        assert mesh.node_of_rank(15) == 1
+
+
+class TestGroups:
+    def test_group_of_tp(self):
+        mesh = DeviceMesh(pp=1, dp=2, cp=1, tp=4)
+        group = mesh.group_of(rank=1, axis="TP")
+        assert group == [0, 1, 2, 3]
+
+    def test_group_of_dp(self):
+        mesh = DeviceMesh(pp=1, dp=2, cp=1, tp=2)
+        group = mesh.group_of(rank=0, axis="DP")
+        assert len(group) == 2
+        assert all(mesh.coordinate(r).tp == 0 for r in group)
+
+    def test_group_sizes_match_axis(self, vlm_mesh):
+        for axis in ("PP", "DP", "CP", "TP"):
+            group = vlm_mesh.group_of(0, axis)
+            assert len(group) == vlm_mesh.size(axis)
+
+    def test_data_consumers_dp(self):
+        mesh = DeviceMesh(pp=2, dp=2, cp=2, tp=2)
+        groups = mesh.data_consumers("DP")
+        assert len(groups) == 2
+        assert sum(len(g) for g in groups) == mesh.world_size
+
+    def test_data_consumers_cp(self):
+        mesh = DeviceMesh(pp=1, dp=2, cp=2, tp=2)
+        groups = mesh.data_consumers("CP")
+        assert len(groups) == 4
+
+    def test_data_consumers_world(self):
+        mesh = DeviceMesh(pp=1, dp=2, cp=2, tp=1)
+        groups = mesh.data_consumers("WORLD")
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+
+    def test_unknown_axis(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMesh().data_consumers("EP")
+
+    def test_describe_mentions_all_dims(self, vlm_mesh):
+        text = vlm_mesh.describe()
+        for token in ("PP=2", "DP=2", "CP=2", "TP=2"):
+            assert token in text

@@ -1,0 +1,104 @@
+"""Property-based tests for the balancing strategies."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancing import (
+    WeightedItem,
+    balance_items,
+    greedy_binpack,
+    interleaved_balance,
+    karmarkar_karp,
+)
+
+costs_strategy = st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=80)
+bins_strategy = st.integers(min_value=1, max_value=12)
+
+
+def make_items(costs):
+    return [WeightedItem(key=index, cost=cost) for index, cost in enumerate(costs)]
+
+
+@given(costs=costs_strategy, num_bins=bins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_preserves_every_item_exactly_once(costs, num_bins):
+    result = greedy_binpack(make_items(costs), num_bins)
+    keys = sorted(key for bin_keys in result.keys_per_bin() for key in bin_keys)
+    assert keys == list(range(len(costs)))
+
+
+@given(costs=costs_strategy, num_bins=bins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_total_cost_conserved(costs, num_bins):
+    result = greedy_binpack(make_items(costs), num_bins)
+    assert math.isclose(sum(result.bin_costs), sum(costs), rel_tol=1e-9)
+
+
+@given(costs=costs_strategy, num_bins=bins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_makespan_bounds(costs, num_bins):
+    """LPT greedy is within 4/3 - 1/(3k) of the optimal makespan lower bound."""
+    result = greedy_binpack(make_items(costs), num_bins)
+    lower_bound = max(max(costs), sum(costs) / num_bins)
+    assert result.max_cost >= lower_bound * (1.0 - 1e-9)
+    assert result.max_cost <= (4.0 / 3.0) * lower_bound * (1.0 + 1e-9) + 1e-6
+
+
+@given(costs=costs_strategy, num_bins=bins_strategy)
+@settings(max_examples=40, deadline=None)
+def test_karmarkar_karp_preserves_items_and_cost(costs, num_bins):
+    result = karmarkar_karp(make_items(costs), num_bins)
+    keys = sorted(key for bin_keys in result.keys_per_bin() for key in bin_keys)
+    assert keys == list(range(len(costs)))
+    assert math.isclose(sum(result.bin_costs), sum(costs), rel_tol=1e-9)
+    assert len(result.bins) == num_bins
+
+
+@given(costs=costs_strategy, num_bins=bins_strategy)
+@settings(max_examples=40, deadline=None)
+def test_interleave_preserves_items(costs, num_bins):
+    result = interleaved_balance(make_items(costs), num_bins)
+    keys = sorted(key for bin_keys in result.keys_per_bin() for key in bin_keys)
+    assert keys == list(range(len(costs)))
+
+
+@given(
+    costs=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=8, max_size=64),
+    num_bins=st.integers(min_value=2, max_value=8),
+    method=st.sampled_from(["greedy", "karmarkar-karp"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cost_aware_methods_within_approximation_of_arrival_order(costs, num_bins, method):
+    """Greedy / KK stay within the LPT approximation factor of *any* split,
+    including the contiguous arrival-order one a baseline loader would use."""
+    items = make_items(costs)
+    balanced = balance_items(items, num_bins, method)
+    chunk = math.ceil(len(costs) / num_bins)
+    arrival_max = max(
+        sum(costs[i : i + chunk]) for i in range(0, len(costs), chunk)
+    )
+    assert balanced.max_cost <= (4.0 / 3.0) * arrival_max + 1e-6
+
+
+@given(
+    costs=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=4, max_size=64),
+    num_bins=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_interleave_within_two_of_lower_bound(costs, num_bins):
+    """The zig-zag deal is cheap, not optimal, but stays within 2x of the lower bound."""
+    balanced = balance_items(make_items(costs), num_bins, "interleave")
+    lower_bound = max(max(costs), sum(costs) / num_bins)
+    assert balanced.max_cost <= 2.0 * lower_bound + 1e-6
+
+
+@given(costs=costs_strategy)
+@settings(max_examples=30, deadline=None)
+def test_single_bin_gets_everything(costs):
+    for method in ("greedy", "karmarkar-karp", "interleave"):
+        result = balance_items(make_items(costs), 1, method)
+        assert math.isclose(result.bin_costs[0], sum(costs), rel_tol=1e-9)

@@ -1,0 +1,159 @@
+"""Property-based tests for core invariants: packing, ledgers, mesh, mixtures, DGraph."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dgraph import DGraph
+from repro.core.place_tree import ClientPlaceTree
+from repro.data.mixture import MixtureSchedule
+from repro.data.samples import Modality, SampleMetadata
+from repro.metrics.memory import MemoryLedger
+from repro.parallelism.mesh import DeviceMesh
+from repro.transforms.microbatch import Microbatch, PackingCollator, apply_rope_positions
+
+# -- strategies -------------------------------------------------------------------
+
+sample_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8192),  # text tokens
+        st.integers(min_value=0, max_value=8192),  # image tokens
+    ),
+    min_size=1,
+    max_size=48,
+)
+
+mesh_dims = st.tuples(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def make_samples(spec):
+    return [
+        SampleMetadata(
+            sample_id=index,
+            source=f"src{index % 3}",
+            modality=Modality.IMAGE if image else Modality.TEXT,
+            text_tokens=text,
+            image_tokens=image,
+        )
+        for index, (text, image) in enumerate(spec)
+    ]
+
+
+# -- packing ---------------------------------------------------------------------
+
+
+@given(spec=sample_lists, max_len=st.integers(min_value=128, max_value=16384))
+@settings(max_examples=60, deadline=None)
+def test_packing_never_exceeds_max_length_and_loses_no_sample(spec, max_len):
+    samples = make_samples(spec)
+    collated = PackingCollator(max_sequence_length=max_len).collate(
+        Microbatch(index=0, samples=samples)
+    )
+    assert all(seq.tokens <= max_len for seq in collated.sequences)
+    packed_ids = sorted(sid for seq in collated.sequences for sid, _ in seq.segments)
+    assert packed_ids == sorted(s.sample_id for s in samples)
+
+
+@given(spec=sample_lists, max_len=st.integers(min_value=128, max_value=16384))
+@settings(max_examples=40, deadline=None)
+def test_rope_positions_length_matches_tokens(spec, max_len):
+    samples = make_samples(spec)
+    collated = apply_rope_positions(
+        PackingCollator(max_sequence_length=max_len).collate(Microbatch(index=0, samples=samples))
+    )
+    assert len(collated.position_ids) == collated.total_tokens()
+    assert (collated.position_ids >= 0).all()
+
+
+# -- memory ledger ---------------------------------------------------------------
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["charge", "release"]), st.integers(min_value=0, max_value=10**9)),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ledger_never_negative_and_peak_monotone(operations):
+    ledger = MemoryLedger()
+    peak_seen = 0
+    for op, amount in operations:
+        if op == "charge":
+            ledger.charge("cat", amount)
+        else:
+            ledger.release("cat", amount)
+        assert ledger.total_bytes() >= 0
+        peak_seen = max(peak_seen, ledger.total_bytes())
+    assert ledger.peak_bytes() >= peak_seen
+
+
+# -- device mesh ------------------------------------------------------------------
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_mesh_consumer_groups_partition_world(dims):
+    pp, dp, cp, tp = dims
+    mesh = DeviceMesh(pp=pp, dp=dp, cp=cp, tp=tp)
+    for axis in ("DP", "CP", "WORLD"):
+        groups = mesh.data_consumers(axis)
+        ranks = sorted(rank for group in groups for rank in group)
+        assert ranks == list(range(mesh.world_size))
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_place_tree_fetching_ranks_one_per_broadcast_group(dims):
+    pp, dp, cp, tp = dims
+    mesh = DeviceMesh(pp=pp, dp=dp, cp=cp, tp=tp)
+    tree = ClientPlaceTree(mesh)
+    tree.mark_broadcast("TP")
+    fetchers = tree.fetching_ranks()
+    assert len(fetchers) == pp * dp * cp
+    assert all(mesh.coordinate(rank).tp == 0 for rank in fetchers)
+
+
+# -- mixtures ----------------------------------------------------------------------
+
+
+@given(
+    weights=st.dictionaries(
+        st.sampled_from([f"s{i}" for i in range(6)]),
+        st.floats(min_value=0.001, max_value=100.0),
+        min_size=1,
+        max_size=6,
+    ),
+    step=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_mixture_weights_always_normalized(weights, step):
+    schedule = MixtureSchedule.static(weights)
+    at_step = schedule.weights_at(step)
+    assert abs(sum(at_step.values()) - 1.0) < 1e-9
+    assert all(value >= 0 for value in at_step.values())
+
+
+# -- dgraph -------------------------------------------------------------------------
+
+
+@given(spec=sample_lists, dims=mesh_dims, microbatches=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_dgraph_plan_assigns_every_selected_sample_once(spec, dims, microbatches):
+    pp, dp, cp, tp = dims
+    samples = make_samples(spec)
+    tree = ClientPlaceTree(DeviceMesh(pp=pp, dp=dp, cp=cp, tp=tp))
+    dgraph = DGraph.from_buffer_infos(samples).init(tree)
+    dgraph.distribute("DP").balance(num_microbatches=microbatches)
+    plan = dgraph.plan()
+    assigned = sorted(
+        sid for assignment in plan.module.assignments for sid in assignment.sample_ids()
+    )
+    assert assigned == sorted(s.sample_id for s in samples)
+    plan.module.validate()

@@ -1,0 +1,122 @@
+"""Unit tests for the columnar reader and its access-state memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.metrics.memory import MemoryLedger
+from repro.storage.columnar import ColumnSchema, write_columnar_file
+from repro.storage.reader import (
+    SCHEMA_STATE_BYTES,
+    SOCKET_STATE_BYTES,
+    ColumnarReader,
+    ReaderConfig,
+)
+
+SCHEMA = [ColumnSchema("sample_id", "int64", 8), ColumnSchema("tokens", "int32", 4)]
+
+
+@pytest.fixture()
+def stored_file(filesystem):
+    records = [{"sample_id": i, "tokens": i} for i in range(30)]
+    file = write_columnar_file("/data/f", records, SCHEMA, rows_per_group=10)
+    filesystem.write("/data/f", file, size_bytes=file.total_bytes(), kind="columnar")
+    return file
+
+
+class TestLifecycle:
+    def test_open_charges_file_state(self, filesystem, stored_file):
+        ledger = MemoryLedger()
+        reader = ColumnarReader(filesystem, "/data/f", ledger)
+        latency = reader.open()
+        assert latency > 0
+        expected = SOCKET_STATE_BYTES + SCHEMA_STATE_BYTES + stored_file.footer_bytes
+        assert ledger.live_bytes("file_state") == expected
+
+    def test_close_releases_everything(self, filesystem, stored_file):
+        ledger = MemoryLedger()
+        with ColumnarReader(filesystem, "/data/f", ledger) as reader:
+            reader.read_row(0)
+            assert ledger.total_bytes() > 0
+        assert ledger.total_bytes() == 0
+
+    def test_double_open_is_idempotent(self, filesystem, stored_file):
+        ledger = MemoryLedger()
+        reader = ColumnarReader(filesystem, "/data/f", ledger)
+        reader.open()
+        before = ledger.total_bytes()
+        assert reader.open() == 0.0
+        assert ledger.total_bytes() == before
+
+    def test_read_before_open_raises(self, filesystem, stored_file):
+        reader = ColumnarReader(filesystem, "/data/f", MemoryLedger())
+        with pytest.raises(StorageError):
+            reader.read_row(0)
+
+    def test_non_columnar_payload_rejected(self, filesystem):
+        filesystem.write("/blob", b"raw", size_bytes=3)
+        reader = ColumnarReader(filesystem, "/blob", MemoryLedger())
+        with pytest.raises(StorageError):
+            reader.open()
+
+    def test_connection_tracked_in_filesystem(self, filesystem, stored_file):
+        reader = ColumnarReader(filesystem, "/data/f", MemoryLedger())
+        reader.open()
+        assert filesystem.open_connection_count("/data/f") == 1
+        reader.close()
+        assert filesystem.open_connection_count("/data/f") == 0
+
+
+class TestReads:
+    def test_read_row_values(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            record, latency = reader.read_row(15)
+            assert record["sample_id"] == 15
+            assert latency > 0  # first touch of a row group transfers it
+
+    def test_second_read_same_group_is_free(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            _, first = reader.read_row(0)
+            _, second = reader.read_row(1)
+            assert first > 0
+            assert second == 0.0
+
+    def test_buffer_eviction_respects_limit(self, filesystem, stored_file):
+        ledger = MemoryLedger()
+        config = ReaderConfig(buffered_row_groups=1)
+        with ColumnarReader(filesystem, "/data/f", ledger, config) as reader:
+            reader.read_row(0)
+            first_buffer = ledger.live_bytes("row_group_buffer")
+            reader.read_row(25)
+            assert ledger.live_bytes("row_group_buffer") == pytest.approx(
+                stored_file.row_groups[2].compressed_bytes
+            )
+            assert first_buffer > 0
+
+    def test_read_next_wraps_around(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            for _ in range(stored_file.total_rows):
+                reader.read_next()
+            record, _ = reader.read_next()
+            assert record["sample_id"] == 0
+
+    def test_iter_rows_range(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            rows = [record["sample_id"] for record, _ in reader.iter_rows(5, 5)]
+            assert rows == [5, 6, 7, 8, 9]
+
+    def test_access_state_breakdown(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            reader.read_row(0)
+            state = reader.access_state()
+            assert state.socket_bytes == SOCKET_STATE_BYTES
+            assert state.footer_bytes == stored_file.footer_bytes
+            assert state.buffer_bytes > 0
+            assert state.total_bytes == (
+                state.socket_bytes + state.footer_bytes + state.schema_bytes + state.buffer_bytes
+            )
+
+    def test_total_rows(self, filesystem, stored_file):
+        with ColumnarReader(filesystem, "/data/f", MemoryLedger()) as reader:
+            assert reader.total_rows == 30

@@ -1,0 +1,88 @@
+"""Unit tests for composable transform pipelines and deferred transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.samples import Modality, Sample
+from repro.errors import TransformError
+from repro.transforms.pipeline import TransformPipeline
+from repro.transforms.sample import ImageDecode, TextTokenize
+
+
+class TestConstruction:
+    def test_requires_transforms(self):
+        with pytest.raises(TransformError):
+            TransformPipeline([])
+
+    def test_unknown_deferred_rejected(self):
+        with pytest.raises(TransformError):
+            TransformPipeline([TextTokenize()], deferred={"image_decode"})
+
+    def test_for_modality_builds_default_chain(self):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE)
+        assert "image_decode" in pipeline.transform_names
+
+
+class TestRun:
+    def test_run_applies_matching_stages(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE)
+        sample = Sample(metadata=sample_factory(1, text_tokens=20, image_tokens=100))
+        result = pipeline.run(sample)
+        assert result.latency_s > 0
+        assert "image_decode" in sample.applied_transforms
+        assert result.deferred_transforms == []
+
+    def test_modality_filter_skips_stages(self, sample_factory):
+        pipeline = TransformPipeline([TextTokenize(), ImageDecode()])
+        sample = Sample(metadata=sample_factory(1, text_tokens=20, image_tokens=0, modality=Modality.TEXT))
+        pipeline.run(sample)
+        assert "image_decode" not in sample.applied_transforms
+
+    def test_deferred_stage_not_run_but_recorded(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE, deferred={"image_decode"})
+        sample = Sample(metadata=sample_factory(1, image_tokens=100))
+        result = pipeline.run(sample)
+        assert result.deferred_transforms == ["image_decode"]
+        assert "image_decode" not in sample.applied_transforms
+
+    def test_deferring_decode_ships_raw_bytes(self, sample_factory):
+        metadata = sample_factory(1, image_tokens=200)
+        eager = TransformPipeline.for_modality(Modality.IMAGE)
+        deferred = TransformPipeline.for_modality(Modality.IMAGE, deferred={"image_decode"})
+        eager_bytes = eager.run(Sample(metadata=metadata)).transferred_bytes
+        deferred_bytes = deferred.run(Sample(metadata=metadata)).transferred_bytes
+        assert deferred_bytes < eager_bytes
+
+    def test_run_deferred_completes_the_chain(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE, deferred={"image_decode"})
+        sample = Sample(metadata=sample_factory(1, image_tokens=100))
+        result = pipeline.run(sample)
+        latency = pipeline.run_deferred(sample, result.deferred_transforms)
+        assert latency > 0
+        assert "image_decode" in sample.applied_transforms
+
+    def test_run_deferred_unknown_transform(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.TEXT)
+        with pytest.raises(TransformError):
+            pipeline.run_deferred(Sample(metadata=sample_factory(1)), ["nope"])
+
+
+class TestEstimates:
+    def test_estimate_matches_actual_order_of_magnitude(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE)
+        metadata = sample_factory(1, text_tokens=50, image_tokens=500)
+        estimate = pipeline.estimate_latency(metadata)
+        actual = pipeline.run(Sample(metadata=metadata)).latency_s
+        assert estimate == pytest.approx(actual, rel=0.2)
+
+    def test_estimate_excluding_deferred_is_smaller(self, sample_factory):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE, deferred={"image_decode"})
+        metadata = sample_factory(1, image_tokens=500)
+        full = pipeline.estimate_latency(metadata, include_deferred=True)
+        partial = pipeline.estimate_latency(metadata, include_deferred=False)
+        assert partial < full
+
+    def test_deferred_names_property(self):
+        pipeline = TransformPipeline.for_modality(Modality.IMAGE, deferred={"image_decode"})
+        assert pipeline.deferred_names == ["image_decode"]
