@@ -8,6 +8,8 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.place_tree import ClientPlaceTree
@@ -15,6 +17,18 @@ from repro.data.synthetic import build_source_catalog, coyo700m_like_spec, navit
 from repro.metrics.report import MetricReport
 from repro.parallelism.mesh import DeviceMesh
 from repro.storage.filesystem import SimulatedFileSystem
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark test ``slow`` so ``-m "not slow"`` skips the suite.
+
+    The hook receives the whole session's items, so restrict the marker to
+    tests that live in this directory.
+    """
+    benchmarks_dir = str(Path(__file__).parent)
+    for item in items:
+        if str(item.fspath).startswith(benchmarks_dir):
+            item.add_marker(pytest.mark.slow)
 
 
 def emit(report: MetricReport) -> None:

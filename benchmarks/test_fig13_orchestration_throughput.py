@@ -10,8 +10,11 @@ contexts and for larger encoders.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
+from repro.core.framework import MegaScaleData, TrainingJobSpec
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.strategies import StrategyConfig, make_strategy
 from repro.metrics.report import MetricReport
@@ -123,3 +126,60 @@ def test_fig13_orchestration_throughput(benchmark, navit_catalog, filesystem):
     small_ctx = next(r for r in rows if r["context"] == 4096 and r["encoder"] == "ViT-1B")
     large_ctx = next(r for r in rows if r["context"] == 8192 and r["encoder"] == "ViT-1B" and r["backbone"] == "Llama-12B")
     assert large_ctx["hybrid"] / large_ctx["vanilla"] >= small_ctx["hybrid"] / small_ctx["vanilla"] * 0.9
+
+
+# -- asynchronous prefetching pipeline -----------------------------------------------
+
+PREFETCH_JOB = TrainingJobSpec(
+    pp=1, dp=2, cp=1, tp=2, backbone="Llama-12B", encoder="ViT-1B",
+    samples_per_dp_step=8, num_microbatches=2, max_sequence_length=8192,
+    num_sources=6, samples_per_source=48, strategy="hybrid", seed=15,
+)
+PREFETCH_STEPS = 4
+
+
+def _train_with_depth(depth):
+    system = MegaScaleData.deploy(replace(PREFETCH_JOB, prefetch_depth=depth))
+    try:
+        return system.run_training(num_steps=PREFETCH_STEPS)
+    finally:
+        system.shutdown()
+
+
+def test_fig13_prefetch_pipeline_throughput(benchmark):
+    """End-to-end throughput of the same job with and without prefetching.
+
+    The synchronous pull workflow (depth 0) leaves the full data-preparation
+    latency on the iteration critical path; with ``prefetch_depth>=1`` the
+    pipeline hides it behind the previous steps' compute, so throughput
+    improves and the overlap metric reports hidden data time.
+    """
+    summaries = benchmark(lambda: {depth: _train_with_depth(depth) for depth in (0, 1, 2)})
+
+    report = MetricReport(
+        title="Fig. 13 (ext) - prefetch pipeline throughput",
+        columns=["prefetch depth", "tokens/s", "avg iter (s)", "hidden data (s)",
+                 "exposed data (s)", "hidden frac"],
+    )
+    for depth, summary in sorted(summaries.items()):
+        report.add_row(
+            depth,
+            round(summary["throughput_tokens_per_s"]),
+            round(summary["avg_iteration_time_s"], 3),
+            round(summary["hidden_data_time_s"], 3),
+            round(summary["exposed_data_time_s"], 3),
+            round(summary["hidden_data_fraction"], 3),
+        )
+    emit(report)
+
+    sync, depth1, depth2 = summaries[0], summaries[1], summaries[2]
+    # Prefetching strictly improves throughput on the same job spec...
+    assert depth1["throughput_tokens_per_s"] > sync["throughput_tokens_per_s"]
+    assert depth2["throughput_tokens_per_s"] > sync["throughput_tokens_per_s"]
+    # ...because data time moved off the critical path.
+    assert sync["hidden_data_time_s"] == 0.0
+    assert depth1["hidden_data_time_s"] > 0.0
+    assert depth2["hidden_data_time_s"] > 0.0
+    assert depth1["exposed_data_time_s"] < sync["exposed_data_time_s"]
+    # A deeper pipeline never hides less than a shallower one.
+    assert depth2["hidden_data_time_s"] >= depth1["hidden_data_time_s"] * 0.999

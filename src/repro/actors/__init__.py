@@ -9,7 +9,7 @@ Constructors, Planner) are implemented as actors on this runtime.
 
 from repro.actors.node import Node, NodeKind, ResourceSpec
 from repro.actors.gcs import GlobalControlStore
-from repro.actors.actor import Actor, ActorHandle, ActorState
+from repro.actors.actor import Actor, ActorFuture, ActorHandle, ActorState, FutureState
 from repro.actors.scheduler import PlacementScheduler, PlacementRequest
 from repro.actors.runtime import ActorSystem, ClusterSpec
 
@@ -19,8 +19,10 @@ __all__ = [
     "ResourceSpec",
     "GlobalControlStore",
     "Actor",
+    "ActorFuture",
     "ActorHandle",
     "ActorState",
+    "FutureState",
     "PlacementScheduler",
     "PlacementRequest",
     "ActorSystem",

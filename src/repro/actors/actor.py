@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import ActorDead, ActorTimeout
+from repro.errors import ActorDead, ActorError, ActorTimeout
 from repro.metrics.memory import MemoryLedger
 
 
@@ -61,6 +61,78 @@ class Actor:
         return {}
 
 
+class FutureState(str, enum.Enum):
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ActorFuture:
+    """Deferred result of an asynchronous actor call.
+
+    Futures are completed cooperatively: the owning
+    :class:`~repro.actors.runtime.ActorSystem` executes pending calls when its
+    event loop is ticked, so completion order is deterministic (FIFO submit
+    order) rather than wall-clock dependent.
+    """
+
+    def __init__(self, actor: str, method: str) -> None:
+        self.actor = actor
+        self.method = method
+        self.state = FutureState.PENDING
+        self._result: object = None
+        self._exception: BaseException | None = None
+
+    # -- inspection -----------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self.state is not FutureState.PENDING
+
+    def cancelled(self) -> bool:
+        return self.state is FutureState.CANCELLED
+
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def result(self):
+        """The call's return value; raises if pending, failed or cancelled."""
+        if self.state is FutureState.PENDING:
+            raise ActorError(
+                f"future for {self.actor}.{self.method} is still pending; tick the system"
+            )
+        if self.state is FutureState.CANCELLED:
+            raise ActorError(f"future for {self.actor}.{self.method} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    # -- completion (runtime-internal) ---------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel the call if it has not executed yet; returns success."""
+        if self.state is not FutureState.PENDING:
+            return False
+        self.state = FutureState.CANCELLED
+        return True
+
+    def _complete(self, result: object) -> None:
+        if self.state is FutureState.PENDING:
+            self._result = result
+            self.state = FutureState.DONE
+
+    def _fail(self, exc: BaseException) -> None:
+        if self.state is FutureState.PENDING:
+            self._exception = exc
+            self.state = FutureState.FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActorFuture({self.actor!r}.{self.method}, {self.state})"
+
+
 @dataclass
 class CallRecord:
     """One recorded actor method invocation (for introspection/tests)."""
@@ -91,6 +163,12 @@ class ActorHandle:
         """
         return self._system.call_actor(self.name, method, args, kwargs, timeout_s=timeout_s)
 
+    def submit(
+        self, method: str, *args: object, timeout_s: float | None = None, **kwargs: object
+    ) -> ActorFuture:
+        """Enqueue ``method`` as a deferred call; completed when the system ticks."""
+        return self._system.submit_call(self.name, method, args, kwargs, timeout_s=timeout_s)
+
     def instance(self) -> Actor:
         """Direct access to the underlying object (tests / same-process reads)."""
         return self._system.actor_instance(self.name)
@@ -111,4 +189,13 @@ class ActorHandle:
         return f"ActorHandle({self.name!r})"
 
 
-__all__ = ["Actor", "ActorHandle", "ActorState", "CallRecord", "ActorDead", "ActorTimeout"]
+__all__ = [
+    "Actor",
+    "ActorFuture",
+    "ActorHandle",
+    "ActorState",
+    "CallRecord",
+    "FutureState",
+    "ActorDead",
+    "ActorTimeout",
+]

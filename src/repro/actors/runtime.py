@@ -4,14 +4,21 @@ The runtime keeps a registry of live actors, routes method calls through
 failure-injection hooks, accounts a small RPC latency per remote call and
 supports the recovery mechanisms the paper relies on: automatic restart of
 coordinators from GCS state and promotion of hot-standby (shadow) actors.
+
+Besides synchronous :meth:`ActorSystem.call_actor` dispatch, the system owns a
+cooperative event loop: calls submitted via :meth:`ActorSystem.submit_call`
+are queued and executed FIFO when :meth:`ActorSystem.tick` runs, completing
+their :class:`~repro.actors.actor.ActorFuture`.  The asynchronous prefetching
+data plane is built on this deferred-completion machinery.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.actors.actor import Actor, ActorHandle, ActorState, CallRecord
+from repro.actors.actor import Actor, ActorFuture, ActorHandle, ActorState, CallRecord
 from repro.actors.gcs import GlobalControlStore
 from repro.actors.node import (
     DEFAULT_ACCELERATOR_RESOURCES,
@@ -63,6 +70,16 @@ class _ActorRecord:
 
 
 @dataclass
+class _PendingCall:
+    future: ActorFuture
+    name: str
+    method: str
+    args: tuple
+    kwargs: dict
+    timeout_s: float | None
+
+
+@dataclass
 class FailureInjector:
     """Programmable failure behaviour for tests and fault-tolerance benches."""
 
@@ -99,6 +116,7 @@ class ActorSystem:
         self._actors: dict[str, _ActorRecord] = {}
         self._ids = IdAllocator()
         self._call_log: list[CallRecord] = []
+        self._pending: deque[_PendingCall] = deque()
         self.clock_s = 0.0
 
     # -- cluster management --------------------------------------------------------
@@ -229,6 +247,77 @@ class ActorSystem:
         result = target(*args, **kwargs)
         self._call_log.append(CallRecord(name, method, self.rpc_latency_s, failed=False))
         return result
+
+    # -- cooperative event loop ---------------------------------------------------------
+
+    def submit_call(
+        self,
+        name: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        timeout_s: float | None = None,
+    ) -> ActorFuture:
+        """Enqueue a deferred call and return its future.
+
+        The call does not execute until :meth:`tick` (or :meth:`drain`) runs;
+        failure injection and liveness checks are applied at execution time, so
+        a failure injected after submission still fails the future.
+        """
+        self._record(name)  # reject unknown actors eagerly
+        future = ActorFuture(name, method)
+        self._pending.append(_PendingCall(future, name, method, args, dict(kwargs), timeout_s))
+        return future
+
+    def tick(self, max_calls: int = 1) -> int:
+        """Execute up to ``max_calls`` pending deferred calls (FIFO).
+
+        Returns the number of calls actually executed.  Exceptions raised by
+        the callee (including injected :class:`ActorDead` / :class:`ActorTimeout`)
+        are captured on the future rather than propagated.
+        """
+        executed = 0
+        while self._pending and executed < max_calls:
+            call = self._pending.popleft()
+            if call.future.cancelled():
+                continue
+            try:
+                result = self.call_actor(
+                    call.name, call.method, call.args, call.kwargs, timeout_s=call.timeout_s
+                )
+            except Exception as exc:  # noqa: BLE001 - routed to the future
+                call.future._fail(exc)
+            else:
+                call.future._complete(result)
+            executed += 1
+        return executed
+
+    def drain(self) -> int:
+        """Run the event loop until no pending calls remain."""
+        executed = 0
+        while self._pending:
+            executed += self.tick(max_calls=len(self._pending))
+        return executed
+
+    def pending_count(self, actor_name: str | None = None) -> int:
+        if actor_name is None:
+            return sum(1 for call in self._pending if not call.future.cancelled())
+        return sum(
+            1
+            for call in self._pending
+            if call.name == actor_name and not call.future.cancelled()
+        )
+
+    def cancel_pending(self, actor_name: str | None = None) -> int:
+        """Cancel queued calls (for one actor, or all); returns how many."""
+        cancelled = 0
+        for call in self._pending:
+            if actor_name is not None and call.name != actor_name:
+                continue
+            if call.future.cancel():
+                cancelled += 1
+        self._pending = deque(call for call in self._pending if not call.future.cancelled())
+        return cancelled
 
     # -- introspection ----------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from repro.core.dgraph import DGraph
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.plans import LoadingPlan, MicrobatchAssignment, ScalingPlan
 from repro.core.framework import MegaScaleData, TrainingJobSpec
+from repro.core.step_pipeline import StepPipeline
 
 __all__ = [
     "DGraph",
@@ -24,5 +25,6 @@ __all__ = [
     "MicrobatchAssignment",
     "ScalingPlan",
     "MegaScaleData",
+    "StepPipeline",
     "TrainingJobSpec",
 ]

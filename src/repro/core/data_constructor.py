@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.actors.actor import Actor
 from repro.core.plans import ModulePlan
 from repro.core.source_loader import PreparedSample
-from repro.errors import PlanError
+from repro.errors import BackpressureError, PlanError
 from repro.parallelism.mesh import DeviceMesh
 from repro.transforms.microbatch import Microbatch, collate_with_positions
 from repro.transforms.parallelism import ParallelSlice, build_rank_slices
@@ -64,8 +64,15 @@ class DataConstructor(Actor):
         broadcast_tp: bool = True,
         broadcast_cp: bool = False,
         bytes_per_token: int = 4,
+        staging_capacity: int = 2,
+        enforce_delivery_order: bool = True,
     ) -> None:
         super().__init__()
+        if staging_capacity < 2:
+            # One slot for the step being consumed plus at least one being
+            # staged ahead (double buffering); anything less deadlocks the
+            # pull workflow.
+            raise PlanError("staging_capacity must be >= 2 (double buffering)")
         self.bucket_index = bucket_index
         self.mesh = mesh
         self.dp_index = dp_index
@@ -74,9 +81,12 @@ class DataConstructor(Actor):
         self.broadcast_tp = broadcast_tp
         self.broadcast_cp = broadcast_cp
         self.bytes_per_token = bytes_per_token
+        self.staging_capacity = staging_capacity
+        self.enforce_delivery_order = enforce_delivery_order
         self.stats = ConstructorStats()
         self._pending_deliveries: dict[int, dict[int, RankDelivery]] = {}
         self._staged_bytes: dict[int, int] = {}
+        self._delivered_up_to: dict[int, int] = {}
 
     # -- construction --------------------------------------------------------------------------
 
@@ -90,7 +100,20 @@ class DataConstructor(Actor):
 
         ``prepared`` maps sample id -> the staged sample fetched from Source
         Loaders.  Returns timing/size information for the step.
+
+        Staging is bounded: at most ``staging_capacity`` steps may be held at
+        once, and a full queue raises :class:`BackpressureError` so the
+        prefetching pipeline throttles instead of growing without bound.
         """
+        if step in self._pending_deliveries:
+            raise PlanError(
+                f"constructor {self.actor_name!r} already staged step {step}"
+            )
+        if len(self._pending_deliveries) >= self.staging_capacity:
+            raise BackpressureError(
+                f"constructor {self.actor_name!r} staging queue is full "
+                f"({self.staging_capacity} steps); release a step first"
+            )
         assignments = module_plan.bucket_assignments(self.bucket_index)
         if not assignments:
             raise PlanError(
@@ -143,7 +166,14 @@ class DataConstructor(Actor):
     # -- delivery ---------------------------------------------------------------------------------
 
     def get_batch(self, step: int, rank: int) -> RankDelivery:
-        """A trainer client pulls its slices for ``step``."""
+        """A trainer client pulls its slices for ``step``.
+
+        With ``enforce_delivery_order`` (required by the prefetching
+        pipeline) delivery is strictly in step order per rank: once a rank
+        has received step ``s`` it may only request steps ``> s``, so
+        prefetched steps can never be consumed out of order or twice.  The
+        synchronous workflow disables the guard to keep random step access.
+        """
         step_deliveries = self._pending_deliveries.get(step)
         if step_deliveries is None:
             raise PlanError(f"constructor {self.actor_name!r} has no data staged for step {step}")
@@ -153,8 +183,19 @@ class DataConstructor(Actor):
                 f"constructor {self.actor_name!r} (bucket {self.bucket_index}) "
                 f"holds no data for rank {rank} at step {step}"
             )
+        last = self._delivered_up_to.get(rank)
+        if self.enforce_delivery_order and last is not None and step <= last:
+            raise PlanError(
+                f"constructor {self.actor_name!r}: rank {rank} already consumed step "
+                f"{last}; out-of-order request for step {step}"
+            )
+        self._delivered_up_to[rank] = max(step, last) if last is not None else step
         self.stats.deliveries += 1
         return delivery
+
+    def staging_backlog(self) -> int:
+        """How many steps are currently staged (bounded by ``staging_capacity``)."""
+        return len(self._pending_deliveries)
 
     def ranks_served(self, step: int) -> list[int]:
         return sorted(self._pending_deliveries.get(step, {}))
@@ -164,6 +205,19 @@ class DataConstructor(Actor):
         self._pending_deliveries.pop(step, None)
         staged = self._staged_bytes.pop(step, 0)
         self.ledger.release("constructed_batch", staged)
+
+    def release_steps_below(self, step: int) -> int:
+        """Free every staged step older than ``step``; returns how many.
+
+        The pull workflow calls this after delivering ``step`` so skipped step
+        numbers (planner replay, curriculum jumps) cannot leak staging slots
+        in the bounded queue.
+        """
+        released = 0
+        for staged_step in [s for s in self._pending_deliveries if s < step]:
+            self.release_step(staged_step)
+            released += 1
+        return released
 
     def staged_steps(self) -> list[int]:
         return sorted(self._pending_deliveries)
@@ -181,6 +235,9 @@ class DataConstructor(Actor):
         self.dp_index = dp_index
         for step in list(self._pending_deliveries):
             self.release_step(step)
+        # Rank numbering changed with the topology; the in-order ledger
+        # restarts because the trainer re-requests data after a reshard.
+        self._delivered_up_to.clear()
 
     # -- checkpointing --------------------------------------------------------------------------------
 

@@ -12,6 +12,12 @@ with a centralized Planner (Sec. 4) and exposes the per-step pull workflow::
     4. the Planner gathers buffer metadata and synthesizes the plan
     5. loaders prepare samples, stage them, and refill from storage
 
+With ``prefetch_depth=0`` (the default) the workflow runs synchronously, one
+step at a time.  With ``prefetch_depth>=1`` the facade routes steps through
+the asynchronous :class:`~repro.core.step_pipeline.StepPipeline`, which keeps
+that many future steps in flight behind the trainer and credits the hidden
+data time in the :class:`~repro.metrics.timeline.OverlapLedger`.
+
 The facade also integrates the training simulator so end-to-end iteration
 times and throughput can be reported for benchmark harnesses.
 """
@@ -45,6 +51,7 @@ from repro.data.synthetic import (
     navit_like_spec,
 )
 from repro.errors import ConfigurationError, PlanError
+from repro.metrics.timeline import OverlapLedger
 from repro.parallelism.mesh import DeviceMesh
 from repro.storage.filesystem import SimulatedFileSystem
 from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
@@ -92,11 +99,18 @@ class TrainingJobSpec:
     deferred_transforms: tuple[str, ...] = ()
     seed: int = 0
 
+    #: How many future steps the data plane keeps in flight behind the
+    #: trainer.  0 = fully synchronous pull workflow; >=1 enables the
+    #: asynchronous prefetching StepPipeline.
+    prefetch_depth: int = 0
+
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
             raise ConfigurationError(
                 "samples_per_dp_step must be >= num_microbatches so every microbatch is non-empty"
             )
+        if self.prefetch_depth < 0:
+            raise ConfigurationError("prefetch_depth must be >= 0")
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -149,6 +163,16 @@ class StepResult:
     backbone_assignments: list[list[list[SampleMetadata]]]
     encoder_assignments: list[list[list[SampleMetadata]]] | None = None
     iteration: IterationResult | None = None
+    #: Portion of the fetch latency hidden behind compute by prefetching
+    #: (always 0 on the synchronous path).
+    hidden_fetch_s: float = 0.0
+    #: Whether the step was served from the prefetch pipeline.
+    prefetched: bool = False
+
+    @property
+    def exposed_fetch_s(self) -> float:
+        """Fetch latency left on the iteration critical path."""
+        return max(0.0, self.data_fetch_latency_s - self.hidden_fetch_s)
 
     def fetched_bytes(self) -> int:
         return sum(delivery.total_payload_bytes() for delivery in self.deliveries.values())
@@ -184,6 +208,16 @@ class MegaScaleData:
         self.simulator = TrainingSimulator(job.model(), tree.mesh, gpu=GpuSpec())
         self._step = 0
         self._history: list[StepResult] = []
+        self._shutdown_done = False
+        self.overlap = OverlapLedger()
+        if job.prefetch_depth > 0:
+            from repro.core.step_pipeline import StepPipeline
+
+            self.pipeline: "StepPipeline | None" = StepPipeline(
+                self, prefetch_depth=job.prefetch_depth
+            )
+        else:
+            self.pipeline = None
 
     # -- deployment ---------------------------------------------------------------------------
 
@@ -310,6 +344,10 @@ class MegaScaleData:
                     max_sequence_length=job.max_sequence_length,
                     broadcast_tp=job.broadcast_tp,
                     broadcast_cp=job.broadcast_cp,
+                    staging_capacity=max(2, job.prefetch_depth + 2),
+                    # The sync workflow keeps legacy random step access;
+                    # prefetching requires strict in-order consumption.
+                    enforce_delivery_order=job.prefetch_depth > 0,
                 ),
                 name=name,
                 cpu_cores=2.0,
@@ -385,7 +423,17 @@ class MegaScaleData:
     # -- runtime workflow ----------------------------------------------------------------------------
 
     def run_step(self, step: int | None = None, simulate: bool = False) -> StepResult:
-        """Execute one pull-workflow step end to end."""
+        """Execute one pull-workflow step end to end.
+
+        With ``prefetch_depth>=1`` the step is served by the asynchronous
+        :class:`StepPipeline` (which keeps future steps in flight); otherwise
+        the whole workflow runs inline and its latency is fully exposed.
+        """
+        if self.pipeline is not None:
+            return self.pipeline.run_step(step=step, simulate=simulate)
+        return self._run_step_sync(step, simulate)
+
+    def _run_step_sync(self, step: int | None, simulate: bool) -> StepResult:
         step = self._step if step is None else step
         planner: Planner = self.planner_handle.instance()
 
@@ -411,20 +459,54 @@ class MegaScaleData:
         # Step 2: constructors assemble microbatches and parallelism slices.
         backbone_plan = plan.module("backbone")
         collate_seconds = 0.0
+        for constructor_handle in self.constructor_handles:
+            stats = constructor_handle.call("construct", step, backbone_plan, prepared)
+            collate_seconds = max(collate_seconds, stats["collate_seconds"])
+
+        # The synchronous workflow runs inline, so nothing is hidden.
+        return self._finalize_step(
+            step=step,
+            plan=plan,
+            plan_timings=planner.stats.latest_timings(),
+            loader_wall_clock_s=loader_wall_clock,
+            loader_transform_s=loader_transform,
+            collate_seconds=collate_seconds,
+            hidden_s=0.0,
+            prefetched=False,
+            simulate=simulate,
+        )
+
+    def _finalize_step(
+        self,
+        step: int,
+        plan: LoadingPlan,
+        plan_timings: PlanTimings,
+        loader_wall_clock_s: float,
+        loader_transform_s: float,
+        collate_seconds: float,
+        hidden_s: float,
+        prefetched: bool,
+        simulate: bool,
+    ) -> StepResult:
+        """Shared consume epilogue of the synchronous and prefetching paths.
+
+        Collects the per-rank deliveries for a fully constructed step, records
+        the overlap entry, assembles the :class:`StepResult` (optionally
+        simulating the iteration) and releases older staging.  Keeping this in
+        one place guarantees the two paths cannot drift apart in delivery
+        filtering, latency accounting or staging release.
+        """
+        # Step 1 (accounting): the fetch latency seen by the trainer clients.
+        data_fetch_latency = plan_timings.total_s + loader_wall_clock_s + collate_seconds
+        entry = self.overlap.record(step, data_fetch_latency, hidden_s)
+
         deliveries: dict[int, RankDelivery] = {}
         fetching = set(plan.fetching_ranks)
         for constructor_handle in self.constructor_handles:
             constructor: DataConstructor = constructor_handle.instance()
-            stats = constructor_handle.call("construct", step, backbone_plan, prepared)
-            collate_seconds = max(collate_seconds, stats["collate_seconds"])
             for rank in constructor.ranks_served(step):
                 if rank in fetching:
                     deliveries[rank] = constructor_handle.call("get_batch", step, rank)
-
-        # Step 1 (accounting): the fetch latency seen by the trainer clients.
-        data_fetch_latency = (
-            planner.stats.latest_timings().total_s + loader_wall_clock + collate_seconds
-        )
 
         backbone_assignments = self._assignments_from_plan(plan, "backbone")
         encoder_assignments = (
@@ -433,21 +515,23 @@ class MegaScaleData:
         result = StepResult(
             step=step,
             plan=plan,
-            plan_timings=planner.stats.latest_timings(),
-            loader_wall_clock_s=loader_wall_clock,
-            loader_transform_s=loader_transform,
+            plan_timings=plan_timings,
+            loader_wall_clock_s=loader_wall_clock_s,
+            loader_transform_s=loader_transform_s,
             constructor_collate_s=collate_seconds,
             data_fetch_latency_s=data_fetch_latency,
             deliveries=deliveries,
             backbone_assignments=backbone_assignments,
             encoder_assignments=encoder_assignments,
+            hidden_fetch_s=entry.hidden_s,
+            prefetched=prefetched,
         )
         if simulate:
             result.iteration = self.simulate_iteration(result)
 
-        # Release constructor staging for the previous step (double buffering).
+        # Release constructor staging for completed steps (double buffering).
         for constructor_handle in self.constructor_handles:
-            constructor_handle.call("release_step", step - 1)
+            constructor_handle.call("release_steps_below", step)
         self._step = step + 1
         self._history.append(result)
         return result
@@ -462,19 +546,25 @@ class MegaScaleData:
             result.backbone_assignments,
             encoder_assignments=result.encoder_assignments,
             data_fetch_latency_s=result.data_fetch_latency_s,
+            hidden_fetch_s=result.hidden_fetch_s,
         )
 
     def run_training(self, num_steps: int, simulate: bool = True) -> dict[str, float]:
         """Run several steps and return aggregate throughput / latency metrics."""
         iteration_times = []
         fetch_latencies = []
+        hidden_total = 0.0
+        exposed_total = 0.0
         tokens = 0
         for _ in range(num_steps):
             result = self.run_step(simulate=simulate)
             fetch_latencies.append(result.data_fetch_latency_s)
+            hidden_total += result.hidden_fetch_s
+            exposed_total += result.exposed_fetch_s
             if result.iteration is not None:
                 iteration_times.append(result.iteration.iteration_time_s)
                 tokens += result.iteration.total_tokens
+        fetch_total = sum(fetch_latencies)
         summary = {
             "steps": float(num_steps),
             "avg_fetch_latency_s": sum(fetch_latencies) / max(1, len(fetch_latencies)),
@@ -482,6 +572,9 @@ class MegaScaleData:
             if iteration_times
             else 0.0,
             "total_tokens": float(tokens),
+            "hidden_data_time_s": hidden_total,
+            "exposed_data_time_s": exposed_total,
+            "hidden_data_fraction": hidden_total / fetch_total if fetch_total > 0 else 0.0,
         }
         if iteration_times:
             summary["throughput_tokens_per_s"] = tokens / sum(iteration_times)
@@ -514,11 +607,48 @@ class MegaScaleData:
 
     def handle_reshard(self, notification: ReshardNotification) -> ReshardReport:
         """React to a trainer topology change (elastic resharding)."""
+        if self.pipeline is not None:
+            # In-flight prefetched steps were planned for the old topology;
+            # flush them so the pipeline restarts from the current step.
+            self.pipeline.flush()
         constructors = {
             handle.name: handle.instance() for handle in self.constructor_handles
         }
         report = self.resharder.apply(notification, constructors)
         self.tree = self.resharder.tree
+
+        # Retire constructors whose bucket disappeared (shrinking DP) ...
+        kept = set(report.reassigned_buckets)
+        for handle in self.constructor_handles:
+            if handle.name not in kept:
+                try:
+                    self.system.stop_actor(handle.name)
+                except Exception:  # noqa: BLE001 - best-effort retirement
+                    pass
+        self.constructor_handles = [
+            handle for handle in self.constructor_handles if handle.name in kept
+        ]
+        # ... and provision constructors for buckets the new topology added.
+        mesh = notification.new_mesh
+        for dp_index in range(len(self.constructor_handles), report.constructors_required):
+            handle = self.system.create_actor(
+                lambda idx=dp_index: DataConstructor(
+                    bucket_index=idx,
+                    mesh=mesh,
+                    dp_index=idx,
+                    max_sequence_length=self.job.max_sequence_length,
+                    broadcast_tp=self.job.broadcast_tp,
+                    broadcast_cp=self.job.broadcast_cp,
+                    staging_capacity=max(2, self.job.prefetch_depth + 2),
+                    enforce_delivery_order=self.job.prefetch_depth > 0,
+                ),
+                name=f"constructor/dp{dp_index}",
+                cpu_cores=2.0,
+                memory_bytes=2 * GIB,
+                prefer=NodeKind.ACCELERATOR,
+            )
+            self.constructor_handles.append(handle)
+
         planner: Planner = self.planner_handle.instance()
         planner.set_tree(self.tree)
         self.simulator = TrainingSimulator(self.job.model(), self.tree.mesh, gpu=GpuSpec())
@@ -541,38 +671,63 @@ class MegaScaleData:
         return list(self._history)
 
     def shutdown(self) -> None:
-        """Stop every actor and release their resources."""
-        for handle in self.loader_handles + self.constructor_handles + [self.planner_handle]:
+        """Stop every actor and release their resources.
+
+        Idempotent: in-flight prefetch work is drained/cancelled exactly once
+        and a second call is a no-op, so teardown paths (tests, context
+        managers, error handlers) can all call it safely.
+        """
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        if self.pipeline is not None:
+            self.pipeline.cancel()
+        self.system.cancel_pending()
+        known = [
+            handle.name
+            for handle in self.loader_handles + self.constructor_handles + [self.planner_handle]
+        ]
+        # Also cover actors not tracked on the facade (shadows, replaced
+        # primaries after a failover).
+        for name in dict.fromkeys(known + self.system.list_actor_names()):
             try:
-                self.system.stop_actor(handle.name)
+                self.system.stop_actor(name)
             except Exception:  # noqa: BLE001 - best-effort shutdown
                 continue
 
     # -- internals ----------------------------------------------------------------------------------------------
 
-    def _generate_sized_plan(self, planner: Planner, step: int, sample_count: int) -> LoadingPlan:
-        """Generate a plan limited to the job's per-step sample budget.
+    def _ensure_sized_strategy(self, planner: Planner) -> None:
+        """Install the default bounded sampling strategy if none is configured.
 
         The strategy operates over the full buffered metadata; to keep the
         global batch size fixed the framework passes a mixture that, when
-        absent, defaults to sampling ``sample_count`` samples uniformly from
-        the buffered pool via the DGraph mix primitive.
+        absent, defaults to sampling the per-step sample budget uniformly from
+        the buffered pool via the DGraph mix primitive.  Idempotent, so both
+        the synchronous path and the step pipeline call it before planning.
         """
-        if planner.mixture is None:
-            planner.mixture = MixtureSchedule.uniform(self.catalog.names())
-            # Rebuild the strategy with the sampling mixture so every step
-            # draws a bounded, mixed batch rather than the whole buffer.
-            strategy_config = StrategyConfig(
-                mixture=planner.mixture,
-                num_microbatches=self.job.num_microbatches,
-                balance_method=self.job.balance_method,
-                broadcast_tp=self.job.broadcast_tp,
-                broadcast_cp=self.job.broadcast_cp,
-                group_size=self.job.group_size,
-            )
-            planner.strategy = self._sized_strategy(
-                make_strategy(self.job.strategy, strategy_config), sample_count
-            )
+        if planner.mixture is not None:
+            return
+        planner.mixture = MixtureSchedule.uniform(self.catalog.names())
+        # Rebuild the strategy with the sampling mixture so every step
+        # draws a bounded, mixed batch rather than the whole buffer.
+        strategy_config = StrategyConfig(
+            mixture=planner.mixture,
+            num_microbatches=self.job.num_microbatches,
+            balance_method=self.job.balance_method,
+            broadcast_tp=self.job.broadcast_tp,
+            broadcast_cp=self.job.broadcast_cp,
+            group_size=self.job.group_size,
+        )
+        planner.strategy = self._sized_strategy(
+            make_strategy(self.job.strategy, strategy_config),
+            self.job.global_samples_per_step(),
+        )
+
+    def _generate_sized_plan(self, planner: Planner, step: int, sample_count: int) -> LoadingPlan:
+        """Generate a plan limited to the job's per-step sample budget."""
+        del sample_count  # bound via the job spec in _ensure_sized_strategy
+        self._ensure_sized_strategy(planner)
         return planner.generate_plan(step)
 
     def _sized_strategy(self, strategy, sample_count: int):

@@ -206,6 +206,20 @@ class Planner(Actor):
     def plan_history(self) -> list[LoadingPlan]:
         return list(self._plan_history)
 
+    def truncate_history(self, step: int) -> int:
+        """Drop plans for steps ``>= step``; returns how many were dropped.
+
+        Called when the prefetching pipeline flushes in-flight future steps
+        (e.g. on a reshard): their plans were never delivered, so keeping
+        them would corrupt later deterministic replay and duplicate step
+        entries once the steps are re-planned.
+        """
+        kept = [plan for plan in self._plan_history if plan.step < step]
+        dropped = len(self._plan_history) - len(kept)
+        self._plan_history = kept
+        self._step = min(self._step, step)
+        return dropped
+
     def latest_plan(self) -> LoadingPlan:
         if not self._plan_history:
             raise PlanError("no plan has been generated yet")

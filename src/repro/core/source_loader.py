@@ -52,6 +52,19 @@ class PreparedSample:
     deferred_transforms: list[str] = field(default_factory=list)
 
 
+@dataclass
+class _PrepareTicket:
+    """Book-keeping for one in-flight asynchronous prepare request."""
+
+    sample_ids: list[int]
+    position: int = 0
+    total_latency_s: float = 0.0
+    staged_bytes: int = 0
+
+    def remaining(self) -> int:
+        return len(self.sample_ids) - self.position
+
+
 class SourceLoader(Actor):
     """Actor owning ingestion and sample transformation for one source shard."""
 
@@ -90,6 +103,7 @@ class SourceLoader(Actor):
         self._buffer: list[SampleMetadata] = []
         self._staged: dict[int, PreparedSample] = {}
         self._metadata_by_id: dict[int, SampleMetadata] = {}
+        self._tickets: dict[int, _PrepareTicket] = {}
         self._checkpoint_interval = 50
         self._steps_since_checkpoint = 0
 
@@ -115,6 +129,7 @@ class SourceLoader(Actor):
             reader.close()
         self._readers.clear()
         self.ledger.release("worker_context", WORKER_CONTEXT_BYTES * self.num_workers)
+        self._tickets.clear()
         self._drop_buffer()
         self._drop_staged()
 
@@ -164,35 +179,137 @@ class SourceLoader(Actor):
         total_latency = 0.0
         staged_bytes = 0
         for sample_id in sample_ids:
-            metadata = self._metadata_by_id.get(sample_id)
-            if metadata is None:
-                raise PlanError(
-                    f"loader {self.actor_name!r} was asked for unknown sample {sample_id}"
-                )
-            sample = Sample(metadata=metadata)
-            result = self.pipeline.run(sample)
-            fixed = self.source.profile.fixed_cost_s
-            latency = result.latency_s * max(
-                self.source.profile.cost_per_token
-                / max(1e-9, _pipeline_reference_cost(self.source)),
-                0.1,
-            ) + fixed
+            latency, transferred = self._prepare_one(sample_id)
             total_latency += latency
-            prepared = PreparedSample(
-                sample=sample,
-                transform_latency_s=latency,
-                transferred_bytes=result.transferred_bytes,
-                deferred_transforms=result.deferred_transforms,
+            staged_bytes += transferred
+        return self._finish_prepare(len(sample_ids), total_latency, staged_bytes)
+
+    # -- asynchronous plan execution -------------------------------------------------------
+
+    def prepare_async(self, ticket: int, sample_ids: list[int]) -> dict[str, float]:
+        """Register a non-blocking prepare request identified by ``ticket``.
+
+        The actual transformation work happens incrementally through
+        :meth:`poll` calls, so the caller (the step pipeline) can interleave
+        preparation across loaders and overlap it with trainer compute.
+        """
+        if ticket in self._tickets:
+            raise PlanError(
+                f"loader {self.actor_name!r} already has an in-flight ticket {ticket}"
             )
-            if not self.keep_payloads:
-                # Payload arrays are not retained in the metadata-only
-                # simulation; only their byte size is charged.
-                prepared.sample.payload.clear()
-            self._staged[sample_id] = prepared
-            self.ledger.charge("sample_payload", result.transferred_bytes)
-            staged_bytes += result.transferred_bytes
-            self._remove_from_buffer(sample_id)
-        self.stats.samples_prepared += len(sample_ids)
+        self._tickets[ticket] = _PrepareTicket(sample_ids=list(sample_ids))
+        return {"ticket": float(ticket), "num_samples": float(len(sample_ids))}
+
+    def poll(self, ticket: int, max_samples: int = 16) -> dict[str, float | bool]:
+        """Advance an asynchronous prepare by up to ``max_samples`` samples.
+
+        Returns ``{"done": False, "remaining": n}`` while work is left; on the
+        final poll the ticket is retired and the same timing dictionary as
+        :meth:`prepare` is returned (with ``done=True``).
+        """
+        entry = self._tickets.get(ticket)
+        if entry is None:
+            raise PlanError(f"loader {self.actor_name!r} has no ticket {ticket}")
+        if max_samples < 1:
+            raise PlanError("poll must advance at least one sample")
+        budget = min(max_samples, entry.remaining())
+        for _ in range(budget):
+            sample_id = entry.sample_ids[entry.position]
+            latency, transferred = self._prepare_one(sample_id)
+            entry.total_latency_s += latency
+            entry.staged_bytes += transferred
+            entry.position += 1
+        if entry.remaining() > 0:
+            return {"done": False, "remaining": float(entry.remaining())}
+        del self._tickets[ticket]
+        result = self._finish_prepare(
+            len(entry.sample_ids), entry.total_latency_s, entry.staged_bytes
+        )
+        result["done"] = True
+        return result
+
+    def cancel_prepare(self, ticket: int) -> bool:
+        """Abandon an in-flight async prepare; already-staged samples remain."""
+        return self._tickets.pop(ticket, None) is not None
+
+    def inflight_tickets(self) -> list[int]:
+        return sorted(self._tickets)
+
+    def reset_for_replay(self) -> None:
+        """Return the loader to its pristine post-start state.
+
+        A loader's buffer/cursor state is a deterministic function of the
+        initial state plus the sequence of demand applications, so exact
+        reconstruction (failover, pipeline flush) starts from pristine state
+        and replays the Planner's plan history via :meth:`replay_demands`.
+        Restored cursor checkpoints are deliberately discarded here — they
+        shorten the *modelled* recovery latency (differential checkpointing)
+        but cannot reproduce the buffer contents on their own.
+        """
+        self._drop_staged()
+        self._drop_buffer()
+        self._metadata_by_id.clear()
+        self._tickets.clear()
+        self._cursor = SourceCursor(
+            self.source,
+            self.filesystem,
+            shard_index=self.shard_index,
+            shard_count=self.shard_count,
+        )
+        self.refill()
+
+    def replay_demands(self, sample_ids: list[int]) -> int:
+        """Replay one historical plan's demands against this loader's buffer.
+
+        Used after failover or a pipeline flush: starting from the pristine
+        state (:meth:`reset_for_replay`), replaying the Planner's plan
+        history — consuming the demanded ids from the buffer without staging
+        payloads — reproduces the failed primary's buffer state.  Returns how
+        many ids were consumed; ids served by other shards are ignored.
+        """
+        replayed = 0
+        for sample_id in sample_ids:
+            if sample_id in self._metadata_by_id:
+                self._remove_from_buffer(sample_id)
+                replayed += 1
+        self.refill()
+        return replayed
+
+    def _prepare_one(self, sample_id: int) -> tuple[float, int]:
+        """Transform and stage one sample; returns (latency_s, staged_bytes)."""
+        metadata = self._metadata_by_id.get(sample_id)
+        if metadata is None:
+            raise PlanError(
+                f"loader {self.actor_name!r} was asked for unknown sample {sample_id}"
+            )
+        sample = Sample(metadata=metadata)
+        result = self.pipeline.run(sample)
+        fixed = self.source.profile.fixed_cost_s
+        latency = result.latency_s * max(
+            self.source.profile.cost_per_token
+            / max(1e-9, _pipeline_reference_cost(self.source)),
+            0.1,
+        ) + fixed
+        prepared = PreparedSample(
+            sample=sample,
+            transform_latency_s=latency,
+            transferred_bytes=result.transferred_bytes,
+            deferred_transforms=result.deferred_transforms,
+        )
+        if not self.keep_payloads:
+            # Payload arrays are not retained in the metadata-only
+            # simulation; only their byte size is charged.
+            prepared.sample.payload.clear()
+        self._staged[sample_id] = prepared
+        self.ledger.charge("sample_payload", result.transferred_bytes)
+        self._remove_from_buffer(sample_id)
+        return latency, result.transferred_bytes
+
+    def _finish_prepare(
+        self, num_samples: int, total_latency: float, staged_bytes: int
+    ) -> dict[str, float]:
+        """Shared epilogue of the sync and async prepare paths."""
+        self.stats.samples_prepared += num_samples
         self.stats.transform_seconds += total_latency
         wall_clock = total_latency / self.num_workers
         self.refill()
@@ -201,7 +318,7 @@ class SourceLoader(Actor):
             "transform_latency_s": total_latency,
             "wall_clock_s": wall_clock,
             "staged_bytes": float(staged_bytes),
-            "num_samples": float(len(sample_ids)),
+            "num_samples": float(num_samples),
         }
 
     def fetch_prepared(self, sample_ids: list[int]) -> list[PreparedSample]:
@@ -217,6 +334,16 @@ class SourceLoader(Actor):
             delivered.append(prepared)
         self.stats.samples_delivered += len(delivered)
         return delivered
+
+    def discard_staged(self, sample_ids: list[int]) -> int:
+        """Drop staged samples that will never be fetched (pipeline flush)."""
+        dropped = 0
+        for sample_id in sample_ids:
+            prepared = self._staged.pop(sample_id, None)
+            if prepared is not None:
+                self.ledger.release("sample_payload", prepared.transferred_bytes)
+                dropped += 1
+        return dropped
 
     def staged_count(self) -> int:
         return len(self._staged)

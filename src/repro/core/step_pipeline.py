@@ -1,0 +1,452 @@
+"""Asynchronous prefetching execution engine for the pull workflow.
+
+The synchronous :meth:`MegaScaleData.run_step` executes the whole pull
+workflow (plan → prepare → fetch → construct) inline, so data-preparation
+latency adds to iteration time.  :class:`StepPipeline` instead keeps up to
+``prefetch_depth`` future steps in flight: while the trainer consumes step
+``N`` it issues plan generation, non-blocking loader preparation
+(:meth:`SourceLoader.prepare_async` / :meth:`SourceLoader.poll`) and
+constructor staging for steps ``N+1..N+prefetch_depth`` through the actor
+system's cooperative event loop (deferred calls + futures).
+
+Determinism: data-plane operations are issued in strict step order — the plan
+for step ``N+1`` is generated only after step ``N``'s loader work finished
+mutating the read buffers — so the delivered batches are identical to the
+synchronous path for the same seed.  The pipeline's win is accounting: the
+:class:`~repro.metrics.timeline.OverlapLedger` credits fetch latency hidden
+behind the previous iterations' compute, and the training simulator removes
+that credit from the critical path.
+
+Backpressure: Data Constructors bound their staging queues; a full queue
+raises :class:`BackpressureError` and the pipeline pauses prefetching until
+the trainer consumes (and releases) a step.
+
+Fault tolerance: a loader failure mid-prefetch is detected on its future,
+recovered through :class:`FaultToleranceManager` (shadow promotion or restart)
+and the failed step's demands are re-issued after deterministically replaying
+the Planner's plan history against the replacement's buffer, so no sample is
+dropped or duplicated and step ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.actors.actor import ActorFuture, ActorHandle
+from repro.core.planner import PlanTimings
+from repro.core.plans import LoadingPlan
+from repro.core.source_loader import PreparedSample
+from repro.errors import (
+    ActorDead,
+    ActorTimeout,
+    BackpressureError,
+    ConfigurationError,
+    PlanError,
+)
+
+
+@dataclass
+class _InflightStep:
+    """One future step moving through the prefetch state machine."""
+
+    step: int
+    #: Trainer consumption position when this step was issued; the difference
+    #: at consume time is the pipeline lead used for the overlap credit.
+    issued_at: int
+    state: str = "pending"
+    blocked: bool = False
+
+    plan_future: ActorFuture | None = None
+    plan: LoadingPlan | None = None
+    plan_timings: PlanTimings = field(default_factory=PlanTimings)
+
+    demands: dict[ActorHandle, list[int]] = field(default_factory=dict)
+    prepare_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
+    poll_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
+    pending_loaders: set[ActorHandle] = field(default_factory=set)
+    loader_wall_clock_s: float = 0.0
+    loader_transform_s: float = 0.0
+
+    unfetched: set[ActorHandle] = field(default_factory=set)
+    fetch_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
+    prepared: dict[int, PreparedSample] = field(default_factory=dict)
+
+    unconstructed: list[ActorHandle] = field(default_factory=list)
+    construct_futures: dict[str, ActorFuture] = field(default_factory=dict)
+    collate_seconds: float = 0.0
+
+    def all_futures(self) -> list[ActorFuture]:
+        futures: list[ActorFuture] = []
+        if self.plan_future is not None:
+            futures.append(self.plan_future)
+        futures.extend(self.prepare_futures.values())
+        futures.extend(self.poll_futures.values())
+        futures.extend(self.fetch_futures.values())
+        futures.extend(self.construct_futures.values())
+        return futures
+
+
+class StepPipeline:
+    """Double-buffered asynchronous driver of the pull workflow."""
+
+    def __init__(self, framework, prefetch_depth: int, poll_chunk: int = 8) -> None:
+        if prefetch_depth < 1:
+            raise ConfigurationError("StepPipeline requires prefetch_depth >= 1")
+        if poll_chunk < 1:
+            raise ConfigurationError("poll_chunk must be positive")
+        self.framework = framework
+        self.prefetch_depth = prefetch_depth
+        self.poll_chunk = poll_chunk
+        self._queue: deque[_InflightStep] = deque()
+        self._next_issue_step = framework._step
+        self._last_compute_s = 0.0
+        self._cancelled = False
+
+    # -- public API --------------------------------------------------------------------
+
+    def run_step(self, step: int | None = None, simulate: bool = False):
+        """Consume the next prefetched step and top the pipeline back up."""
+        fw = self.framework
+        if self._cancelled:
+            raise PlanError("the step pipeline has been shut down; deploy a new instance")
+        expected = fw._step
+        if step is not None and step != expected:
+            raise ConfigurationError(
+                f"the prefetching pipeline consumes steps in order; expected step "
+                f"{expected}, got {step} (use prefetch_depth=0 for random access)"
+            )
+        self._fill()
+        head = self._queue[0]
+        stalls = 0
+        while head.state != "ready":
+            if not self._pump():
+                stalls += 1
+                if stalls > 2:
+                    raise PlanError(
+                        f"step pipeline stalled while completing step {head.step}; "
+                        "constructor staging_capacity must be >= 2"
+                    )
+            else:
+                stalls = 0
+        self._queue.popleft()
+
+        # Overlap credit: a step issued `lead` consumer steps early had that
+        # many iterations of trainer compute available to hide its fetch.
+        fetch_latency = (
+            head.plan_timings.total_s + head.loader_wall_clock_s + head.collate_seconds
+        )
+        lead = max(0, expected - head.issued_at)
+        hidden = min(fetch_latency, self._last_compute_s * lead)
+
+        result = fw._finalize_step(
+            step=head.step,
+            plan=head.plan,
+            plan_timings=head.plan_timings,
+            loader_wall_clock_s=head.loader_wall_clock_s,
+            loader_transform_s=head.loader_transform_s,
+            collate_seconds=head.collate_seconds,
+            hidden_s=hidden,
+            prefetched=lead > 0,
+            simulate=simulate,
+        )
+        if result.iteration is not None:
+            self._last_compute_s = (
+                result.iteration.iteration_time_s - result.iteration.exposed_fetch_time_s
+            )
+
+        # The release in _finalize_step may have unblocked prefetch that hit
+        # constructor backpressure.
+        for item in self._queue:
+            item.blocked = False
+
+        # Prefetch: drive the queued steps' data-plane work now, modelling the
+        # overlap with this step's trainer compute.
+        self._fill()
+        while self._pump():
+            pass
+        return result
+
+    def inflight(self) -> list[tuple[int, str]]:
+        """(step, state) for every queued step — for tests and monitoring."""
+        return [(item.step, item.state) for item in self._queue]
+
+    def cancel(self) -> None:
+        """Drain and cancel all in-flight work (idempotent; used by shutdown)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self.flush()
+
+    def flush(self) -> None:
+        """Abort every in-flight step, restoring a consistent delivered state.
+
+        Flushed steps may have partially mutated loader buffers (polled
+        samples are consumed as they are prepared) and their plans sit in the
+        Planner's history even though they were never delivered.  To keep the
+        data plane deterministic and replayable, the flush (1) cancels the
+        queued work, (2) truncates the plan history back to the delivered
+        prefix, (3) resets every loader to pristine state and replays the
+        delivered plans against it, and (4) releases the staging the flushed
+        steps occupied on the constructors.
+        """
+        fw = self.framework
+        for item in self._queue:
+            for future in item.all_futures():
+                future.cancel()
+        planner = fw.planner_handle.instance()
+        planner.truncate_history(fw._step)
+        delivered_plans = planner.plan_history()
+        for handle in fw.loader_handles:
+            try:
+                handle.call("reset_for_replay")
+                source_name = handle.instance().source.name
+                for plan in delivered_plans:
+                    demanded = plan.source_demands.get(source_name, [])
+                    if demanded:
+                        handle.call("replay_demands", list(demanded))
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                continue
+        # Steps already constructed for the flushed future occupy bounded
+        # staging slots on every constructor (including ones a reshard is
+        # about to retire); release them so re-planned steps can stage again.
+        for constructor_handle in fw.constructor_handles:
+            try:
+                constructor_handle.call("release_steps_below", self._next_issue_step)
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                pass
+        self._queue.clear()
+        self._next_issue_step = fw._step
+
+    # -- state machine -----------------------------------------------------------------
+
+    def _fill(self) -> None:
+        if self._cancelled:
+            return
+        while len(self._queue) < self.prefetch_depth + 1:
+            self._queue.append(
+                _InflightStep(step=self._next_issue_step, issued_at=self.framework._step)
+            )
+            self._next_issue_step += 1
+
+    def _pump(self) -> bool:
+        """Advance the earliest incomplete step one transition (strict order)."""
+        for item in self._queue:
+            if item.state != "ready":
+                if item.blocked:
+                    return False
+                return self._advance(item)
+        return False
+
+    def _advance(self, item: _InflightStep) -> bool:
+        if item.state == "pending":
+            return self._advance_pending(item)
+        if item.state == "planning":
+            return self._advance_planning(item)
+        if item.state == "preparing":
+            return self._advance_preparing(item)
+        if item.state == "fetching":
+            return self._advance_fetching(item)
+        if item.state == "constructing":
+            return self._advance_constructing(item)
+        raise PlanError(f"unknown pipeline state {item.state!r}")
+
+    def _advance_pending(self, item: _InflightStep) -> bool:
+        fw = self.framework
+        planner = fw.planner_handle.instance()
+        fw._ensure_sized_strategy(planner)
+        item.plan_future = fw.planner_handle.submit("generate_plan", item.step)
+        item.state = "planning"
+        return True
+
+    def _advance_planning(self, item: _InflightStep) -> bool:
+        fw = self.framework
+        fw.system.tick()
+        if not item.plan_future.done():
+            return True
+        exc = item.plan_future.exception()
+        if isinstance(exc, (ActorDead, ActorTimeout)):
+            # The planner's buffer gather hit a dead loader.  Find and
+            # recover every failed loader, then re-plan the step.
+            failed = fw.fault_manager.detect_failures(fw.loader_handles)
+            if not failed:
+                raise exc
+            for handle in failed:
+                self._recover_loader_handle(handle, item.step)
+            item.plan_future = fw.planner_handle.submit("generate_plan", item.step)
+            return True
+        if exc is not None:
+            raise exc
+        item.plan = item.plan_future.result()
+        # Capture the timings of exactly this plan before later plans overwrite
+        # the planner's "latest" slot.
+        item.plan_timings = fw.planner_handle.instance().stats.latest_timings()
+        item.demands = fw._split_demands(item.plan)
+        for handle, sample_ids in item.demands.items():
+            if not sample_ids:
+                continue
+            item.prepare_futures[handle] = handle.submit(
+                "prepare_async", item.step, list(sample_ids)
+            )
+            item.pending_loaders.add(handle)
+            item.unfetched.add(handle)
+        item.state = "preparing"
+        return True
+
+    def _advance_preparing(self, item: _InflightStep) -> bool:
+        fw = self.framework
+        fw.system.tick(2)
+        for handle in list(item.pending_loaders):
+            accept = item.prepare_futures.get(handle)
+            if accept is not None:
+                if not accept.done():
+                    continue
+                exc = accept.exception()
+                if isinstance(exc, (ActorDead, ActorTimeout)):
+                    self._handle_loader_failure(item, handle)
+                    return True
+                if exc is not None:
+                    raise exc
+                del item.prepare_futures[handle]
+
+            poll = item.poll_futures.get(handle)
+            if poll is None:
+                item.poll_futures[handle] = handle.submit("poll", item.step, self.poll_chunk)
+                continue
+            if not poll.done():
+                continue
+            exc = poll.exception()
+            if isinstance(exc, (ActorDead, ActorTimeout)):
+                self._handle_loader_failure(item, handle)
+                return True
+            if exc is not None:
+                raise exc
+            status = poll.result()
+            del item.poll_futures[handle]
+            if status.get("done"):
+                item.loader_wall_clock_s = max(item.loader_wall_clock_s, status["wall_clock_s"])
+                item.loader_transform_s += status["transform_latency_s"]
+                item.pending_loaders.discard(handle)
+
+        if not item.pending_loaders:
+            item.state = "fetching"
+        return True
+
+    def _advance_fetching(self, item: _InflightStep) -> bool:
+        fw = self.framework
+        for handle in list(item.unfetched):
+            if handle not in item.fetch_futures:
+                item.fetch_futures[handle] = handle.submit(
+                    "fetch_prepared", list(item.demands[handle])
+                )
+        fw.system.tick(2)
+        for handle, future in list(item.fetch_futures.items()):
+            if not future.done():
+                continue
+            exc = future.exception()
+            if isinstance(exc, (ActorDead, ActorTimeout)):
+                self._handle_loader_failure(item, handle)
+                return True
+            if exc is not None:
+                raise exc
+            for prepared in future.result():
+                item.prepared[prepared.sample.sample_id] = prepared
+            del item.fetch_futures[handle]
+            item.unfetched.discard(handle)
+        if not item.unfetched:
+            item.unconstructed = list(fw.constructor_handles)
+            item.state = "constructing"
+        return True
+
+    def _advance_constructing(self, item: _InflightStep) -> bool:
+        fw = self.framework
+        backbone_plan = item.plan.module("backbone")
+        for constructor_handle in item.unconstructed:
+            if constructor_handle.name not in item.construct_futures:
+                item.construct_futures[constructor_handle.name] = constructor_handle.submit(
+                    "construct", item.step, backbone_plan, item.prepared
+                )
+        fw.system.tick(2)
+        blocked = False
+        for constructor_handle in list(item.unconstructed):
+            future = item.construct_futures.get(constructor_handle.name)
+            if future is None or not future.done():
+                continue
+            exc = future.exception()
+            if isinstance(exc, BackpressureError):
+                # Bounded staging is full: pause this step's prefetch until
+                # the trainer releases a step.
+                del item.construct_futures[constructor_handle.name]
+                blocked = True
+                continue
+            if exc is not None:
+                raise exc
+            stats = future.result()
+            item.collate_seconds = max(item.collate_seconds, stats["collate_seconds"])
+            item.unconstructed.remove(constructor_handle)
+            del item.construct_futures[constructor_handle.name]
+        if not item.unconstructed:
+            item.state = "ready"
+            return True
+        if blocked and not item.construct_futures:
+            item.blocked = True
+            return False
+        return True
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def _recover_loader_handle(self, handle: ActorHandle, at_step: int) -> ActorHandle:
+        """Promote/restart a failed loader and resync its buffer state.
+
+        The replacement is reset to the pristine post-start state (discarding
+        any restored cursor checkpoint, which shortens the *modelled*
+        recovery latency but cannot reproduce buffer contents) and the
+        Planner's completed plan history (steps before ``at_step``) is
+        replayed against it (Sec. 6.1 differential checkpoint + replay),
+        reproducing the failed primary's buffer exactly.
+        """
+        fw = self.framework
+        fw.system.cancel_pending(handle.name)
+        promoted = fw.fault_manager.recover_loader(handle, step=at_step)
+
+        for index, existing in enumerate(fw.loader_handles):
+            if existing is handle or existing.name == handle.name:
+                fw.loader_handles[index] = promoted
+                break
+        else:
+            fw.loader_handles.append(promoted)
+        planner = fw.planner_handle.instance()
+        planner.register_loaders(fw.loader_handles)
+
+        promoted.call("reset_for_replay")
+        source_name = promoted.instance().source.name
+        for plan in planner.plan_history():
+            if plan.step >= at_step:
+                continue
+            demanded = plan.source_demands.get(source_name, [])
+            if demanded:
+                promoted.call("replay_demands", list(demanded))
+        return promoted
+
+    def _handle_loader_failure(self, item: _InflightStep, handle: ActorHandle) -> None:
+        """Recover a loader that died mid-prepare/fetch and re-issue its work.
+
+        The in-flight step's samples were never delivered, so re-preparing
+        them on the replacement neither drops nor duplicates any sample.
+        """
+        promoted = self._recover_loader_handle(handle, item.step)
+
+        sample_ids = item.demands.pop(handle, [])
+        item.prepare_futures.pop(handle, None)
+        item.poll_futures.pop(handle, None)
+        item.fetch_futures.pop(handle, None)
+        item.pending_loaders.discard(handle)
+        item.unfetched.discard(handle)
+        item.demands[promoted] = sample_ids
+        if sample_ids:
+            item.prepare_futures[promoted] = promoted.submit(
+                "prepare_async", item.step, list(sample_ids)
+            )
+            item.pending_loaders.add(promoted)
+            item.unfetched.add(promoted)
+        item.state = "preparing"

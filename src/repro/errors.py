@@ -37,6 +37,10 @@ class SchedulingError(ActorError):
     """The placement scheduler could not satisfy a resource request."""
 
 
+class BackpressureError(ActorError):
+    """A bounded staging queue is full and cannot accept more work."""
+
+
 class PlanError(ReproError):
     """Raised when a loading plan cannot be generated or validated."""
 

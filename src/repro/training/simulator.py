@@ -69,6 +69,7 @@ class IterationResult:
     exposed_fetch_time_s: float
     total_tokens: int
     peak_activation_tokens: int
+    hidden_fetch_time_s: float = 0.0
     timeline: Timeline = field(default_factory=Timeline)
 
     @property
@@ -111,6 +112,7 @@ class TrainingSimulator:
         backbone_assignments: list[list[list[SampleMetadata]]],
         encoder_assignments: list[list[list[SampleMetadata]]] | None = None,
         data_fetch_latency_s: float = 0.0,
+        hidden_fetch_s: float | None = None,
     ) -> IterationResult:
         """Simulate one iteration.
 
@@ -124,8 +126,13 @@ class TrainingSimulator:
             patches GPU ``gpu`` encodes for microbatch ``mb``; defaults to the
             backbone assignment replicated over each DP group's GPUs.
         data_fetch_latency_s:
-            Latency of fetching the iteration's data; only the portion not
-            overlapped with the previous iteration's compute is exposed.
+            Latency of fetching the iteration's data.
+        hidden_fetch_s:
+            Fetch latency actually overlapped with earlier compute, as
+            measured by the prefetching step pipeline.  ``None`` keeps the
+            legacy optimistic model where the fetch fully overlaps the
+            previous iteration's compute; ``0.0`` models a synchronous data
+            plane whose fetch sits entirely on the critical path.
         """
         dp_size = self.mesh.size("DP")
         if len(backbone_assignments) != dp_size:
@@ -170,7 +177,13 @@ class TrainingSimulator:
         # Gradient synchronisation: every DP rank waits for the slowest one.
         allreduce = self.interconnect.allreduce_base_latency_s
         compute_time = max(per_dp_times) if per_dp_times else 0.0
-        exposed_fetch = max(0.0, data_fetch_latency_s - compute_time)
+        if hidden_fetch_s is None:
+            # Legacy model: assume the fetch fully overlaps the previous
+            # iteration's compute window.
+            hidden = min(data_fetch_latency_s, compute_time)
+        else:
+            hidden = max(0.0, min(hidden_fetch_s, data_fetch_latency_s))
+        exposed_fetch = max(0.0, data_fetch_latency_s - hidden)
         iteration_time = compute_time + allreduce + exposed_fetch
 
         bubble_time = (
@@ -196,6 +209,7 @@ class TrainingSimulator:
             exposed_fetch_time_s=exposed_fetch,
             total_tokens=total_tokens,
             peak_activation_tokens=peak_activation,
+            hidden_fetch_time_s=hidden,
             timeline=timeline,
         )
 

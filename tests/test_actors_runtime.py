@@ -256,3 +256,81 @@ class TestActorSystem:
         system = self.make_system()
         with pytest.raises(ActorError):
             system.actor_state("ghost")
+
+
+class TestCooperativeEventLoop:
+    def make_system(self):
+        return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+    def test_submit_defers_until_tick(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit("increment", 5)
+        assert not future.done()
+        assert handle.instance().value == 0  # nothing executed yet
+        assert system.tick() == 1
+        assert future.done()
+        assert future.result() == 5
+        assert handle.instance().value == 5
+
+    def test_pending_result_raises_until_completed(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit("increment")
+        with pytest.raises(ActorError):
+            future.result()
+        system.tick()
+        assert future.result() == 1
+
+    def test_fifo_completion_order_is_deterministic(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        futures = [handle.submit("increment", 1) for _ in range(4)]
+        system.drain()
+        # FIFO execution: results are the running counter values in order.
+        assert [future.result() for future in futures] == [1, 2, 3, 4]
+        assert system.pending_count() == 0
+
+    def test_tick_respects_budget(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        for _ in range(3):
+            handle.submit("increment")
+        assert system.tick(max_calls=2) == 2
+        assert system.pending_count() == 1
+        assert system.tick(max_calls=5) == 1
+
+    def test_failure_injected_after_submit_fails_the_future(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit("increment")
+        system.failures.fail("c")
+        system.tick()
+        assert isinstance(future.exception(), ActorDead)
+        with pytest.raises(ActorDead):
+            future.result()
+
+    def test_cancelled_call_never_executes(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit("increment")
+        assert future.cancel()
+        assert system.drain() == 0
+        assert handle.instance().value == 0
+        assert not future.cancel()  # already cancelled
+
+    def test_cancel_pending_by_actor(self):
+        system = self.make_system()
+        a = system.create_actor(Counter, name="a")
+        b = system.create_actor(Counter, name="b")
+        fa = a.submit("increment")
+        fb = b.submit("increment")
+        assert system.cancel_pending("a") == 1
+        system.drain()
+        assert fa.cancelled()
+        assert fb.result() == 1
+
+    def test_submit_to_unknown_actor_rejected(self):
+        system = self.make_system()
+        with pytest.raises(ActorError):
+            system.submit_call("ghost", "increment", (), {})

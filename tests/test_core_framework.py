@@ -124,6 +124,20 @@ class TestRunStep:
         deliveries = deployed_system.next_batch()
         assert deliveries
 
+    def test_sync_path_keeps_random_step_access(self):
+        """Regression: with prefetch_depth=0 the trainer may re-request an
+        earlier step (rollback); the in-order guard only binds the pipeline."""
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3, samples_per_source=48,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step(step=5)
+        result = system.run_step(step=3)
+        assert result.step == 3
+        assert result.deliveries
+        system.shutdown()
+
     def test_run_training_summary(self, deployed_system):
         summary = deployed_system.run_training(num_steps=2)
         assert summary["steps"] == 2
@@ -146,6 +160,45 @@ class TestReshard:
         result = system.run_step()
         assert result.deliveries
 
+    @pytest.mark.parametrize("prefetch_depth", [0, 2])
+    def test_shrinking_reshard_retires_constructors(self, prefetch_depth):
+        """Regression: a DP shrink must retire surplus constructors (and, with
+        prefetching, flush in-flight steps) instead of crashing construct."""
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=48, prefetch_depth=prefetch_depth,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        report = system.handle_reshard(
+            ReshardNotification(step=1, new_mesh=DeviceMesh(pp=1, dp=1, cp=1, tp=1))
+        )
+        assert report.constructors_retired == 1
+        assert len(system.constructor_handles) == 1
+        result = system.run_step()
+        assert result.step == 1
+        assert result.deliveries
+        system.shutdown()
+        assert system.memory_report()["total"] == 0
+
+    def test_growing_reshard_provisions_constructors(self):
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=8, num_microbatches=2, num_sources=3,
+            samples_per_source=64, prefetch_depth=1,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        report = system.handle_reshard(
+            ReshardNotification(step=1, new_mesh=DeviceMesh(pp=1, dp=4, cp=1, tp=1))
+        )
+        assert report.constructors_added == 2
+        assert len(system.constructor_handles) == 4
+        result = system.run_step()
+        assert len(result.deliveries) == 4
+        system.shutdown()
+
 
 class TestShutdownAndMixture:
     def test_shutdown_releases_memory(self):
@@ -155,6 +208,51 @@ class TestShutdownAndMixture:
         )
         system = MegaScaleData.deploy(job)
         assert system.memory_report()["total"] > 0
+        system.shutdown()
+        assert system.memory_report()["total"] == 0
+
+    def test_double_shutdown_is_idempotent(self):
+        """Regression: a second shutdown() must be a harmless no-op."""
+        job = TrainingJobSpec(
+            pp=1, dp=1, cp=1, tp=1, encoder=None, strategy="vanilla",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=2, samples_per_source=32,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        system.shutdown()
+        state_after_first = system.memory_report()
+        system.shutdown()  # must not raise or change anything
+        assert system.memory_report() == state_after_first
+        assert system.memory_report()["total"] == 0
+
+    def test_shutdown_drains_inflight_prefetch_work(self):
+        """Shutdown with a warm prefetch pipeline cancels queued work and
+        releases every byte staged for never-consumed steps."""
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=48, prefetch_depth=2,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        assert system.pipeline.inflight()  # steps 1..2 staged ahead
+        system.shutdown()
+        assert not system.pipeline.inflight()
+        assert system.system.pending_count() == 0
+        assert system.memory_report()["total"] == 0
+        system.shutdown()  # idempotent with the pipeline attached too
+        assert system.memory_report()["total"] == 0
+
+    def test_shutdown_covers_promoted_and_shadow_actors(self):
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=48, enable_shadow_loaders=True, prefetch_depth=1,
+        )
+        system = MegaScaleData.deploy(job)
+        system.run_step()
+        system.system.failures.fail(system.loader_handles[0].name)
+        system.run_step()  # triggers shadow promotion inside the pipeline
         system.shutdown()
         assert system.memory_report()["total"] == 0
 

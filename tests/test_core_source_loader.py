@@ -159,3 +159,72 @@ class TestShardingAndCheckpoint:
         assert loader.should_checkpoint()
         loader.mark_checkpointed()
         assert not loader.should_checkpoint()
+
+
+class TestAsyncPrepareProtocol:
+    def test_poll_until_done_matches_sync_prepare(self, system, small_catalog, filesystem):
+        sync_handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        async_handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        ids = [m.sample_id for m in sync_handle.instance().summary_buffer()[:6]]
+
+        sync_result = sync_handle.call("prepare", ids)
+
+        async_handle.call("prepare_async", 0, ids)
+        polls = 0
+        while True:
+            status = async_handle.call("poll", 0, 2)
+            polls += 1
+            if status.get("done"):
+                break
+        assert polls >= 3  # chunked: 6 samples at 2 per poll
+        for key in ("transform_latency_s", "wall_clock_s", "staged_bytes", "num_samples"):
+            assert status[key] == pytest.approx(sync_result[key])
+        # Both loaders staged the same samples and can deliver them.
+        assert async_handle.instance().staged_count() == sync_handle.instance().staged_count()
+        delivered = async_handle.call("fetch_prepared", ids)
+        assert [p.sample.sample_id for p in delivered] == ids
+
+    def test_duplicate_ticket_rejected(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        ids = [m.sample_id for m in handle.instance().summary_buffer()[:2]]
+        handle.call("prepare_async", 7, ids)
+        with pytest.raises(PlanError):
+            handle.call("prepare_async", 7, ids)
+
+    def test_poll_unknown_ticket_rejected(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        with pytest.raises(PlanError):
+            handle.call("poll", 99)
+
+    def test_cancel_prepare_retires_ticket(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        ids = [m.sample_id for m in handle.instance().summary_buffer()[:4]]
+        handle.call("prepare_async", 1, ids)
+        handle.call("poll", 1, 2)  # partially prepared
+        assert handle.call("cancel_prepare", 1)
+        assert not handle.call("cancel_prepare", 1)
+        assert handle.instance().inflight_tickets() == []
+        # The partially staged samples can be explicitly discarded.
+        staged_before = handle.instance().staged_count()
+        assert staged_before == 2
+        assert handle.call("discard_staged", ids) == 2
+        assert handle.instance().ledger.live_bytes("sample_payload") == 0
+
+    def test_replay_demands_reproduces_buffer_state(self, system, small_catalog, filesystem):
+        primary = spawn_loader(system, small_catalog, filesystem, buffer_size=12)
+        replica = spawn_loader(system, small_catalog, filesystem, buffer_size=12)
+        first = [m.sample_id for m in primary.instance().summary_buffer()[:3]]
+        primary.call("prepare", first)
+        second = [m.sample_id for m in primary.instance().summary_buffer()[:3]]
+        primary.call("prepare", second)
+
+        # Replaying the same demand history (without staging) must leave the
+        # replica's buffer identical to the primary's.
+        assert replica.call("replay_demands", first) == 3
+        assert replica.call("replay_demands", second) == 3
+        primary_ids = [m.sample_id for m in primary.instance().summary_buffer()]
+        replica_ids = [m.sample_id for m in replica.instance().summary_buffer()]
+        assert primary_ids == replica_ids
+        assert replica.instance().staged_count() == 0
+        # Ids from other shards are ignored rather than failing.
+        assert replica.call("replay_demands", [10**9]) == 0

@@ -1,0 +1,219 @@
+"""Unit tests for the asynchronous prefetching StepPipeline.
+
+Covers prefetch depths 0/1/2, bounded-queue backpressure on the Data
+Constructor staging queues, and strictly in-order per-rank delivery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.data_constructor import DataConstructor
+from repro.core.framework import MegaScaleData, TrainingJobSpec
+from repro.errors import BackpressureError, ConfigurationError, PlanError
+from repro.parallelism.mesh import DeviceMesh
+
+
+def make_job(prefetch_depth: int, **overrides) -> TrainingJobSpec:
+    defaults = dict(
+        pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+        samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+        samples_per_source=48, seed=7, prefetch_depth=prefetch_depth,
+    )
+    defaults.update(overrides)
+    return TrainingJobSpec(**defaults)
+
+
+def delivery_signature(result):
+    """Comparable payload signature of a step's per-rank deliveries."""
+    return {
+        rank: [
+            (piece.rank, piece.microbatch_index, piece.token_count, piece.payload_bytes)
+            for piece in delivery.slices
+        ]
+        for rank, delivery in sorted(result.deliveries.items())
+    }
+
+
+class TestPrefetchDepths:
+    def test_depth_zero_keeps_synchronous_path(self):
+        system = MegaScaleData.deploy(make_job(0))
+        assert system.pipeline is None
+        result = system.run_step()
+        assert result.deliveries
+        assert not result.prefetched
+        assert result.hidden_fetch_s == 0.0
+        system.shutdown()
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_prefetch_matches_synchronous_deliveries(self, depth):
+        sync = MegaScaleData.deploy(make_job(0))
+        prefetched = MegaScaleData.deploy(make_job(depth))
+        assert prefetched.pipeline is not None
+        assert prefetched.pipeline.prefetch_depth == depth
+        try:
+            for _ in range(4):
+                a = sync.run_step()
+                b = prefetched.run_step()
+                assert delivery_signature(a) == delivery_signature(b)
+                assert a.plan.source_demands == b.plan.source_demands
+        finally:
+            sync.shutdown()
+            prefetched.shutdown()
+
+    def test_pipeline_keeps_depth_steps_in_flight(self):
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            system.run_step()
+            inflight = system.pipeline.inflight()
+            assert [step for step, _ in inflight] == [1, 2, 3]
+            # After a consumed step the queued steps are fully prefetched.
+            assert all(state == "ready" for _, state in inflight)
+        finally:
+            system.shutdown()
+
+    def test_steps_marked_prefetched_after_warmup(self):
+        system = MegaScaleData.deploy(make_job(1))
+        try:
+            first = system.run_step()
+            second = system.run_step()
+            assert not first.prefetched  # issued and consumed in the same step
+            assert second.prefetched
+        finally:
+            system.shutdown()
+
+    def test_overlap_credit_requires_simulation_window(self):
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            results = [system.run_step(simulate=True) for _ in range(3)]
+            # Step 0 had no previous compute to hide behind.
+            assert results[0].hidden_fetch_s == 0.0
+            # Later steps hide their (small) fetch entirely behind compute.
+            assert results[1].hidden_fetch_s > 0.0
+            assert results[1].iteration.exposed_fetch_time_s < results[1].data_fetch_latency_s
+            assert system.overlap.hidden_total_s() > 0.0
+            assert 0.0 < system.overlap.hidden_fraction() <= 1.0
+        finally:
+            system.shutdown()
+
+    def test_out_of_order_consumption_rejected(self):
+        system = MegaScaleData.deploy(make_job(1))
+        try:
+            system.run_step()
+            with pytest.raises(ConfigurationError):
+                system.run_step(step=5)
+        finally:
+            system.shutdown()
+
+    def test_run_training_reports_overlap(self):
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            summary = system.run_training(num_steps=3)
+            assert summary["hidden_data_time_s"] > 0.0
+            assert summary["hidden_data_fraction"] > 0.0
+            assert summary["throughput_tokens_per_s"] > 0.0
+        finally:
+            system.shutdown()
+
+
+class TestBackpressure:
+    def test_constructor_rejects_overflow(self, sample_factory):
+        constructor = DataConstructor(
+            bucket_index=0, mesh=DeviceMesh(pp=1, dp=1, cp=1, tp=1), dp_index=0,
+            staging_capacity=2,
+        )
+        from repro.core.dgraph import DGraph
+        from repro.core.place_tree import ClientPlaceTree
+
+        tree = ClientPlaceTree(DeviceMesh(pp=1, dp=1, cp=1, tp=1))
+        samples = [sample_factory(i, text_tokens=32) for i in range(4)]
+        plan = DGraph.from_buffer_infos(samples).init(tree).distribute("DP").balance(
+            num_microbatches=2
+        ).plan()
+        # construct() checks membership only, so object() stand-ins suffice.
+        prepared = {s.sample_id: object() for s in samples}
+        constructor.construct(0, plan.module, prepared)
+        constructor.construct(1, plan.module, prepared)
+        assert constructor.staging_backlog() == 2
+        with pytest.raises(BackpressureError):
+            constructor.construct(2, plan.module, prepared)
+        constructor.release_step(0)
+        constructor.construct(2, plan.module, prepared)
+
+    def test_constructor_requires_double_buffering_capacity(self):
+        with pytest.raises(PlanError):
+            DataConstructor(
+                bucket_index=0, mesh=DeviceMesh(pp=1, dp=1, cp=1, tp=1), dp_index=0,
+                staging_capacity=1,
+            )
+
+    def test_duplicate_step_staging_rejected(self, sample_factory):
+        from repro.core.dgraph import DGraph
+        from repro.core.place_tree import ClientPlaceTree
+
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=1)
+        constructor = DataConstructor(bucket_index=0, mesh=mesh, dp_index=0)
+        tree = ClientPlaceTree(mesh)
+        samples = [sample_factory(i, text_tokens=32) for i in range(2)]
+        plan = DGraph.from_buffer_infos(samples).init(tree).distribute("DP").balance(
+            num_microbatches=1
+        ).plan()
+        prepared = {s.sample_id: object() for s in samples}
+        constructor.construct(0, plan.module, prepared)
+        with pytest.raises(PlanError):
+            constructor.construct(0, plan.module, prepared)
+
+    def test_pipeline_throttles_on_full_staging(self):
+        system = MegaScaleData.deploy(make_job(3))
+        try:
+            # Shrink the bounded queues under the pipeline's feet: prefetch
+            # must pause instead of overflowing them.
+            for handle in system.constructor_handles:
+                handle.instance().staging_capacity = 2
+            for _ in range(4):
+                result = system.run_step()
+                assert result.deliveries
+                for handle in system.constructor_handles:
+                    assert handle.instance().staging_backlog() <= 2
+            # The pipeline kept some steps incomplete rather than overflowing.
+            states = dict(system.pipeline.inflight())
+            assert any(state != "ready" for state in states.values())
+        finally:
+            system.shutdown()
+
+
+class TestInOrderDelivery:
+    def test_get_batch_rejects_replay_and_reordering(self, sample_factory):
+        from repro.core.dgraph import DGraph
+        from repro.core.place_tree import ClientPlaceTree
+
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=1)
+        constructor = DataConstructor(bucket_index=0, mesh=mesh, dp_index=0,
+                                      staging_capacity=3)
+        tree = ClientPlaceTree(mesh)
+        samples = [sample_factory(i, text_tokens=16) for i in range(4)]
+        plan = DGraph.from_buffer_infos(samples).init(tree).distribute("DP").balance(
+            num_microbatches=1
+        ).plan()
+        prepared = {s.sample_id: object() for s in samples}
+        constructor.construct(0, plan.module, prepared)
+        constructor.construct(1, plan.module, prepared)
+
+        rank = constructor.ranks_served(0)[0]
+        constructor.get_batch(1, rank)  # consume step 1 first
+        with pytest.raises(PlanError):
+            constructor.get_batch(0, rank)  # older step now refused
+        with pytest.raises(PlanError):
+            constructor.get_batch(1, rank)  # duplicate refused
+
+    def test_prefetched_steps_consumed_in_order_per_rank(self):
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            results = [system.run_step() for _ in range(4)]
+            assert [r.step for r in results] == [0, 1, 2, 3]
+            for constructor_handle in system.constructor_handles:
+                delivered = constructor_handle.instance()._delivered_up_to
+                assert delivered
+                assert all(step == 3 for step in delivered.values())
+        finally:
+            system.shutdown()

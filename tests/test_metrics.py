@@ -6,7 +6,7 @@ import pytest
 
 from repro.metrics.memory import MemoryLedger
 from repro.metrics.report import MetricReport, summarize
-from repro.metrics.timeline import Timeline
+from repro.metrics.timeline import OverlapLedger, Timeline
 
 
 class TestMemoryLedger:
@@ -181,3 +181,33 @@ class TestMetricReport:
         stats = summarize([])
         assert stats["mean"] == 0.0
         assert stats["p95"] == 0.0
+
+
+class TestOverlapLedger:
+    def test_record_and_totals(self):
+        ledger = OverlapLedger()
+        ledger.record(step=0, fetch_s=2.0, hidden_s=0.0)
+        ledger.record(step=1, fetch_s=3.0, hidden_s=3.0)
+        ledger.record(step=2, fetch_s=1.0, hidden_s=0.5)
+        assert len(ledger) == 3
+        assert ledger.fetch_total_s() == pytest.approx(6.0)
+        assert ledger.hidden_total_s() == pytest.approx(3.5)
+        assert ledger.exposed_total_s() == pytest.approx(2.5)
+        assert ledger.hidden_fraction() == pytest.approx(3.5 / 6.0)
+
+    def test_hidden_clamped_to_fetch(self):
+        ledger = OverlapLedger()
+        entry = ledger.record(step=0, fetch_s=1.0, hidden_s=5.0)
+        assert entry.hidden_s == pytest.approx(1.0)
+        assert entry.exposed_s == 0.0
+        negative = ledger.record(step=1, fetch_s=1.0, hidden_s=-2.0)
+        assert negative.hidden_s == 0.0
+        assert negative.exposed_s == pytest.approx(1.0)
+
+    def test_negative_fetch_rejected(self):
+        ledger = OverlapLedger()
+        with pytest.raises(ValueError):
+            ledger.record(step=0, fetch_s=-1.0, hidden_s=0.0)
+
+    def test_empty_ledger_fraction_zero(self):
+        assert OverlapLedger().hidden_fraction() == 0.0

@@ -41,11 +41,18 @@ def test_greedy_total_cost_conserved(costs, num_bins):
 @given(costs=costs_strategy, num_bins=bins_strategy)
 @settings(max_examples=60, deadline=None)
 def test_greedy_makespan_bounds(costs, num_bins):
-    """LPT greedy is within 4/3 - 1/(3k) of the optimal makespan lower bound."""
+    """LPT greedy stays within the list-scheduling makespan guarantee.
+
+    The classic 4/3 factor holds versus OPT, which ``max(max, sum/k)`` only
+    lower-bounds (5 equal items on 4 bins: OPT = 2, lower bound = 1.25), so
+    the safe certified upper bound versus observable quantities is the
+    Graham list-scheduling bound ``sum/k + max``.
+    """
     result = greedy_binpack(make_items(costs), num_bins)
     lower_bound = max(max(costs), sum(costs) / num_bins)
     assert result.max_cost >= lower_bound * (1.0 - 1e-9)
-    assert result.max_cost <= (4.0 / 3.0) * lower_bound * (1.0 + 1e-9) + 1e-6
+    upper_bound = sum(costs) / num_bins + max(costs)
+    assert result.max_cost <= upper_bound * (1.0 + 1e-9) + 1e-6
 
 
 @given(costs=costs_strategy, num_bins=bins_strategy)
