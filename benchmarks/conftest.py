@@ -37,6 +37,32 @@ def emit(report: MetricReport) -> None:
     print(report.to_text())
 
 
+#: Repository root — BENCH_*.json perf artifacts are written here so the
+#: perf trajectory is tracked across PRs (and uploaded by the CI matrix leg).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(figure: str, section: str, payload: object) -> Path:
+    """Merge ``payload`` under ``section`` into ``BENCH_<figure>.json``.
+
+    Each benchmark test owns one section of its figure's artifact, so tests
+    can run independently (e.g. one prefetch-depth leg of the CI matrix)
+    without clobbering each other's numbers.
+    """
+    import json
+
+    path = REPO_ROOT / f"BENCH_{figure}.json"
+    document: dict[str, object] = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    document[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def filesystem() -> SimulatedFileSystem:
     return SimulatedFileSystem()

@@ -10,9 +10,11 @@ contexts and for larger encoders.
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 import numpy as np
+import pytest
 
 from repro.core.framework import MegaScaleData, TrainingJobSpec
 from repro.core.place_tree import ClientPlaceTree
@@ -22,7 +24,7 @@ from repro.parallelism.mesh import DeviceMesh
 from repro.training.models import VLMConfig, get_model
 from repro.training.simulator import TrainingSimulator
 
-from .conftest import emit, sample_batch
+from .conftest import emit, sample_batch, write_bench_json
 
 MESH = DeviceMesh(pp=2, dp=4, cp=1, tp=2, gpus_per_node=16)
 NUM_MICROBATCHES = 4
@@ -114,6 +116,7 @@ def test_fig13_orchestration_throughput(benchmark, navit_catalog, filesystem):
             round(row["hybrid"] / row["vanilla"], 2),
         )
     emit(report)
+    write_bench_json("fig13", "strategy_throughput", rows)
 
     speedups_backbone = [row["backbone_balance"] / row["vanilla"] for row in rows]
     speedups_hybrid = [row["hybrid"] / row["vanilla"] for row in rows]
@@ -171,6 +174,11 @@ def test_fig13_prefetch_pipeline_throughput(benchmark):
             round(summary["hidden_data_fraction"], 3),
         )
     emit(report)
+    write_bench_json(
+        "fig13",
+        "prefetch_pipeline",
+        {f"depth_{depth}": summary for depth, summary in summaries.items()},
+    )
 
     sync, depth1, depth2 = summaries[0], summaries[1], summaries[2]
     # Prefetching strictly improves throughput on the same job spec...
@@ -183,3 +191,40 @@ def test_fig13_prefetch_pipeline_throughput(benchmark):
     assert depth1["exposed_data_time_s"] < sync["exposed_data_time_s"]
     # A deeper pipeline never hides less than a shallower one.
     assert depth2["hidden_data_time_s"] >= depth1["hidden_data_time_s"] * 0.999
+
+
+def test_fig13_prefetch_depth_matrix_smoke(benchmark):
+    """One-depth smoke pass for the CI prefetch matrix.
+
+    ``BENCH_PREFETCH_DEPTH`` (set by the workflow matrix leg) selects a
+    single depth; locally, all three run.  Each leg writes its own section
+    of the BENCH_fig13.json artifact, which the workflow uploads so the perf
+    trajectory is tracked across PRs.
+    """
+    depth_env = os.environ.get("BENCH_PREFETCH_DEPTH")
+    depths = [int(depth_env)] if depth_env else [0, 1, 2]
+    summaries = benchmark(lambda: {depth: _train_with_depth(depth) for depth in depths})
+
+    report = MetricReport(
+        title="Fig. 13 (smoke) - prefetch depth matrix leg",
+        columns=["prefetch depth", "tokens/s", "hidden (s)", "stall (s)", "virtual wall (s)"],
+    )
+    for depth, summary in sorted(summaries.items()):
+        report.add_row(
+            depth,
+            round(summary["throughput_tokens_per_s"]),
+            round(summary["hidden_data_time_s"], 3),
+            round(summary["data_stall_time_s"], 3),
+            round(summary["virtual_wall_time_s"], 3),
+        )
+        write_bench_json("fig13", f"prefetch_depth_{depth}", summary)
+    emit(report)
+
+    for summary in summaries.values():
+        assert summary["throughput_tokens_per_s"] > 0.0
+        assert summary["virtual_wall_time_s"] > 0.0
+        # The co-simulation's books balance: hidden + exposed == total fetch.
+        fetch_total = summary["steps"] * summary["avg_fetch_latency_s"]
+        assert summary["hidden_data_time_s"] + summary["exposed_data_time_s"] == pytest.approx(
+            fetch_total
+        )

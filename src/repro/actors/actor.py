@@ -86,6 +86,9 @@ class ActorFuture:
         self.state = FutureState.PENDING
         self._result: object = None
         self._exception: BaseException | None = None
+        #: Virtual-clock instant the call's result becomes available (set on
+        #: completion by the event engine); ``None`` while pending/failed.
+        self.available_at_s: float | None = None
 
     # -- inspection -----------------------------------------------------------------
 
@@ -119,9 +122,10 @@ class ActorFuture:
         self.state = FutureState.CANCELLED
         return True
 
-    def _complete(self, result: object) -> None:
+    def _complete(self, result: object, available_at_s: float | None = None) -> None:
         if self.state is FutureState.PENDING:
             self._result = result
+            self.available_at_s = available_at_s
             self.state = FutureState.DONE
 
     def _fail(self, exc: BaseException) -> None:
@@ -168,6 +172,37 @@ class ActorHandle:
     ) -> ActorFuture:
         """Enqueue ``method`` as a deferred call; completed when the system ticks."""
         return self._system.submit_call(self.name, method, args, kwargs, timeout_s=timeout_s)
+
+    def submit_timed(
+        self,
+        method: str,
+        *args: object,
+        step_tag: int | None = None,
+        duration_s: float | None = None,
+        earliest_start_s: float | None = None,
+        timeout_s: float | None = None,
+        **kwargs: object,
+    ) -> ActorFuture:
+        """Enqueue a deferred call with explicit virtual-clock scheduling.
+
+        ``earliest_start_s`` declares a causal dependency (the call cannot
+        start before that virtual instant); ``duration_s`` overrides the
+        latency-provider-derived virtual duration; ``step_tag`` tags the
+        executed event on the system timeline for per-step overlap
+        accounting.  The scheduling keywords are deliberately named so they
+        cannot shadow actor-method parameters like ``step`` — method
+        arguments pass through ``*args``/``**kwargs`` untouched.
+        """
+        return self._system.submit_call(
+            self.name,
+            method,
+            args,
+            kwargs,
+            timeout_s=timeout_s,
+            duration_s=duration_s,
+            earliest_start_s=earliest_start_s,
+            step_tag=step_tag,
+        )
 
     def instance(self) -> Actor:
         """Direct access to the underlying object (tests / same-process reads)."""

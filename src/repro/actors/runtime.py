@@ -6,10 +6,20 @@ supports the recovery mechanisms the paper relies on: automatic restart of
 coordinators from GCS state and promotion of hot-standby (shadow) actors.
 
 Besides synchronous :meth:`ActorSystem.call_actor` dispatch, the system owns a
-cooperative event loop: calls submitted via :meth:`ActorSystem.submit_call`
-are queued and executed FIFO when :meth:`ActorSystem.tick` runs, completing
-their :class:`~repro.actors.actor.ActorFuture`.  The asynchronous prefetching
-data plane is built on this deferred-completion machinery.
+**virtual-clock discrete-event engine**: calls submitted via
+:meth:`ActorSystem.submit_call` are queued per actor and, when
+:meth:`ActorSystem.tick` runs, the engine picks the queued call with the
+earliest virtual start time (respecting per-actor serialization via busy
+windows and caller-declared causal dependencies via ``earliest_start_s``),
+advances the shared :class:`VirtualClock` to that instant and executes it.
+Each executed call occupies its actor for a *virtual duration* — explicitly
+provided, or derived from the call's result by the system's pluggable
+``latency_provider`` (see
+:class:`repro.core.cost_model.DataPlaneLatencyProvider`) — and its completion
+instant is published on the future (``ActorFuture.available_at_s``) and on
+the system :class:`~repro.metrics.timeline.Timeline`.  Trainer compute and
+data-plane work are therefore co-simulated on one clock, which is what makes
+prefetch overlap a *measured* quantity rather than a heuristic credit.
 """
 
 from __future__ import annotations
@@ -30,7 +40,37 @@ from repro.actors.node import (
 from repro.actors.scheduler import PlacementDecision, PlacementRequest, PlacementScheduler
 from repro.errors import ActorDead, ActorError, ActorTimeout
 from repro.metrics.memory import MemoryLedger
+from repro.metrics.timeline import Timeline
 from repro.utils.ids import IdAllocator
+
+
+class VirtualClock:
+    """Monotonic simulated-time clock shared by every co-simulated component.
+
+    The clock is a high-water mark over executed event start times: it never
+    runs backwards, and it is advanced by the event engine (and by simulated
+    RPC latency on synchronous calls), never by real time.
+    """
+
+    def __init__(self, now_s: float = 0.0) -> None:
+        self._now_s = float(now_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ActorError("cannot advance the clock backwards")
+        self._now_s += seconds
+
+    def advance_to(self, instant_s: float) -> None:
+        """Move the clock forward to ``instant_s`` (no-op if already past it)."""
+        if instant_s > self._now_s:
+            self._now_s = float(instant_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock({self._now_s:.6f}s)"
 
 
 @dataclass(frozen=True)
@@ -67,6 +107,9 @@ class _ActorRecord:
     placement: PlacementDecision
     state: ActorState
     restart_count: int = 0
+    #: Parallel execution lanes on the virtual clock (a multi-server station:
+    #: e.g. a loader's worker pool serving several step tickets concurrently).
+    concurrency: int = 1
 
 
 @dataclass
@@ -77,6 +120,15 @@ class _PendingCall:
     args: tuple
     kwargs: dict
     timeout_s: float | None
+    #: Virtual instant the call became eligible to run (submit time, or the
+    #: caller-declared causal dependency when ``earliest_start_s`` was given).
+    ready_at_s: float = 0.0
+    #: Explicit virtual duration; ``None`` defers to the latency provider.
+    duration_s: float | None = None
+    #: Pipeline step the call belongs to (timeline metadata), if any.
+    step: int | None = None
+    #: Global submission sequence number — the deterministic tie-breaker.
+    seq: int = 0
 
 
 @dataclass
@@ -116,8 +168,21 @@ class ActorSystem:
         self._actors: dict[str, _ActorRecord] = {}
         self._ids = IdAllocator()
         self._call_log: list[CallRecord] = []
-        self._pending: deque[_PendingCall] = deque()
-        self.clock_s = 0.0
+        #: Per-actor FIFO queues of deferred calls (the event engine's inputs).
+        self._queues: dict[str, deque[_PendingCall]] = {}
+        #: Per-actor busy windows: one entry per execution lane holding the
+        #: virtual instant that lane finishes its latest executed call.
+        self._lanes_s: dict[str, list[float]] = {}
+        self._seq = 0
+        self.clock = VirtualClock()
+        #: Executed deferred calls as timed intervals (one event per call),
+        #: tagged with the actor's role and, when provided, the pipeline step.
+        self.timeline = Timeline()
+        #: Optional duck-typed hook ``call_duration_s(actor, method, result)``
+        #: deriving virtual durations from call results (see
+        #: :mod:`repro.core.cost_model`).  ``None`` means every deferred call
+        #: is instantaneous apart from the RPC latency.
+        self.latency_provider = None
 
     # -- cluster management --------------------------------------------------------
 
@@ -128,10 +193,18 @@ class ActorSystem:
     def node(self, name: str) -> Node:
         return self.scheduler.node(name)
 
+    @property
+    def clock_s(self) -> float:
+        """Current virtual time (kept as a float property for back-compat)."""
+        return self.clock.now_s
+
     def advance_clock(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ActorError("cannot advance the clock backwards")
-        self.clock_s += seconds
+        self.clock.advance(seconds)
+
+    def actor_free_at_s(self, name: str) -> float:
+        """Virtual instant the actor can start another call (earliest lane)."""
+        lanes = self._lanes_s.get(name)
+        return min(lanes) if lanes else 0.0
 
     # -- actor lifecycle --------------------------------------------------------------
 
@@ -144,8 +217,19 @@ class ActorSystem:
         prefer: NodeKind = NodeKind.ACCELERATOR,
         node_affinity: str | None = None,
         allow_spill: bool = True,
+        concurrency: int = 1,
     ) -> ActorHandle:
-        """Instantiate, place and register a new actor; returns its handle."""
+        """Instantiate, place and register a new actor; returns its handle.
+
+        ``concurrency`` is the number of parallel execution lanes the actor
+        occupies on the virtual clock (default 1 = fully serialized calls).
+        Calls still *execute* in strict FIFO order per actor — only their
+        simulated busy windows may overlap — so actor state stays
+        deterministic while e.g. a loader's worker pool can serve several
+        prefetch tickets concurrently.
+        """
+        if concurrency < 1:
+            raise ActorError("actor concurrency must be >= 1")
         instance = factory()
         role = getattr(type(instance), "role", "actor")
         actor_name = name or self._ids.next_name(role)
@@ -173,8 +257,10 @@ class ActorSystem:
             request=request,
             placement=placement,
             state=ActorState.RUNNING,
+            concurrency=concurrency,
         )
         self._actors[actor_name] = record
+        self._lanes_s[actor_name] = [self.clock.now_s] * concurrency
         self.gcs.register_actor(
             actor_name, {"role": role, "node": node.name, "spilled": placement.spilled}
         )
@@ -201,6 +287,15 @@ class ActorSystem:
         )
         if remove:
             self._actors.pop(name, None)
+            self._lanes_s.pop(name, None)
+            # Fail (don't leak) any still-queued deferred calls: a removed
+            # actor's queue would otherwise be scanned forever and its lane
+            # lookup would backdate the call's start to 0.
+            queue = self._queues.pop(name, None)
+            if queue:
+                for call in queue:
+                    if not call.future.cancelled():
+                        call.future._fail(ActorError(f"actor {name!r} was stopped"))
             self.gcs.deregister_actor(name)
 
     def restart_actor(self, name: str, state: dict | None = None) -> ActorHandle:
@@ -232,6 +327,24 @@ class ActorSystem:
         kwargs: dict,
         timeout_s: float | None = None,
     ):
+        result = self._invoke(name, method, args, kwargs, timeout_s, advance_rpc=True)
+        return result
+
+    def _invoke(
+        self,
+        name: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        timeout_s: float | None,
+        advance_rpc: bool,
+    ):
+        """Shared execution core of synchronous and deferred dispatch.
+
+        Applies failure injection and liveness checks, optionally charges the
+        RPC latency to the virtual clock (synchronous path) and records the
+        call in the call log.
+        """
         record = self._record(name)
         if name in self.failures.timeout_actors:
             self._call_log.append(CallRecord(name, method, timeout_s or 0.0, failed=True))
@@ -243,12 +356,13 @@ class ActorSystem:
         target = getattr(record.instance, method, None)
         if target is None or not callable(target):
             raise ActorError(f"actor {name!r} has no method {method!r}")
-        self.advance_clock(self.rpc_latency_s)
+        if advance_rpc:
+            self.advance_clock(self.rpc_latency_s)
         result = target(*args, **kwargs)
         self._call_log.append(CallRecord(name, method, self.rpc_latency_s, failed=False))
         return result
 
-    # -- cooperative event loop ---------------------------------------------------------
+    # -- virtual-clock event engine ------------------------------------------------------
 
     def submit_call(
         self,
@@ -257,66 +371,174 @@ class ActorSystem:
         args: tuple,
         kwargs: dict,
         timeout_s: float | None = None,
+        duration_s: float | None = None,
+        earliest_start_s: float | None = None,
+        step_tag: int | None = None,
     ) -> ActorFuture:
         """Enqueue a deferred call and return its future.
 
         The call does not execute until :meth:`tick` (or :meth:`drain`) runs;
         failure injection and liveness checks are applied at execution time, so
         a failure injected after submission still fails the future.
+
+        Scheduling semantics on the virtual clock: the call becomes eligible
+        at ``earliest_start_s`` when given (the caller-declared causal
+        dependency, e.g. "preparation cannot start before the plan was
+        broadcast"), otherwise at the current virtual time; it actually starts
+        at the later of that instant and the target actor's busy window, and
+        occupies the actor for ``duration_s`` virtual seconds (derived via the
+        system's ``latency_provider`` when ``None``) plus the RPC latency.
         """
         self._record(name)  # reject unknown actors eagerly
         future = ActorFuture(name, method)
-        self._pending.append(_PendingCall(future, name, method, args, dict(kwargs), timeout_s))
+        ready_at = self.clock.now_s if earliest_start_s is None else float(earliest_start_s)
+        self._seq += 1
+        self._queues.setdefault(name, deque()).append(
+            _PendingCall(
+                future,
+                name,
+                method,
+                args,
+                dict(kwargs),
+                timeout_s,
+                ready_at_s=ready_at,
+                duration_s=duration_s,
+                step=step_tag,
+                seq=self._seq,
+            )
+        )
         return future
 
-    def tick(self, max_calls: int = 1) -> int:
-        """Execute up to ``max_calls`` pending deferred calls (FIFO).
+    def _next_call(self) -> _PendingCall | None:
+        """Pop the queued call with the earliest virtual start (deterministic).
 
+        Per-actor queues are FIFO; across actors the head with the smallest
+        ``(start, seq)`` wins, where ``start`` respects both the call's ready
+        instant and the actor's busy window.  Cancelled heads are discarded.
+        """
+        best: _PendingCall | None = None
+        best_key: tuple[float, int] | None = None
+        for name, queue in self._queues.items():
+            while queue and queue[0].future.cancelled():
+                queue.popleft()
+            if not queue:
+                continue
+            head = queue[0]
+            start = max(head.ready_at_s, self.actor_free_at_s(name))
+            key = (start, head.seq)
+            if best_key is None or key < best_key:
+                best, best_key = head, key
+        if best is not None:
+            self._queues[best.name].popleft()
+        return best
+
+    def tick(self, max_calls: int = 1) -> int:
+        """Execute up to ``max_calls`` deferred calls in virtual-time order.
+
+        Each executed call advances the shared clock to its start instant,
+        marks its actor busy until ``start + rpc + duration`` and publishes
+        that completion instant on the future and the system timeline.
         Returns the number of calls actually executed.  Exceptions raised by
         the callee (including injected :class:`ActorDead` / :class:`ActorTimeout`)
         are captured on the future rather than propagated.
         """
         executed = 0
-        while self._pending and executed < max_calls:
-            call = self._pending.popleft()
-            if call.future.cancelled():
-                continue
+        while executed < max_calls:
+            call = self._next_call()
+            if call is None:
+                break
+            start = max(call.ready_at_s, self.actor_free_at_s(call.name))
+            self.clock.advance_to(start)
+            clock_before = self.clock.now_s
             try:
-                result = self.call_actor(
-                    call.name, call.method, call.args, call.kwargs, timeout_s=call.timeout_s
+                result = self._invoke(
+                    call.name, call.method, call.args, call.kwargs, call.timeout_s,
+                    advance_rpc=False,
                 )
             except Exception as exc:  # noqa: BLE001 - routed to the future
                 call.future._fail(exc)
             else:
-                call.future._complete(result)
+                duration = call.duration_s
+                if duration is None:
+                    duration = self._derived_duration(call.name, call.method, result)
+                # Nested synchronous calls made by the target advance the
+                # clock; fold exactly that delta into the event so completion
+                # never precedes work the call itself performed.
+                nested_s = self.clock.now_s - clock_before
+                end = start + nested_s + self.rpc_latency_s + max(0.0, duration)
+                self._occupy_lane(call.name, end)
+                call.future._complete(result, available_at_s=end)
+                self._record_event(call, start, end)
             executed += 1
         return executed
 
+    def _occupy_lane(self, name: str, end_s: float) -> None:
+        """Book the earliest-free execution lane until ``end_s``."""
+        lanes = self._lanes_s.setdefault(name, [0.0])
+        index = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[index] = end_s
+
+    def _derived_duration(self, name: str, method: str, result: object) -> float:
+        provider = self.latency_provider
+        if provider is None:
+            return 0.0
+        record = self._actors.get(name)
+        if record is None:
+            return 0.0
+        duration = provider.call_duration_s(record.instance, method, result)
+        return max(0.0, float(duration or 0.0))
+
+    def _record_event(self, call: _PendingCall, start: float, end: float) -> None:
+        record = self._actors.get(call.name)
+        role = getattr(type(record.instance), "role", "actor") if record else "actor"
+        metadata: dict[str, object] = {"role": role}
+        if call.step is not None:
+            metadata["step"] = call.step
+        self.timeline.record(
+            component=call.name,
+            name=call.method,
+            start=start,
+            duration=end - start,
+            **metadata,
+        )
+
     def drain(self) -> int:
-        """Run the event loop until no pending calls remain."""
+        """Run the event engine until no pending calls remain."""
         executed = 0
-        while self._pending:
-            executed += self.tick(max_calls=len(self._pending))
+        while True:
+            ran = self.tick(max_calls=max(1, self.pending_count()))
+            executed += ran
+            if ran == 0:
+                break
         return executed
 
     def pending_count(self, actor_name: str | None = None) -> int:
-        if actor_name is None:
-            return sum(1 for call in self._pending if not call.future.cancelled())
+        queues = (
+            self._queues.values()
+            if actor_name is None
+            else [self._queues.get(actor_name, deque())]
+        )
         return sum(
             1
-            for call in self._pending
-            if call.name == actor_name and not call.future.cancelled()
+            for queue in queues
+            for call in queue
+            if not call.future.cancelled()
         )
 
     def cancel_pending(self, actor_name: str | None = None) -> int:
         """Cancel queued calls (for one actor, or all); returns how many."""
         cancelled = 0
-        for call in self._pending:
-            if actor_name is not None and call.name != actor_name:
+        names = list(self._queues) if actor_name is None else [actor_name]
+        for name in names:
+            queue = self._queues.get(name)
+            if not queue:
                 continue
-            if call.future.cancel():
-                cancelled += 1
-        self._pending = deque(call for call in self._pending if not call.future.cancelled())
+            for call in queue:
+                if call.future.cancel():
+                    cancelled += 1
+            self._queues[name] = deque(
+                call for call in queue if not call.future.cancelled()
+            )
         return cancelled
 
     # -- introspection ----------------------------------------------------------------------

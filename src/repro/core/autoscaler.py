@@ -227,8 +227,25 @@ class SourceAutoPartitioner:
             )
 
 
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One issued scaling directive stamped with its virtual-clock instant."""
+
+    step: int
+    at_s: float | None
+    directive: LoaderScalingDirective
+
+
 class MixtureDrivenScaler:
-    """Online scaling driven by the mixture schedule's moving-average weights."""
+    """Online scaling driven by the mixture schedule's moving-average weights.
+
+    When the Planner passes the shared virtual clock's ``now_s`` into
+    :meth:`observe`, decisions are stamped with the instant they landed and
+    (optionally) rate-limited by ``min_decision_interval_s`` of *simulated*
+    time — so with a prefetching pipeline, scaling reacts at realistic
+    instants on the co-simulated timeline rather than once per generated
+    plan regardless of how far ahead the pipeline ran.
+    """
 
     def __init__(
         self,
@@ -238,15 +255,19 @@ class MixtureDrivenScaler:
         consecutive_intervals: int = 3,
         window: int = 10,
         max_actors_per_source: int = 8,
+        min_decision_interval_s: float = 0.0,
     ) -> None:
         if consecutive_intervals < 1:
             raise ScalingError("consecutive_intervals must be >= 1")
+        if min_decision_interval_s < 0:
+            raise ScalingError("min_decision_interval_s must be >= 0")
         self.plan = partition_plan
         self.scale_up_threshold = scale_up_threshold
         self.scale_down_threshold = scale_down_threshold
         self.consecutive_intervals = consecutive_intervals
         self.window = window
         self.max_actors_per_source = max_actors_per_source
+        self.min_decision_interval_s = min_decision_interval_s
         num_sources = max(1, len(partition_plan.configs))
         self._baseline_weight = 1.0 / num_sources
         self._streaks: dict[str, int] = {}
@@ -255,18 +276,39 @@ class MixtureDrivenScaler:
             name: config.num_actors for name, config in partition_plan.configs.items()
         }
         self.rescale_events = 0
+        self._last_decision_s: float | None = None
+        self.decision_log: list[ScalingDecision] = []
 
     def current_actors(self, source: str) -> int:
         return self._current_actors.get(source, 1)
 
-    def observe(self, step: int, moving_average_weights: dict[str, float]) -> ScalingPlan:
+    def _decisions_gated(self, now_s: float | None) -> bool:
+        """Whether the virtual-time rate limit suppresses directives right now."""
+        return (
+            now_s is not None
+            and self._last_decision_s is not None
+            and self.min_decision_interval_s > 0
+            and now_s - self._last_decision_s < self.min_decision_interval_s
+        )
+
+    def observe(
+        self,
+        step: int,
+        moving_average_weights: dict[str, float],
+        now_s: float | None = None,
+    ) -> ScalingPlan:
         """Consume one interval's moving-average weights; return directives.
 
         A source whose weight stays above ``scale_up_threshold x`` its fair
         share for ``consecutive_intervals`` intervals gains an actor (up to
         the cap); one persistently below ``scale_down_threshold x`` fair share
-        gives an actor back (down to one).
+        gives an actor back (down to one).  ``now_s`` is the virtual-clock
+        instant of the observation: when the directive rate limit is active,
+        streaks keep accumulating but directives are held until
+        ``min_decision_interval_s`` simulated seconds passed since the last
+        decision.
         """
+        gated = self._decisions_gated(now_s)
         directives: list[LoaderScalingDirective] = []
         for source, config in self.plan.configs.items():
             weight = moving_average_weights.get(source, 0.0)
@@ -286,6 +328,8 @@ class MixtureDrivenScaler:
                 self._streaks.get(source, 0) >= self.consecutive_intervals
                 and current < self.max_actors_per_source
             ):
+                if gated:
+                    continue  # hold the decision; the streak stays armed
                 self._current_actors[source] = current + 1
                 self._streaks[source] = 0
                 self.rescale_events += 1
@@ -298,6 +342,8 @@ class MixtureDrivenScaler:
                     )
                 )
             elif self._down_streaks.get(source, 0) >= self.consecutive_intervals and current > 1:
+                if gated:
+                    continue  # hold the decision; the streak stays armed
                 self._current_actors[source] = current - 1
                 self._down_streaks[source] = 0
                 self.rescale_events += 1
@@ -308,6 +354,14 @@ class MixtureDrivenScaler:
                         target_workers_per_actor=config.workers_per_actor,
                         reason=f"weight {weight:.3f} < {self.scale_down_threshold}x fair share",
                     )
+                )
+        if directives:
+            if now_s is not None:
+                # A clock-less observation must not disarm the rate limit.
+                self._last_decision_s = now_s
+            for directive in directives:
+                self.decision_log.append(
+                    ScalingDecision(step=step, at_s=now_s, directive=directive)
                 )
         return ScalingPlan(step=step, directives=directives)
 

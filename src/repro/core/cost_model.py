@@ -1,12 +1,35 @@
-"""Cost models registered via the ``cost`` primitive.
+"""Cost models: per-sample load/memory costs and the latency-provider interface.
 
-Sec. 4.2: "we model the encoder's cost as a function of the image sequence
-length, the dimensions of the embedding and MLP layers, and the model's depth.
-The cost for the language backbone is likewise modeled as a function of the
-total sequence length and key architectural parameters, such as the number of
-experts per token, vocabulary size, and hidden layer dimensions."  The models
-here follow exactly that form and are validated against the training
-simulator in the Fig. 19 benchmark.
+Two families of models live here:
+
+1. **Per-sample cost models** registered via the ``cost`` primitive
+   (Sec. 4.2): "we model the encoder's cost as a function of the image
+   sequence length, the dimensions of the embedding and MLP layers, and the
+   model's depth.  The cost for the language backbone is likewise modeled as
+   a function of the total sequence length and key architectural parameters,
+   such as the number of experts per token, vocabulary size, and hidden layer
+   dimensions."  The models here follow exactly that form and are validated
+   against the training simulator in the Fig. 19 benchmark.
+
+2. **The latency-provider interface** consumed by the actor runtime's
+   virtual-clock event engine.  A latency provider is any object exposing
+
+   .. code-block:: python
+
+       def call_duration_s(self, actor, method, result) -> float: ...
+
+   The event engine calls it once per executed deferred call, *after* the
+   call ran, handing it the target actor instance, the method name and the
+   call's return value; the provider answers with the call's virtual
+   duration in seconds.  Deriving durations from results keeps a single
+   source of truth: the same simulated latencies the components already
+   compute for reporting (planner :class:`~repro.core.planner.PlanTimings`,
+   loader worker-amortised wall clock, constructor collate seconds, trainer
+   compute windows) are what occupies each actor on the shared clock.
+   :class:`DataPlaneLatencyProvider` is the canonical implementation wired
+   in by :meth:`repro.core.framework.MegaScaleData.deploy`; swap in a custom
+   provider (``system.latency_provider = ...``) to model different hardware
+   without touching any actor code.
 """
 
 from __future__ import annotations
@@ -17,10 +40,52 @@ from typing import Callable
 from repro.data.samples import SampleMetadata
 from repro.training.flops import encoder_sample_flops, packed_backbone_flops
 from repro.training.models import BackboneConfig, EncoderConfig
-from repro.training.simulator import BACKWARD_MULTIPLIER, GpuSpec
+from repro.training.simulator import BACKWARD_MULTIPLIER, GpuSpec, IterationResult
 
 #: Signature of a user cost function: metadata -> (load cost, memory cost).
 CostFn = Callable[[SampleMetadata], tuple[float, float]]
+
+
+class DataPlaneLatencyProvider:
+    """Derives virtual durations for every data-plane (and trainer) actor call.
+
+    This is the single place that maps a call's *result* to the virtual time
+    the call occupied its actor:
+
+    ====================  ==================  =====================================
+    actor role            method              virtual duration
+    ====================  ==================  =====================================
+    ``planner``           ``generate_plan``   :attr:`PlanTimings.total_s` (gather +
+                                              compute + broadcast) of that plan
+    ``source_loader``     ``prepare``         worker-amortised ``wall_clock_s``
+    ``source_loader``     ``poll``            the chunk's ``chunk_wall_clock_s``
+    ``data_constructor``  ``construct``       ``collate_seconds`` of the step
+    ``trainer``           ``train_step``      the iteration's compute window
+                                              (iteration time minus exposed fetch)
+    (anything else)       (any)               0 — only the RPC latency applies
+    ====================  ==================  =====================================
+
+    Methods that merely move references (``fetch_prepared``, ``get_batch``,
+    buffer-metadata gathers) are deliberately free: their cost is the
+    simulated RPC latency the runtime already charges.
+    """
+
+    def call_duration_s(self, actor: object, method: str, result: object) -> float:
+        role = getattr(type(actor), "role", "actor")
+        if role == "planner" and method == "generate_plan":
+            timings = getattr(getattr(actor, "stats", None), "latest_timings", None)
+            return float(timings().total_s) if timings is not None else 0.0
+        if role == "source_loader" and isinstance(result, dict):
+            if method == "prepare":
+                return float(result.get("wall_clock_s", 0.0))
+            if method == "poll":
+                return float(result.get("chunk_wall_clock_s", 0.0))
+            return 0.0
+        if role == "data_constructor" and method == "construct" and isinstance(result, dict):
+            return float(result.get("collate_seconds", 0.0))
+        if role == "trainer" and isinstance(result, IterationResult):
+            return max(0.0, result.iteration_time_s - result.exposed_fetch_time_s)
+        return 0.0
 
 
 @dataclass(frozen=True)

@@ -15,16 +15,23 @@ with a centralized Planner (Sec. 4) and exposes the per-step pull workflow::
 With ``prefetch_depth=0`` (the default) the workflow runs synchronously, one
 step at a time.  With ``prefetch_depth>=1`` the facade routes steps through
 the asynchronous :class:`~repro.core.step_pipeline.StepPipeline`, which keeps
-that many future steps in flight behind the trainer and credits the hidden
-data time in the :class:`~repro.metrics.timeline.OverlapLedger`.
+that many future steps in flight behind the trainer.
 
-The facade also integrates the training simulator so end-to-end iteration
-times and throughput can be reported for benchmark harnesses.
+Trainer and data plane co-simulate on the actor system's shared
+:class:`~repro.actors.runtime.VirtualClock`: the trainer is a
+:class:`~repro.training.simulator.TrainerActor` whose compute windows are
+events on that clock, and every data-plane call occupies its actor for a
+cost-model-derived virtual duration (see
+:class:`~repro.core.cost_model.DataPlaneLatencyProvider`).  Per step, the
+facade *measures* the trainer's stall against the step's data-ready instant
+and records hidden/exposed data time in the
+:class:`~repro.metrics.timeline.OverlapLedger` — overlap is an observed
+quantity of the discrete-event simulation, not a heuristic credit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.actors.node import NodeKind, ResourceSpec
 from repro.actors.runtime import ActorSystem, ClusterSpec
@@ -34,6 +41,7 @@ from repro.core.autoscaler import (
     ResourceBudget,
     SourceAutoPartitioner,
 )
+from repro.core.cost_model import DataPlaneLatencyProvider
 from repro.core.data_constructor import DataConstructor, RankDelivery
 from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
 from repro.core.place_tree import ClientPlaceTree
@@ -55,7 +63,7 @@ from repro.metrics.timeline import OverlapLedger
 from repro.parallelism.mesh import DeviceMesh
 from repro.storage.filesystem import SimulatedFileSystem
 from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
-from repro.training.simulator import GpuSpec, IterationResult, TrainingSimulator
+from repro.training.simulator import GpuSpec, IterationResult, TrainerActor, TrainingSimulator
 from repro.utils.units import GIB
 
 
@@ -103,6 +111,11 @@ class TrainingJobSpec:
     #: trainer.  0 = fully synchronous pull workflow; >=1 enables the
     #: asynchronous prefetching StepPipeline.
     prefetch_depth: int = 0
+
+    #: Accelerator model for the trainer simulator (None = the default
+    #: :class:`~repro.training.simulator.GpuSpec`).  Benchmarks use this to
+    #: dial the compute/fetch ratio (e.g. fetch-bound jobs).
+    gpu_spec: GpuSpec | None = None
 
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
@@ -163,11 +176,14 @@ class StepResult:
     backbone_assignments: list[list[list[SampleMetadata]]]
     encoder_assignments: list[list[list[SampleMetadata]]] | None = None
     iteration: IterationResult | None = None
-    #: Portion of the fetch latency hidden behind compute by prefetching
-    #: (always 0 on the synchronous path).
+    #: Portion of the fetch latency hidden behind compute, *measured* on the
+    #: virtual clock (always 0 on the synchronous path).
     hidden_fetch_s: float = 0.0
     #: Whether the step was served from the prefetch pipeline.
     prefetched: bool = False
+    #: Measured trainer wait for this step's data (virtual seconds the
+    #: trainer sat idle between its previous iteration and data readiness).
+    data_stall_s: float = 0.0
 
     @property
     def exposed_fetch_s(self) -> float:
@@ -205,11 +221,25 @@ class MegaScaleData:
         self.tree = tree
         self.fault_manager = fault_manager
         self.resharder = ElasticResharder(tree)
-        self.simulator = TrainingSimulator(job.model(), tree.mesh, gpu=GpuSpec())
+        # The data plane and the trainer co-simulate on the actor system's
+        # virtual clock: results of deferred calls determine how long each
+        # call occupied its actor (see DataPlaneLatencyProvider).
+        system.latency_provider = DataPlaneLatencyProvider()
+        simulator = TrainingSimulator(job.model(), tree.mesh, gpu=job.gpu_spec or GpuSpec())
+        self.trainer_handle = system.create_actor(
+            lambda: TrainerActor(simulator),
+            name="trainer",
+            cpu_cores=1.0,
+            memory_bytes=64 * 1024 * 1024,
+            prefer=NodeKind.ACCELERATOR,
+        )
         self._step = 0
         self._history: list[StepResult] = []
         self._shutdown_done = False
         self.overlap = OverlapLedger()
+        #: Virtual instant the latest consumed step began on the trainer —
+        #: the issue instant for steps the pipeline queues at that consume.
+        self._last_release_s = 0.0
         if job.prefetch_depth > 0:
             from repro.core.step_pipeline import StepPipeline
 
@@ -218,6 +248,19 @@ class MegaScaleData:
             )
         else:
             self.pipeline = None
+
+    @property
+    def simulator(self) -> TrainingSimulator:
+        """The trainer actor's iteration simulator (settable for resharding)."""
+        return self.trainer_handle.instance().simulator
+
+    @simulator.setter
+    def simulator(self, simulator: TrainingSimulator) -> None:
+        self.trainer_handle.instance().simulator = simulator
+
+    def virtual_time_s(self) -> float:
+        """Virtual instant the trainer finishes its latest booked iteration."""
+        return self.system.actor_free_at_s(self.trainer_handle.name)
 
     # -- deployment ---------------------------------------------------------------------------
 
@@ -327,6 +370,11 @@ class MegaScaleData:
                     cpu_cores=config.workers_per_actor * 1.0,
                     memory_bytes=config.estimated_memory_bytes,
                     prefer=NodeKind.ACCELERATOR,
+                    # Loaders pipeline one prefetch ticket per lane: while a
+                    # ticket's chunks transform, the next step's ticket can
+                    # proceed concurrently (tf.data-style stage decoupling),
+                    # bounded by how many steps the pipeline keeps in flight.
+                    concurrency=job.prefetch_depth + 1,
                 )
                 handles.append(handle)
         return handles
@@ -387,6 +435,7 @@ class MegaScaleData:
                 scaler=scaler,
                 gcs=system.gcs,
                 seed=job.seed,
+                clock=system.clock,
             ),
             name="planner",
             cpu_cores=4.0,
@@ -417,6 +466,7 @@ class MegaScaleData:
                 cpu_cores=1.0,
                 memory_bytes=config.estimated_memory_bytes,
                 prefer=NodeKind.ACCELERATOR,
+                concurrency=job.prefetch_depth + 1,
             )
             fault_manager.register_shadow(handle, shadow, source.name)
 
@@ -463,7 +513,8 @@ class MegaScaleData:
             stats = constructor_handle.call("construct", step, backbone_plan, prepared)
             collate_seconds = max(collate_seconds, stats["collate_seconds"])
 
-        # The synchronous workflow runs inline, so nothing is hidden.
+        # The synchronous workflow runs inline (data_ready_s=None), so the
+        # whole fetch latency lands on the critical path and nothing is hidden.
         return self._finalize_step(
             step=step,
             plan=plan,
@@ -471,7 +522,7 @@ class MegaScaleData:
             loader_wall_clock_s=loader_wall_clock,
             loader_transform_s=loader_transform,
             collate_seconds=collate_seconds,
-            hidden_s=0.0,
+            data_ready_s=None,
             prefetched=False,
             simulate=simulate,
         )
@@ -484,21 +535,39 @@ class MegaScaleData:
         loader_wall_clock_s: float,
         loader_transform_s: float,
         collate_seconds: float,
-        hidden_s: float,
+        data_ready_s: float | None,
         prefetched: bool,
         simulate: bool,
     ) -> StepResult:
         """Shared consume epilogue of the synchronous and prefetching paths.
 
-        Collects the per-rank deliveries for a fully constructed step, records
-        the overlap entry, assembles the :class:`StepResult` (optionally
-        simulating the iteration) and releases older staging.  Keeping this in
-        one place guarantees the two paths cannot drift apart in delivery
-        filtering, latency accounting or staging release.
+        Collects the per-rank deliveries for a fully constructed step,
+        measures the trainer stall on the virtual clock, records the overlap
+        entry, books the trainer's compute window as an event on the same
+        clock (optionally simulating the iteration) and releases older
+        staging.  Keeping this in one place guarantees the two paths cannot
+        drift apart in delivery filtering, latency accounting or staging
+        release.
+
+        ``data_ready_s`` is the virtual instant the step's last construct
+        event completed (prefetching path), or ``None`` for the synchronous
+        path, where the data plane only starts once the trainer goes idle and
+        readiness is therefore the trainer's free instant plus the full fetch
+        latency.
         """
         # Step 1 (accounting): the fetch latency seen by the trainer clients.
         data_fetch_latency = plan_timings.total_s + loader_wall_clock_s + collate_seconds
-        entry = self.overlap.record(step, data_fetch_latency, hidden_s)
+        trainer_free_s = self.system.actor_free_at_s(self.trainer_handle.name)
+        # Measured overlap: the trainer's wait for this step's data is real
+        # virtual time, not an estimate — whatever portion of the fetch did
+        # not stall the trainer was hidden behind earlier compute windows.
+        if data_ready_s is None:
+            data_ready_s = trainer_free_s + data_fetch_latency
+            stall_s = data_fetch_latency  # inline fetch: exact, no float residue
+        else:
+            stall_s = max(0.0, data_ready_s - trainer_free_s)
+        hidden_s = max(0.0, data_fetch_latency - stall_s)
+        entry = self.overlap.record(step, data_fetch_latency, hidden_s, stall_s=stall_s)
 
         deliveries: dict[int, RankDelivery] = {}
         fetching = set(plan.fetching_ranks)
@@ -525,9 +594,35 @@ class MegaScaleData:
             encoder_assignments=encoder_assignments,
             hidden_fetch_s=entry.hidden_s,
             prefetched=prefetched,
+            data_stall_s=stall_s,
         )
+
+        # Book the trainer's window for this step on the shared clock; its
+        # start is the issue instant for whatever the pipeline queues next.
+        begin_s = max(trainer_free_s, data_ready_s)
         if simulate:
-            result.iteration = self.simulate_iteration(result)
+            iteration_future = self.trainer_handle.submit_timed(
+                "train_step",
+                step,
+                backbone_assignments,
+                encoder_assignments,
+                data_fetch_latency_s=data_fetch_latency,
+                hidden_fetch_s=entry.hidden_s,
+                step_tag=step,
+                earliest_start_s=begin_s,
+            )
+        else:
+            iteration_future = self.trainer_handle.submit_timed(
+                "consume_step", step, step_tag=step, earliest_start_s=begin_s
+            )
+        while not iteration_future.done():
+            if self.system.tick() == 0:
+                break
+        if simulate:
+            result.iteration = iteration_future.result()
+        else:
+            iteration_future.result()  # surface trainer failures loudly
+        self._last_release_s = begin_s
 
         # Release constructor staging for completed steps (double buffering).
         for constructor_handle in self.constructor_handles:
@@ -540,27 +635,28 @@ class MegaScaleData:
         """Convenience wrapper: run a step and return the per-rank deliveries."""
         return self.run_step().deliveries
 
-    def simulate_iteration(self, result: StepResult) -> IterationResult:
-        """Run the training simulator over a step's assignments."""
-        return self.simulator.simulate_iteration(
-            result.backbone_assignments,
-            encoder_assignments=result.encoder_assignments,
-            data_fetch_latency_s=result.data_fetch_latency_s,
-            hidden_fetch_s=result.hidden_fetch_s,
-        )
-
     def run_training(self, num_steps: int, simulate: bool = True) -> dict[str, float]:
-        """Run several steps and return aggregate throughput / latency metrics."""
+        """Run several steps and return aggregate throughput / latency metrics.
+
+        Besides per-step averages, the summary reports the run's *virtual
+        wall time* — the span of the trainer's booked windows on the shared
+        clock — and the total measured data stall, which reconcile as
+        ``virtual_wall_time ≈ compute + stalls`` by construction of the
+        discrete-event co-simulation.
+        """
         iteration_times = []
         fetch_latencies = []
         hidden_total = 0.0
         exposed_total = 0.0
+        stall_total = 0.0
         tokens = 0
+        wall_start_s = self.virtual_time_s()
         for _ in range(num_steps):
             result = self.run_step(simulate=simulate)
             fetch_latencies.append(result.data_fetch_latency_s)
             hidden_total += result.hidden_fetch_s
             exposed_total += result.exposed_fetch_s
+            stall_total += result.data_stall_s
             if result.iteration is not None:
                 iteration_times.append(result.iteration.iteration_time_s)
                 tokens += result.iteration.total_tokens
@@ -574,6 +670,8 @@ class MegaScaleData:
             "total_tokens": float(tokens),
             "hidden_data_time_s": hidden_total,
             "exposed_data_time_s": exposed_total,
+            "data_stall_time_s": stall_total,
+            "virtual_wall_time_s": self.virtual_time_s() - wall_start_s,
             "hidden_data_fraction": hidden_total / fetch_total if fetch_total > 0 else 0.0,
         }
         if iteration_times:
@@ -582,13 +680,25 @@ class MegaScaleData:
 
     # -- runtime reconfiguration ----------------------------------------------------------------------------
 
-    def set_mixture(self, mixture: MixtureSchedule) -> None:
+    def set_mixture(self, mixture: MixtureSchedule, flush_pending: bool = False) -> None:
         """Install (or replace) the data mixture schedule at runtime.
 
         Rebuilds the Planner's strategy with the new schedule and re-arms the
         mixture-driven AutoScaler, supporting curriculum-style schedule swaps
         without redeploying the data plane.
+
+        With a prefetching pipeline, steps already planned in flight were
+        sampled under the *old* mixture.  ``flush_pending=True`` flushes
+        those not-yet-delivered plans (cancelling their queued work,
+        truncating the plan history and deterministically replaying loader
+        state back to the delivered prefix) so every step from the current
+        one onward is re-planned under the new mixture — byte-identical to a
+        synchronous run that switched mixtures at the same step.  The default
+        keeps the old behaviour: in-flight steps deliver under the old
+        mixture and only not-yet-planned steps see the new one.
         """
+        if flush_pending and self.pipeline is not None:
+            self.pipeline.flush()
         planner: Planner = self.planner_handle.instance()
         planner.mixture = mixture
         strategy_config = StrategyConfig(
@@ -651,7 +761,9 @@ class MegaScaleData:
 
         planner: Planner = self.planner_handle.instance()
         planner.set_tree(self.tree)
-        self.simulator = TrainingSimulator(self.job.model(), self.tree.mesh, gpu=GpuSpec())
+        self.simulator = TrainingSimulator(
+            self.job.model(), self.tree.mesh, gpu=self.job.gpu_spec or GpuSpec()
+        )
         return report
 
     # -- reporting ------------------------------------------------------------------------------------------
@@ -800,3 +912,31 @@ class MegaScaleData:
 
     def _encoder_assignments_from_plan(self, plan: LoadingPlan) -> list[list[list[SampleMetadata]]]:
         return self._assignments_from_plan(plan, "encoder")
+
+
+def fetch_bound_gpu_spec(job: TrainingJobSpec, compute_fraction: float = 0.42) -> GpuSpec:
+    """Calibrate a :class:`GpuSpec` that makes ``job`` fetch-bound.
+
+    Probes one synchronous step under the default GPU to measure the job's
+    fetch chain and compute window, then scales the GPU's throughput so one
+    iteration's compute window is ``compute_fraction`` of the fetch chain —
+    a single iteration cannot hide a fetch.  Used by the fetch-bound
+    benchmarks/tests that assert deeper pipelines hide strictly more.
+    """
+    if compute_fraction <= 0:
+        raise ConfigurationError("compute_fraction must be > 0")
+    probe = MegaScaleData.deploy(replace(job, prefetch_depth=0, gpu_spec=None))
+    try:
+        result = probe.run_step(simulate=True)
+        fetch_s = result.data_fetch_latency_s
+        compute_s = result.iteration.iteration_time_s - result.iteration.exposed_fetch_time_s
+    finally:
+        probe.shutdown()
+    if fetch_s <= 0 or compute_s <= 0:
+        raise ConfigurationError(
+            f"cannot calibrate a fetch-bound GPU: probe step measured "
+            f"fetch={fetch_s!r}s, compute={compute_s!r}s"
+        )
+    scale = compute_s / (compute_fraction * fetch_s)
+    default = GpuSpec()
+    return replace(default, peak_flops=default.peak_flops * scale)

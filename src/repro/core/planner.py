@@ -69,6 +69,7 @@ class Planner(Actor):
         gcs: GlobalControlStore | None = None,
         seed: int = 0,
         checkpoint_every: int = 1,
+        clock: object | None = None,
     ) -> None:
         super().__init__()
         self.strategy = strategy
@@ -77,6 +78,10 @@ class Planner(Actor):
         self.scaler = scaler
         self.gcs = gcs
         self.seed = seed
+        #: Shared :class:`~repro.actors.runtime.VirtualClock` (when deployed on
+        #: an actor system) so AutoScaler decisions are stamped with the
+        #: simulated instant they landed.
+        self.clock = clock
         self.checkpoint_every = max(1, checkpoint_every)
         self.stats = PlannerStats()
         self._loader_handles: list[ActorHandle] = []
@@ -158,7 +163,8 @@ class Planner(Actor):
         if self.scaler is None or self.mixture is None:
             return None
         moving = self.mixture.moving_average(step, window=self.scaler.window)
-        return self.scaler.observe(step, moving)
+        now_s = self.clock.now_s if self.clock is not None else None
+        return self.scaler.observe(step, moving, now_s=now_s)
 
     # -- fault tolerance -----------------------------------------------------------------------------
 

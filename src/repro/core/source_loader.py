@@ -205,7 +205,11 @@ class SourceLoader(Actor):
 
         Returns ``{"done": False, "remaining": n}`` while work is left; on the
         final poll the ticket is retired and the same timing dictionary as
-        :meth:`prepare` is returned (with ``done=True``).
+        :meth:`prepare` is returned (with ``done=True``).  Every poll reports
+        ``chunk_wall_clock_s`` — the worker-amortised latency of just this
+        chunk — which the latency provider books as the poll's virtual
+        duration, so a ticket's chunks occupy the loader for exactly its
+        total wall-clock time on the shared clock.
         """
         entry = self._tickets.get(ticket)
         if entry is None:
@@ -213,19 +217,27 @@ class SourceLoader(Actor):
         if max_samples < 1:
             raise PlanError("poll must advance at least one sample")
         budget = min(max_samples, entry.remaining())
+        chunk_latency = 0.0
         for _ in range(budget):
             sample_id = entry.sample_ids[entry.position]
             latency, transferred = self._prepare_one(sample_id)
             entry.total_latency_s += latency
             entry.staged_bytes += transferred
             entry.position += 1
+            chunk_latency += latency
+        chunk_wall_clock = chunk_latency / self.num_workers
         if entry.remaining() > 0:
-            return {"done": False, "remaining": float(entry.remaining())}
+            return {
+                "done": False,
+                "remaining": float(entry.remaining()),
+                "chunk_wall_clock_s": chunk_wall_clock,
+            }
         del self._tickets[ticket]
         result = self._finish_prepare(
             len(entry.sample_ids), entry.total_latency_s, entry.staged_bytes
         )
         result["done"] = True
+        result["chunk_wall_clock_s"] = chunk_wall_clock
         return result
 
     def cancel_prepare(self, ticket: int) -> bool:

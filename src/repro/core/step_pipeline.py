@@ -12,10 +12,20 @@ system's cooperative event loop (deferred calls + futures).
 Determinism: data-plane operations are issued in strict step order — the plan
 for step ``N+1`` is generated only after step ``N``'s loader work finished
 mutating the read buffers — so the delivered batches are identical to the
-synchronous path for the same seed.  The pipeline's win is accounting: the
-:class:`~repro.metrics.timeline.OverlapLedger` credits fetch latency hidden
-behind the previous iterations' compute, and the training simulator removes
-that credit from the critical path.
+synchronous path for the same seed.
+
+Timing is a discrete-event co-simulation on the actor system's shared
+:class:`~repro.actors.runtime.VirtualClock`: every deferred call is submitted
+with its causal dependency (``earliest_start_s`` — a step's loader work
+cannot start before its plan was broadcast, a construct not before its
+fetches completed, a re-issued construct not before the consume that freed a
+staging slot) and occupies its actor for a cost-model-derived virtual
+duration.  The instant a step's last construct event completes is its
+``data_ready_s``; the framework measures the trainer's stall against it, so
+the :class:`~repro.metrics.timeline.OverlapLedger` reports *measured* hidden
+vs exposed data time — deep pipelines (``prefetch_depth > 1``) faithfully
+hide fetch chains longer than one iteration as long as per-stage throughput
+keeps up.
 
 Backpressure: Data Constructors bound their staging queues; a full queue
 raises :class:`BackpressureError` and the pipeline pauses prefetching until
@@ -51,30 +61,47 @@ class _InflightStep:
     """One future step moving through the prefetch state machine."""
 
     step: int
-    #: Trainer consumption position when this step was issued; the difference
-    #: at consume time is the pipeline lead used for the overlap credit.
+    #: Trainer consumption position when this step was issued (sets the
+    #: ``prefetched`` flag at consume time).
     issued_at: int
+    #: Virtual instant the step was issued — the trainer-begin of the consume
+    #: that put it in the queue; its plan event cannot start earlier.
+    issue_time_s: float = 0.0
     state: str = "pending"
     blocked: bool = False
+    #: Earliest virtual instant a backpressure-retried construct may start
+    #: (the consume instant that freed a staging slot).
+    retry_after_s: float = 0.0
 
     plan_future: ActorFuture | None = None
     plan: LoadingPlan | None = None
     plan_timings: PlanTimings = field(default_factory=PlanTimings)
+    #: Virtual instant the plan finished broadcasting.
+    plan_ready_s: float = 0.0
 
     demands: dict[ActorHandle, list[int]] = field(default_factory=dict)
     prepare_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
     poll_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
     pending_loaders: set[ActorHandle] = field(default_factory=set)
+    #: Per-loader causal cursor: the completion instant of this ticket's
+    #: latest prepare/poll event, serializing the ticket's chunks even when
+    #: the loader's worker-pool lanes run other steps' tickets concurrently.
+    loader_cursor_s: dict[ActorHandle, float] = field(default_factory=dict)
     loader_wall_clock_s: float = 0.0
     loader_transform_s: float = 0.0
 
     unfetched: set[ActorHandle] = field(default_factory=set)
     fetch_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
     prepared: dict[int, PreparedSample] = field(default_factory=dict)
+    #: Virtual instant the last fetch handed its samples over.
+    fetch_ready_s: float = 0.0
 
     unconstructed: list[ActorHandle] = field(default_factory=list)
     construct_futures: dict[str, ActorFuture] = field(default_factory=dict)
     collate_seconds: float = 0.0
+    #: Virtual instant the step's last construct event completed — the
+    #: measured readiness instant the framework stalls the trainer against.
+    data_ready_s: float = 0.0
 
     def all_futures(self) -> list[ActorFuture]:
         futures: list[ActorFuture] = []
@@ -100,7 +127,6 @@ class StepPipeline:
         self.poll_chunk = poll_chunk
         self._queue: deque[_InflightStep] = deque()
         self._next_issue_step = framework._step
-        self._last_compute_s = 0.0
         self._cancelled = False
 
     # -- public API --------------------------------------------------------------------
@@ -131,14 +157,10 @@ class StepPipeline:
                 stalls = 0
         self._queue.popleft()
 
-        # Overlap credit: a step issued `lead` consumer steps early had that
-        # many iterations of trainer compute available to hide its fetch.
-        fetch_latency = (
-            head.plan_timings.total_s + head.loader_wall_clock_s + head.collate_seconds
-        )
+        # The framework measures the trainer's stall against the step's
+        # recorded data-ready instant and books the compute window on the
+        # shared virtual clock — overlap is measured, not credited.
         lead = max(0, expected - head.issued_at)
-        hidden = min(fetch_latency, self._last_compute_s * lead)
-
         result = fw._finalize_step(
             step=head.step,
             plan=head.plan,
@@ -146,22 +168,21 @@ class StepPipeline:
             loader_wall_clock_s=head.loader_wall_clock_s,
             loader_transform_s=head.loader_transform_s,
             collate_seconds=head.collate_seconds,
-            hidden_s=hidden,
+            data_ready_s=head.data_ready_s,
             prefetched=lead > 0,
             simulate=simulate,
         )
-        if result.iteration is not None:
-            self._last_compute_s = (
-                result.iteration.iteration_time_s - result.iteration.exposed_fetch_time_s
-            )
 
         # The release in _finalize_step may have unblocked prefetch that hit
-        # constructor backpressure.
+        # constructor backpressure; retried constructs may not start before
+        # the consume instant that freed the staging slot.
         for item in self._queue:
-            item.blocked = False
+            if item.blocked:
+                item.blocked = False
+                item.retry_after_s = max(item.retry_after_s, fw._last_release_s)
 
-        # Prefetch: drive the queued steps' data-plane work now, modelling the
-        # overlap with this step's trainer compute.
+        # Prefetch: drive the queued steps' data-plane work now; their events
+        # land during this step's compute window on the virtual clock.
         self._fill()
         while self._pump():
             pass
@@ -225,7 +246,11 @@ class StepPipeline:
             return
         while len(self._queue) < self.prefetch_depth + 1:
             self._queue.append(
-                _InflightStep(step=self._next_issue_step, issued_at=self.framework._step)
+                _InflightStep(
+                    step=self._next_issue_step,
+                    issued_at=self.framework._step,
+                    issue_time_s=self.framework._last_release_s,
+                )
             )
             self._next_issue_step += 1
 
@@ -255,7 +280,9 @@ class StepPipeline:
         fw = self.framework
         planner = fw.planner_handle.instance()
         fw._ensure_sized_strategy(planner)
-        item.plan_future = fw.planner_handle.submit("generate_plan", item.step)
+        item.plan_future = fw.planner_handle.submit_timed(
+            "generate_plan", item.step, step_tag=item.step, earliest_start_s=item.issue_time_s
+        )
         item.state = "planning"
         return True
 
@@ -273,11 +300,15 @@ class StepPipeline:
                 raise exc
             for handle in failed:
                 self._recover_loader_handle(handle, item.step)
-            item.plan_future = fw.planner_handle.submit("generate_plan", item.step)
+            item.plan_future = fw.planner_handle.submit_timed(
+                "generate_plan", item.step, step_tag=item.step,
+                earliest_start_s=item.issue_time_s,
+            )
             return True
         if exc is not None:
             raise exc
         item.plan = item.plan_future.result()
+        item.plan_ready_s = item.plan_future.available_at_s or 0.0
         # Capture the timings of exactly this plan before later plans overwrite
         # the planner's "latest" slot.
         item.plan_timings = fw.planner_handle.instance().stats.latest_timings()
@@ -285,8 +316,9 @@ class StepPipeline:
         for handle, sample_ids in item.demands.items():
             if not sample_ids:
                 continue
-            item.prepare_futures[handle] = handle.submit(
-                "prepare_async", item.step, list(sample_ids)
+            item.prepare_futures[handle] = handle.submit_timed(
+                "prepare_async", item.step, list(sample_ids),
+                step_tag=item.step, earliest_start_s=item.plan_ready_s,
             )
             item.pending_loaders.add(handle)
             item.unfetched.add(handle)
@@ -307,11 +339,20 @@ class StepPipeline:
                     return True
                 if exc is not None:
                     raise exc
+                item.loader_cursor_s[handle] = max(
+                    item.loader_cursor_s.get(handle, 0.0), accept.available_at_s or 0.0
+                )
                 del item.prepare_futures[handle]
 
             poll = item.poll_futures.get(handle)
             if poll is None:
-                item.poll_futures[handle] = handle.submit("poll", item.step, self.poll_chunk)
+                item.poll_futures[handle] = handle.submit_timed(
+                    "poll", item.step, self.poll_chunk,
+                    step_tag=item.step,
+                    earliest_start_s=max(
+                        item.plan_ready_s, item.loader_cursor_s.get(handle, 0.0)
+                    ),
+                )
                 continue
             if not poll.done():
                 continue
@@ -322,6 +363,9 @@ class StepPipeline:
             if exc is not None:
                 raise exc
             status = poll.result()
+            item.loader_cursor_s[handle] = max(
+                item.loader_cursor_s.get(handle, 0.0), poll.available_at_s or 0.0
+            )
             del item.poll_futures[handle]
             if status.get("done"):
                 item.loader_wall_clock_s = max(item.loader_wall_clock_s, status["wall_clock_s"])
@@ -336,8 +380,14 @@ class StepPipeline:
         fw = self.framework
         for handle in list(item.unfetched):
             if handle not in item.fetch_futures:
-                item.fetch_futures[handle] = handle.submit(
-                    "fetch_prepared", list(item.demands[handle])
+                # Causal floor: the hand-off cannot precede the ticket's
+                # final poll (nor the plan broadcast).
+                item.fetch_futures[handle] = handle.submit_timed(
+                    "fetch_prepared", list(item.demands[handle]),
+                    step_tag=item.step,
+                    earliest_start_s=max(
+                        item.plan_ready_s, item.loader_cursor_s.get(handle, 0.0)
+                    ),
                 )
         fw.system.tick(2)
         for handle, future in list(item.fetch_futures.items()):
@@ -351,6 +401,7 @@ class StepPipeline:
                 raise exc
             for prepared in future.result():
                 item.prepared[prepared.sample.sample_id] = prepared
+            item.fetch_ready_s = max(item.fetch_ready_s, future.available_at_s or 0.0)
             del item.fetch_futures[handle]
             item.unfetched.discard(handle)
         if not item.unfetched:
@@ -363,8 +414,10 @@ class StepPipeline:
         backbone_plan = item.plan.module("backbone")
         for constructor_handle in item.unconstructed:
             if constructor_handle.name not in item.construct_futures:
-                item.construct_futures[constructor_handle.name] = constructor_handle.submit(
-                    "construct", item.step, backbone_plan, item.prepared
+                item.construct_futures[constructor_handle.name] = constructor_handle.submit_timed(
+                    "construct", item.step, backbone_plan, item.prepared,
+                    step_tag=item.step,
+                    earliest_start_s=max(item.fetch_ready_s, item.retry_after_s),
                 )
         fw.system.tick(2)
         blocked = False
@@ -383,6 +436,7 @@ class StepPipeline:
                 raise exc
             stats = future.result()
             item.collate_seconds = max(item.collate_seconds, stats["collate_seconds"])
+            item.data_ready_s = max(item.data_ready_s, future.available_at_s or 0.0)
             item.unconstructed.remove(constructor_handle)
             del item.construct_futures[constructor_handle.name]
         if not item.unconstructed:
@@ -440,12 +494,14 @@ class StepPipeline:
         item.prepare_futures.pop(handle, None)
         item.poll_futures.pop(handle, None)
         item.fetch_futures.pop(handle, None)
+        item.loader_cursor_s.pop(handle, None)
         item.pending_loaders.discard(handle)
         item.unfetched.discard(handle)
         item.demands[promoted] = sample_ids
         if sample_ids:
-            item.prepare_futures[promoted] = promoted.submit(
-                "prepare_async", item.step, list(sample_ids)
+            item.prepare_futures[promoted] = promoted.submit_timed(
+                "prepare_async", item.step, list(sample_ids),
+                step_tag=item.step, earliest_start_s=item.plan_ready_s,
             )
             item.pending_loaders.add(promoted)
             item.unfetched.add(promoted)

@@ -1,10 +1,14 @@
 """Event timelines for the discrete-event simulator and breakdown figures.
 
 Besides the generic :class:`Timeline`, this module provides the
-:class:`OverlapLedger` used by the asynchronous step pipeline to account how
+:class:`OverlapLedger` used by the virtual-clock co-simulation to account how
 much of each step's data-preparation latency was *hidden* behind training
 compute versus *exposed* on the iteration critical path (the Fig. 15
-"data time fully masked" claim, made measurable).
+"data time fully masked" claim, made measurable).  Hidden/exposed time is
+measured, not estimated: the framework records per-step trainer stalls
+observed on the shared clock, and :meth:`OverlapLedger.from_timeline` can
+independently rebuild the ledger by intersecting the recorded data-plane
+event intervals with the trainer's compute windows.
 """
 
 from __future__ import annotations
@@ -92,16 +96,29 @@ class Timeline:
 
 @dataclass(frozen=True)
 class FetchOverlap:
-    """Per-step accounting of data-fetch latency versus prefetch overlap."""
+    """Per-step accounting of data-fetch latency versus prefetch overlap.
+
+    ``stall_s`` is the *measured* trainer wait on the virtual clock: how long
+    the trainer sat idle between finishing its previous iteration and the
+    step's data becoming available.  It can exceed ``fetch_s`` (the step's
+    own component latencies) when the step queued behind earlier data-plane
+    work; ``exposed_s`` is the stall clamped to the step's fetch latency so
+    ``hidden_s + exposed_s == fetch_s`` always holds.
+    """
 
     step: int
     fetch_s: float
     hidden_s: float
+    stall_s: float = 0.0
 
     @property
     def exposed_s(self) -> float:
         """The portion of the fetch latency left on the critical path."""
         return max(0.0, self.fetch_s - self.hidden_s)
+
+
+#: Actor roles whose timeline events count as data-plane work.
+DATA_PLANE_ROLES = frozenset({"planner", "source_loader", "data_constructor"})
 
 
 class OverlapLedger:
@@ -110,14 +127,65 @@ class OverlapLedger:
     def __init__(self) -> None:
         self._records: list[FetchOverlap] = []
 
-    def record(self, step: int, fetch_s: float, hidden_s: float) -> FetchOverlap:
+    def record(
+        self, step: int, fetch_s: float, hidden_s: float, stall_s: float | None = None
+    ) -> FetchOverlap:
         if fetch_s < 0:
             raise ValueError(f"negative fetch time {fetch_s} for step {step}")
+        hidden = max(0.0, min(float(hidden_s), float(fetch_s)))
         entry = FetchOverlap(
-            step=step, fetch_s=float(fetch_s), hidden_s=max(0.0, min(float(hidden_s), float(fetch_s)))
+            step=step,
+            fetch_s=float(fetch_s),
+            hidden_s=hidden,
+            stall_s=max(0.0, float(fetch_s) - hidden) if stall_s is None else float(stall_s),
         )
         self._records.append(entry)
         return entry
+
+    @classmethod
+    def from_timeline(
+        cls,
+        timeline: Timeline,
+        trainer_component: str = "trainer",
+        data_roles: frozenset[str] = DATA_PLANE_ROLES,
+    ) -> "OverlapLedger":
+        """Rebuild a ledger by measuring interval overlap on an event timeline.
+
+        Every executed deferred call the actor runtime records carries its
+        actor role and (for pipeline work) its step; trainer compute windows
+        are the events of ``trainer_component``.  For each step this measures
+
+        - ``fetch_s``: the summed *busy time* of the step's data-plane events
+          (all loaders and constructors, RPC included — a busy-time view,
+          unlike the critical-path component sum the framework records), and
+        - ``hidden_s``: the portion of that busy time falling inside trainer
+          compute windows.
+
+        Only events tagged with a step participate, so synchronous-path calls
+        (which carry no step) are excluded by construction.
+        """
+        windows: list[tuple[float, float]] = []
+        per_step: dict[int, list[TimelineEvent]] = {}
+        for event in timeline.events():
+            role = event.metadata.get("role")
+            if event.component == trainer_component or role == "trainer":
+                # consume_step markers book zero compute (their span is just
+                # the RPC) — they are not windows work can hide behind.
+                if event.name != "consume_step":
+                    windows.append((event.start, event.end))
+                continue
+            step = event.metadata.get("step")
+            if step is None or role not in data_roles:
+                continue
+            per_step.setdefault(int(step), []).append(event)
+
+        ledger = cls()
+        for step in sorted(per_step):
+            events = per_step[step]
+            fetch = sum(event.duration for event in events)
+            hidden = sum(_window_overlap_s(event, windows) for event in events)
+            ledger.record(step, fetch, hidden)
+        return ledger
 
     def records(self) -> list[FetchOverlap]:
         return list(self._records)
@@ -131,6 +199,10 @@ class OverlapLedger:
     def exposed_total_s(self) -> float:
         return sum(entry.exposed_s for entry in self._records)
 
+    def stall_total_s(self) -> float:
+        """Total measured trainer wait (reconciles with virtual wall time)."""
+        return sum(entry.stall_s for entry in self._records)
+
     def hidden_fraction(self) -> float:
         """Share of total data time hidden behind compute (0 when no data time)."""
         total = self.fetch_total_s()
@@ -140,3 +212,11 @@ class OverlapLedger:
 
     def __len__(self) -> int:
         return len(self._records)
+
+
+def _window_overlap_s(event: TimelineEvent, windows: list[tuple[float, float]]) -> float:
+    """Seconds of ``event`` covered by the (non-overlapping) trainer windows."""
+    covered = 0.0
+    for start, end in windows:
+        covered += max(0.0, min(event.end, end) - max(event.start, start))
+    return min(covered, event.duration)

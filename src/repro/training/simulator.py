@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.actors.actor import Actor
 from repro.data.samples import SampleMetadata
 from repro.errors import ConfigurationError
 from repro.metrics.timeline import Timeline
@@ -308,3 +309,51 @@ class TrainingSimulator:
             for microbatch in dp_row:
                 peak = max(peak, sum(sample.total_tokens for sample in microbatch))
         return peak
+
+
+class TrainerActor(Actor):
+    """The trainer as a first-class actor on the shared virtual clock.
+
+    Every consumed step books a compute-window event on the actor runtime's
+    event engine (the window's virtual duration is derived from the returned
+    :class:`IterationResult` by the latency provider), so trainer compute and
+    data-plane work are co-simulated on one clock and the
+    :class:`~repro.metrics.timeline.OverlapLedger` can *measure* — rather
+    than estimate — how much data-preparation time was hidden behind compute.
+    """
+
+    role = "trainer"
+
+    def __init__(self, simulator: TrainingSimulator) -> None:
+        super().__init__()
+        self.simulator = simulator
+        self.steps_consumed = 0
+
+    def train_step(
+        self,
+        step: int,
+        backbone_assignments: list[list[list[SampleMetadata]]],
+        encoder_assignments: list[list[list[SampleMetadata]]] | None = None,
+        data_fetch_latency_s: float = 0.0,
+        hidden_fetch_s: float = 0.0,
+    ) -> IterationResult:
+        """Simulate one training iteration over the step's assignments."""
+        self.steps_consumed += 1
+        return self.simulator.simulate_iteration(
+            backbone_assignments,
+            encoder_assignments=encoder_assignments,
+            data_fetch_latency_s=data_fetch_latency_s,
+            hidden_fetch_s=hidden_fetch_s,
+        )
+
+    def consume_step(self, step: int) -> int:
+        """Zero-duration consume marker for non-simulated runs.
+
+        Booking the consume keeps the trainer's busy window (and therefore
+        measured stalls) well-defined even when no iteration is simulated.
+        """
+        self.steps_consumed += 1
+        return step
+
+    def heartbeat_payload(self) -> dict:
+        return {"steps_consumed": self.steps_consumed}

@@ -334,3 +334,115 @@ class TestCooperativeEventLoop:
         system = self.make_system()
         with pytest.raises(ActorError):
             system.submit_call("ghost", "increment", (), {})
+
+
+class TestVirtualClockEngine:
+    def make_system(self):
+        return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+    def test_durations_serialize_on_one_actor(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        first = handle.submit_timed("increment", duration_s=1.0)
+        second = handle.submit_timed("increment", duration_s=2.0)
+        system.drain()
+        rpc = system.rpc_latency_s
+        assert first.available_at_s == pytest.approx(1.0 + rpc)
+        # The second call waits for the actor's busy window to end.
+        assert second.available_at_s == pytest.approx(1.0 + 2.0 + 2 * rpc)
+        assert system.actor_free_at_s("c") == pytest.approx(second.available_at_s)
+
+    def test_independent_actors_overlap_in_virtual_time(self):
+        system = self.make_system()
+        a = system.create_actor(Counter, name="a")
+        b = system.create_actor(Counter, name="b")
+        fa = a.submit_timed("increment", duration_s=1.0)
+        fb = b.submit_timed("increment", duration_s=1.0)
+        system.drain()
+        rpc = system.rpc_latency_s
+        # Both ran in parallel: neither completion waited on the other.
+        assert fa.available_at_s == pytest.approx(1.0 + rpc)
+        assert fb.available_at_s == pytest.approx(1.0 + rpc)
+
+    def test_earliest_start_defers_execution(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit_timed("increment", duration_s=0.5, earliest_start_s=10.0)
+        system.drain()
+        assert future.available_at_s == pytest.approx(10.5 + system.rpc_latency_s)
+        assert system.clock_s >= 10.0
+
+    def test_events_execute_in_virtual_time_order(self):
+        system = self.make_system()
+        a = system.create_actor(Counter, name="a")
+        b = system.create_actor(Counter, name="b")
+        late = a.submit_timed("increment", 10, earliest_start_s=5.0)
+        early = b.submit_timed("increment", 1, earliest_start_s=1.0)
+        assert system.tick() == 1
+        assert early.done() and not late.done()
+        system.drain()
+        assert late.done()
+
+    def test_concurrency_lanes_overlap_busy_windows(self):
+        system = self.make_system()
+        serial = system.create_actor(Counter, name="serial")
+        pooled = system.create_actor(Counter, name="pooled", concurrency=2)
+        serial_futures = [serial.submit_timed("increment", duration_s=1.0) for _ in range(2)]
+        pooled_futures = [pooled.submit_timed("increment", duration_s=1.0) for _ in range(2)]
+        system.drain()
+        rpc = system.rpc_latency_s
+        assert serial_futures[1].available_at_s == pytest.approx(2.0 + 2 * rpc)
+        # Two lanes: both pooled calls finish after ~one duration.
+        assert pooled_futures[1].available_at_s == pytest.approx(1.0 + rpc)
+        # State mutations still applied in strict FIFO order.
+        assert [f.result() for f in pooled_futures] == [1, 2]
+
+    def test_invalid_concurrency_rejected(self):
+        system = self.make_system()
+        with pytest.raises(ActorError):
+            system.create_actor(Counter, name="c", concurrency=0)
+
+    def test_timeline_records_events_with_step_tags(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        handle.submit_timed("increment", duration_s=0.25, step_tag=7)
+        system.drain()
+        events = system.timeline.events(component="c", name="increment")
+        assert len(events) == 1
+        assert events[0].metadata["step"] == 7
+        assert events[0].metadata["role"] == "counter"
+        assert events[0].duration == pytest.approx(0.25 + system.rpc_latency_s)
+
+    def test_latency_provider_derives_durations(self):
+        class DoubleProvider:
+            def call_duration_s(self, actor, method, result):
+                return float(result) * 0.1
+
+        system = self.make_system()
+        system.latency_provider = DoubleProvider()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit("increment", 5)
+        system.drain()
+        # increment returned 5 -> duration 0.5s via the provider.
+        assert future.available_at_s == pytest.approx(0.5 + system.rpc_latency_s)
+
+    def test_explicit_duration_overrides_provider(self):
+        class LoudProvider:
+            def call_duration_s(self, actor, method, result):  # pragma: no cover
+                raise AssertionError("provider must not be consulted")
+
+        system = self.make_system()
+        system.latency_provider = LoudProvider()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit_timed("increment", duration_s=0.125)
+        system.drain()
+        assert future.available_at_s == pytest.approx(0.125 + system.rpc_latency_s)
+
+    def test_failed_call_leaves_lane_free(self):
+        system = self.make_system()
+        handle = system.create_actor(Counter, name="c")
+        future = handle.submit_timed("increment", duration_s=5.0)
+        system.failures.fail("c")
+        system.drain()
+        assert future.exception() is not None
+        assert system.actor_free_at_s("c") == 0.0

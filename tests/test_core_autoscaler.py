@@ -171,3 +171,112 @@ class TestMixtureDrivenScaler:
         plan = self.make_plan()
         with pytest.raises(ScalingError):
             plan.config_for("zzz")
+
+    def test_decisions_stamped_with_virtual_instants(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=2)
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        for step in range(3):
+            scaler.observe(step, hot, now_s=float(step) * 2.0)
+        assert scaler.decision_log
+        decision = scaler.decision_log[0]
+        assert decision.directive.source == "a"
+        # The streak armed at step 0 and fired at step 1 (now_s = 2.0).
+        assert decision.at_s == 2.0
+        assert decision.step == 1
+
+    def test_virtual_time_rate_limit_holds_decisions(self):
+        scaler = MixtureDrivenScaler(
+            self.make_plan(), consecutive_intervals=1, min_decision_interval_s=10.0
+        )
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        assert scaler.observe(0, hot, now_s=0.0).directives  # first fires
+        # Within the interval: held, but the streak stays armed.
+        assert not scaler.observe(1, hot, now_s=3.0).directives
+        assert scaler.current_actors("a") == 2
+        # Past the interval: the armed streak fires immediately.
+        assert scaler.observe(2, hot, now_s=11.0).directives
+        assert scaler.current_actors("a") == 3
+
+    def test_invalid_decision_interval(self):
+        with pytest.raises(ScalingError):
+            MixtureDrivenScaler(self.make_plan(), min_decision_interval_s=-1.0)
+
+    def test_clockless_observation_does_not_disarm_rate_limit(self):
+        scaler = MixtureDrivenScaler(
+            self.make_plan(), consecutive_intervals=1, min_decision_interval_s=10.0
+        )
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        assert scaler.observe(0, hot, now_s=0.0).directives
+        # A clock-less observation may fire but keeps the last timestamp...
+        assert scaler.observe(1, hot).directives
+        # ...so a clocked observation inside the interval is still held.
+        assert not scaler.observe(2, hot, now_s=3.0).directives
+
+
+class TestAutoScalerUnderPipelinedRuns:
+    """AutoScaler decisions while the prefetching pipeline has steps in flight."""
+
+    def make_job(self, prefetch_depth: int, mixture):
+        from repro.core.framework import TrainingJobSpec
+
+        return TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=48, seed=7, prefetch_depth=prefetch_depth,
+            enable_autoscaler=True, mixture=mixture,
+        )
+
+    def hot_mixture(self):
+        from repro.data.mixture import MixtureSchedule
+
+        # navit synthetic sources are named navit_data/srcNNN.
+        return MixtureSchedule.static(
+            {"navit_data/src000": 0.9, "navit_data/src001": 0.05, "navit_data/src002": 0.05}
+        )
+
+    def test_scale_up_triggers_while_steps_in_flight(self):
+        from repro.core.framework import MegaScaleData
+
+        system = MegaScaleData.deploy(self.make_job(2, self.hot_mixture()))
+        try:
+            planner = system.planner_handle.instance()
+            planner.scaler.consecutive_intervals = 2
+            directives = []
+            inflight_at_decision = None
+            for _ in range(4):
+                result = system.run_step(simulate=True)
+                if result.plan.scaling is not None:
+                    directives.extend(result.plan.scaling.directives)
+                    if inflight_at_decision is None:
+                        inflight_at_decision = system.pipeline.inflight()
+            assert any(
+                d.source == "navit_data/src000" and d.target_actors >= 2 for d in directives
+            )
+            # The scale-up landed while future steps were still in flight.
+            assert inflight_at_decision
+            # Decisions are stamped with nonzero virtual-clock instants.
+            assert planner.scaler.decision_log
+            assert all(d.at_s is not None and d.at_s > 0.0 for d in planner.scaler.decision_log)
+        finally:
+            system.shutdown()
+
+    def test_pipelined_scaling_plans_match_synchronous(self):
+        """The pipeline generates plans ahead of the trainer, but the scaler
+        sees the same observation sequence — delivered plans (including
+        piggybacked scaling directives) are identical to a synchronous run."""
+        from repro.core.framework import MegaScaleData
+
+        sync = MegaScaleData.deploy(self.make_job(0, self.hot_mixture()))
+        prefetched = MegaScaleData.deploy(self.make_job(2, self.hot_mixture()))
+        try:
+            sync.planner_handle.instance().scaler.consecutive_intervals = 2
+            prefetched.planner_handle.instance().scaler.consecutive_intervals = 2
+            for _ in range(4):
+                a, b = sync.run_step(), prefetched.run_step()
+                assert a.plan.source_demands == b.plan.source_demands
+                a_scaling = a.plan.scaling.directives if a.plan.scaling else []
+                b_scaling = b.plan.scaling.directives if b.plan.scaling else []
+                assert a_scaling == b_scaling
+        finally:
+            sync.shutdown()
+            prefetched.shutdown()

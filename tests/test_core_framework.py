@@ -270,3 +270,74 @@ class TestShutdownAndMixture:
         demands = result.plan.source_demands
         total = sum(len(ids) for ids in demands.values())
         assert len(demands.get(names[0], [])) > 0.5 * total
+
+
+class TestSetMixtureFlushPending:
+    def make_job(self, prefetch_depth: int) -> TrainingJobSpec:
+        return TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=48, seed=7, prefetch_depth=prefetch_depth,
+            enable_autoscaler=False,
+        )
+
+    @staticmethod
+    def signature(result):
+        return {
+            rank: [
+                (piece.rank, piece.microbatch_index, piece.token_count, piece.payload_bytes)
+                for piece in delivery.slices
+            ]
+            for rank, delivery in sorted(result.deliveries.items())
+        }
+
+    def heavy_mixture(self, system):
+        names = system.catalog.names()
+        return MixtureSchedule.static({names[-1]: 0.9, **{n: 0.05 for n in names[:-1]}})
+
+    def test_flush_pending_matches_synchronous_switch(self):
+        """Determinism regression: a mid-run mixture swap with
+        ``flush_pending=True`` re-plans in-flight steps, so the prefetched
+        run stays byte-identical to a synchronous run switching at the same
+        step (the documented limitation this option closes)."""
+        sync = MegaScaleData.deploy(self.make_job(0))
+        prefetched = MegaScaleData.deploy(self.make_job(2))
+        try:
+            for _ in range(2):
+                assert self.signature(sync.run_step()) == self.signature(prefetched.run_step())
+            sync.set_mixture(self.heavy_mixture(sync))
+            prefetched.set_mixture(self.heavy_mixture(prefetched), flush_pending=True)
+            for _ in range(3):
+                a, b = sync.run_step(), prefetched.run_step()
+                assert a.plan.source_demands == b.plan.source_demands
+                assert self.signature(a) == self.signature(b)
+        finally:
+            sync.shutdown()
+            prefetched.shutdown()
+
+    def test_without_flush_inflight_steps_keep_old_mixture(self):
+        """The default keeps the documented behaviour: steps already planned
+        in flight still deliver samples drawn under the old mixture."""
+        sync = MegaScaleData.deploy(self.make_job(0))
+        prefetched = MegaScaleData.deploy(self.make_job(2))
+        try:
+            for _ in range(2):
+                sync.run_step()
+                prefetched.run_step()
+            sync.set_mixture(self.heavy_mixture(sync))
+            prefetched.set_mixture(self.heavy_mixture(prefetched))  # no flush
+            a, b = sync.run_step(), prefetched.run_step()
+            # The prefetched step 2 was planned before the swap.
+            assert a.plan.source_demands != b.plan.source_demands
+        finally:
+            sync.shutdown()
+            prefetched.shutdown()
+
+    def test_flush_pending_noop_on_synchronous_deployment(self):
+        system = MegaScaleData.deploy(self.make_job(0))
+        try:
+            system.run_step()
+            system.set_mixture(self.heavy_mixture(system), flush_pending=True)
+            assert system.run_step().deliveries
+        finally:
+            system.shutdown()

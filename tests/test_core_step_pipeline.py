@@ -217,3 +217,141 @@ class TestInOrderDelivery:
                 assert all(step == 3 for step in delivered.values())
         finally:
             system.shutdown()
+
+
+def make_fetch_bound_job(depth: int, **overrides):
+    """A job big enough that the partitioner grants multi-worker loaders
+    (the worker pool is what lets deeper pipelines overlap step tickets)."""
+    return make_job(
+        depth, num_sources=6, samples_per_source=48, samples_per_dp_step=8, **overrides
+    )
+
+
+_FETCH_BOUND_GPU = None
+
+
+def deploy_fetch_bound(depth: int):
+    """Deploy a job whose per-step compute window is a fraction of the fetch
+    chain (fetch-bound: one iteration cannot hide one fetch).
+
+    The calibration probe (a full deploy + one simulated step) is memoized:
+    it depends only on the job spec, not on the depth.
+    """
+    from repro.core.framework import fetch_bound_gpu_spec
+
+    global _FETCH_BOUND_GPU
+    if _FETCH_BOUND_GPU is None:
+        _FETCH_BOUND_GPU = fetch_bound_gpu_spec(make_fetch_bound_job(0))
+    return MegaScaleData.deploy(make_fetch_bound_job(depth, gpu_spec=_FETCH_BOUND_GPU))
+
+
+class TestVirtualClockCoSimulation:
+    def test_ledger_reconciles_with_virtual_wall_time(self):
+        """hidden+exposed == fetch exactly, and the trainer's virtual wall
+        time decomposes into compute windows plus measured stalls."""
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            num_steps = 4
+            summary = system.run_training(num_steps=num_steps)
+            ledger = system.overlap
+            assert ledger.hidden_total_s() + ledger.exposed_total_s() == pytest.approx(
+                ledger.fetch_total_s(), abs=1e-12
+            )
+            compute_total = sum(
+                r.iteration.iteration_time_s - r.iteration.exposed_fetch_time_s
+                for r in system.history()
+            )
+            # Each consume books one trainer event (one RPC) on the clock.
+            rpc_slack = num_steps * system.system.rpc_latency_s
+            assert summary["virtual_wall_time_s"] == pytest.approx(
+                compute_total + ledger.stall_total_s() + rpc_slack, rel=1e-9
+            )
+        finally:
+            system.shutdown()
+
+    def test_deep_pipeline_hides_fetch_longer_than_one_iteration(self):
+        """On a fetch-bound job (compute window ~0.42x the fetch chain), one
+        iteration cannot hide a fetch — a depth-2 pipeline hides strictly
+        more than depth-1, and depth-3 more still (the ROADMAP open item)."""
+        totals = {}
+        for depth in (1, 2, 3):
+            system = deploy_fetch_bound(depth)
+            try:
+                summary = system.run_training(num_steps=6)
+                totals[depth] = summary
+            finally:
+                system.shutdown()
+        assert totals[2]["hidden_data_time_s"] > totals[1]["hidden_data_time_s"]
+        assert totals[3]["hidden_data_time_s"] > totals[2]["hidden_data_time_s"]
+        assert totals[2]["exposed_data_time_s"] < totals[1]["exposed_data_time_s"]
+        # Less exposed data time means shorter virtual wall time.
+        assert totals[2]["virtual_wall_time_s"] < totals[1]["virtual_wall_time_s"]
+
+    def test_timeline_rebuilt_ledger_agrees_on_full_overlap(self):
+        """Interval-measured overlap from the recorded event timeline agrees
+        with the stall-measured ledger once the pipeline is past warmup.
+
+        Warmup steps (issued before the first compute window exists) are
+        'hidden' under the stall measure (the trainer never waited) but not
+        under the interval measure (there was no compute to overlap) — both
+        views are asserted explicitly.
+        """
+        from repro.metrics.timeline import OverlapLedger
+
+        depth = 2
+        system = MegaScaleData.deploy(make_job(depth))
+        try:
+            for _ in range(5):
+                system.run_step(simulate=True)
+            measured = OverlapLedger.from_timeline(system.system.timeline)
+            by_step = {entry.step: entry for entry in measured.records()}
+            # Step 0: before any compute window, nothing overlaps.
+            assert by_step[0].hidden_s == pytest.approx(0.0)
+            for entry in system.overlap.records():
+                if entry.step <= depth:
+                    continue  # warmup: prefetched before training started
+                rebuilt = by_step[entry.step]
+                assert rebuilt.fetch_s > 0.0
+                if entry.hidden_s == pytest.approx(entry.fetch_s):
+                    # Fully hidden per the stall measurement -> the step's
+                    # data events all fall inside trainer compute windows.
+                    assert rebuilt.hidden_s == pytest.approx(rebuilt.fetch_s)
+        finally:
+            system.shutdown()
+
+    def test_non_simulated_runs_have_no_compute_overlap(self):
+        """Without simulated compute there is no window to overlap with.
+
+        The stall measure still credits data-plane pipelining (the trainer
+        waits less than the per-step fetch once steps prepare concurrently),
+        but the interval measure over the recorded timeline — which defines
+        hidden as *inside a compute window* — reports zero hidden time.
+        """
+        from repro.metrics.timeline import OverlapLedger
+
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            first = system.run_step(simulate=False)
+            # The first step's chain is fully exposed: the trainer waited
+            # for every second of it.
+            assert first.hidden_fetch_s == 0.0
+            assert first.data_stall_s >= first.data_fetch_latency_s
+            for _ in range(2):
+                system.run_step(simulate=False)
+            measured = OverlapLedger.from_timeline(system.system.timeline)
+            assert measured.hidden_total_s() == pytest.approx(0.0)
+        finally:
+            system.shutdown()
+
+    def test_data_ready_instants_are_monotone(self):
+        system = MegaScaleData.deploy(make_job(2))
+        try:
+            system.run_step()
+            ready_instants = [
+                item.data_ready_s for item in system.pipeline._queue
+                if item.state == "ready"
+            ]
+            assert ready_instants == sorted(ready_instants)
+            assert all(instant > 0.0 for instant in ready_instants)
+        finally:
+            system.shutdown()

@@ -211,3 +211,41 @@ class TestOverlapLedger:
 
     def test_empty_ledger_fraction_zero(self):
         assert OverlapLedger().hidden_fraction() == 0.0
+
+    def test_stall_defaults_to_exposed_and_totals(self):
+        ledger = OverlapLedger()
+        ledger.record(step=0, fetch_s=2.0, hidden_s=1.5)
+        entry = ledger.record(step=1, fetch_s=1.0, hidden_s=0.0, stall_s=3.0)
+        assert ledger.records()[0].stall_s == pytest.approx(0.5)
+        # A measured stall may exceed the step's own fetch latency (the step
+        # queued behind earlier data-plane work).
+        assert entry.stall_s == pytest.approx(3.0)
+        assert ledger.stall_total_s() == pytest.approx(3.5)
+
+
+class TestOverlapLedgerFromTimeline:
+    def make_timeline(self):
+        timeline = Timeline()
+        # Trainer compute windows [1, 2] and [3, 4].
+        timeline.record("trainer", "train_step", 1.0, 1.0, role="trainer", step=0)
+        timeline.record("trainer", "train_step", 3.0, 1.0, role="trainer", step=1)
+        # Step-1 data work: half of [0.5, 1.5] overlaps the first window,
+        # all of [3.2, 3.4] falls inside the second.
+        timeline.record("loader/a", "poll", 0.5, 1.0, role="source_loader", step=1)
+        timeline.record("constructor/0", "construct", 3.2, 0.2, role="data_constructor", step=1)
+        # Untagged sync work and unknown roles are excluded.
+        timeline.record("loader/a", "prepare", 0.0, 9.0, role="source_loader")
+        timeline.record("oracle", "noise", 0.0, 9.0, role="oracle", step=1)
+        return timeline
+
+    def test_measures_interval_overlap_per_step(self):
+        ledger = OverlapLedger.from_timeline(self.make_timeline())
+        assert len(ledger) == 1
+        entry = ledger.records()[0]
+        assert entry.step == 1
+        assert entry.fetch_s == pytest.approx(1.2)
+        assert entry.hidden_s == pytest.approx(0.7)
+        assert entry.exposed_s == pytest.approx(0.5)
+
+    def test_empty_timeline_gives_empty_ledger(self):
+        assert len(OverlapLedger.from_timeline(Timeline())) == 0
