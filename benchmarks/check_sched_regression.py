@@ -1,0 +1,80 @@
+"""CI gate: fail when scheduler dispatch throughput regresses vs the artifact.
+
+The ``scheduler-bench`` CI leg runs ``test_fig20_scheduler_scalability`` in
+smoke mode (``BENCH_SCHED_SMOKE=1``), which merges a fresh ``smoke`` section
+into ``BENCH_fig20_sched.json`` next to the committed full-sweep
+``scheduler_scalability`` section.  This script compares the fresh smoke
+events/sec for the indexed dispatcher against the committed row at the same
+actor count and exits non-zero on a regression beyond the threshold
+(default: 30%, per the perf budget for this figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=Path("BENCH_fig20_sched.json"),
+        help="merged benchmark artifact (committed sweep + fresh smoke rows)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional events/sec regression",
+    )
+    args = parser.parse_args(argv)
+
+    document = json.loads(args.artifact.read_text())
+    committed = {
+        row["actors"]: row
+        for row in document.get("scheduler_scalability", {}).get("rows", [])
+    }
+    fresh_rows = document.get("smoke", {}).get("rows", [])
+    if not committed:
+        print("no committed scheduler_scalability section — nothing to compare")
+        return 1
+    if not fresh_rows:
+        print("no fresh smoke section — run the benchmark with BENCH_SCHED_SMOKE=1")
+        return 1
+
+    failures = 0
+    for row in fresh_rows:
+        actors = row["actors"]
+        baseline = committed.get(actors)
+        if baseline is None:
+            print(f"actors={actors}: no committed baseline row, skipping")
+            continue
+        fresh = row["indexed_events_per_s"]
+        reference = baseline["indexed_events_per_s"]
+        ratio = fresh / reference if reference > 0 else float("inf")
+        status = "ok" if ratio >= 1.0 - args.threshold else "REGRESSION"
+        print(
+            f"actors={actors}: indexed {fresh:,.0f} ev/s vs committed "
+            f"{reference:,.0f} ev/s (x{ratio:.2f}) — {status}"
+        )
+        # Machine-independent context: the indexed-vs-linear speedup measured
+        # in the *same* smoke run, next to the committed sweep's speedup.  A
+        # slow runner depresses both dispatchers equally, so a healthy
+        # speedup alongside a failed absolute check points at the runner,
+        # not the code.
+        print(
+            f"actors={actors}: same-run speedup x{row['speedup']:.2f} "
+            f"(committed sweep x{baseline['speedup']:.2f})"
+        )
+        if status != "ok":
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

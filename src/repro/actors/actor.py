@@ -80,6 +80,16 @@ class ActorFuture:
     order) rather than wall-clock dependent.
     """
 
+    __slots__ = (
+        "actor",
+        "method",
+        "state",
+        "_result",
+        "_exception",
+        "available_at_s",
+        "_owner",
+    )
+
     def __init__(self, actor: str, method: str) -> None:
         self.actor = actor
         self.method = method
@@ -89,6 +99,10 @@ class ActorFuture:
         #: Virtual-clock instant the call's result becomes available (set on
         #: completion by the event engine); ``None`` while pending/failed.
         self.available_at_s: float | None = None
+        #: Owning system (set by ``submit_call``): cancellation must notify
+        #: the dispatcher, because cancelling a queue *head* can lower its
+        #: actor's dispatch key (the next call may be ready earlier).
+        self._owner: object | None = None
 
     # -- inspection -----------------------------------------------------------------
 
@@ -120,6 +134,8 @@ class ActorFuture:
         if self.state is not FutureState.PENDING:
             return False
         self.state = FutureState.CANCELLED
+        if self._owner is not None:
+            self._owner._on_future_cancelled(self.actor, self)
         return True
 
     def _complete(self, result: object, available_at_s: float | None = None) -> None:
@@ -137,7 +153,7 @@ class ActorFuture:
         return f"ActorFuture({self.actor!r}.{self.method}, {self.state})"
 
 
-@dataclass
+@dataclass(slots=True)
 class CallRecord:
     """One recorded actor method invocation (for introspection/tests)."""
 

@@ -10,12 +10,34 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
+from types import MappingProxyType
+
+#: Scalar types that are immutable by construction.
+_IMMUTABLE_SCALARS = (type(None), bool, int, float, complex, str, bytes)
 
 
-@dataclass
+def _is_deeply_immutable(value: object, depth: int = 6) -> bool:
+    """Conservatively decide whether ``value`` can never be mutated.
+
+    Tuples and frozensets are immutable iff their members are; anything else
+    container-like (or too deeply nested to verify cheaply) is treated as
+    mutable and keeps the defensive deep-copy behaviour.
+    """
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return True
+    if depth <= 0:
+        return False
+    if isinstance(value, (tuple, frozenset)):
+        return all(_is_deeply_immutable(item, depth - 1) for item in value)
+    return False
+
+
+@dataclass(slots=True)
 class _VersionedValue:
     value: object
     version: int
+    #: Immutable payloads are stored and served by reference (no copies).
+    frozen: bool = False
 
 
 @dataclass
@@ -28,17 +50,37 @@ class GlobalControlStore:
 
     # -- key/value ---------------------------------------------------------------
 
-    def put(self, key: str, value: object) -> int:
-        """Store a deep copy of ``value``; returns the new version number."""
+    def put(self, key: str, value: object, immutable: bool | None = None) -> int:
+        """Store ``value``; returns the new version number.
+
+        Mutable payloads are deep-copied in (and back out on :meth:`get`) so
+        neither side can alias the stored state.  Immutable payloads —
+        auto-detected scalars/tuples, or caller-declared via
+        ``immutable=True`` for read-only structures like broadcast plans —
+        skip both copies entirely, which matters on the per-step
+        plan-checkpoint path.  A caller-declared-immutable *mapping* is
+        shallow-copied once behind a read-only ``MappingProxyType``, so
+        neither the putter nor any reader can mutate versioned state in
+        place (nested values are the caller's responsibility — use tuples).
+        """
         current = self._store.get(key)
         version = (current.version + 1) if current else 1
-        self._store[key] = _VersionedValue(value=copy.deepcopy(value), version=version)
+        frozen = immutable if immutable is not None else _is_deeply_immutable(value)
+        if frozen and isinstance(value, dict):
+            stored: object = MappingProxyType(dict(value))
+        elif frozen:
+            stored = value
+        else:
+            stored = copy.deepcopy(value)
+        self._store[key] = _VersionedValue(value=stored, version=version, frozen=frozen)
         return version
 
     def get(self, key: str, default: object = None) -> object:
         entry = self._store.get(key)
         if entry is None:
             return default
+        if entry.frozen:
+            return entry.value
         return copy.deepcopy(entry.value)
 
     def version(self, key: str) -> int:

@@ -20,10 +20,25 @@ instant is published on the future (``ActorFuture.available_at_s``) and on
 the system :class:`~repro.metrics.timeline.Timeline`.  Trainer compute and
 data-plane work are therefore co-simulated on one clock, which is what makes
 prefetch overlap a *measured* quantity rather than a heuristic credit.
+
+Dispatch is an **indexed priority queue** (``dispatcher="indexed"``, the
+default): one global heap holds an entry per actor queue head, keyed by
+``(max(ready_at_s, actor_free_at_s), seq)``, so popping the next event is
+O(log A) in the number of actors instead of a linear scan over every queue.
+Executing an event only changes its own actor's busy window, so only that
+actor's head is re-keyed (lazy invalidation: stale heap entries are
+discarded or corrected when they surface).  Per-actor execution lanes are
+kept as min-heaps, making the busy-window lookup and the lane booking O(1)
+amortized / O(log L).  The O(A)-per-pop linear-scan reference survives as
+``dispatcher="linear"`` for A/B benchmarks and the order-equivalence
+property test: both dispatchers execute the exact same ``(start, seq)``
+sequence because per-actor keys are non-decreasing between head changes and
+ties cannot occur (``seq`` is globally unique).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -112,7 +127,7 @@ class _ActorRecord:
     concurrency: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingCall:
     future: ActorFuture
     name: str
@@ -129,6 +144,17 @@ class _PendingCall:
     step: int | None = None
     #: Global submission sequence number — the deterministic tie-breaker.
     seq: int = 0
+
+
+def _purge_cancelled_heads(queue: deque[_PendingCall]) -> None:
+    """Drop cancelled calls from the queue front.
+
+    The single definition both dispatchers (and the head indexer) share:
+    the linear/indexed equivalence guarantee depends on identical purge
+    behaviour at every site that inspects a queue head.
+    """
+    while queue and queue[0].future.cancelled():
+        queue.popleft()
 
 
 @dataclass
@@ -158,22 +184,49 @@ class FailureInjector:
 class ActorSystem:
     """Owns nodes, the GCS and every actor placed on the cluster."""
 
-    def __init__(self, cluster: ClusterSpec | None = None, rpc_latency_s: float = 0.0002) -> None:
+    #: Dispatcher implementations accepted by ``dispatcher=``.
+    DISPATCHERS = ("indexed", "linear")
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        rpc_latency_s: float = 0.0002,
+        dispatcher: str = "indexed",
+        call_log_limit: int | None = None,
+    ) -> None:
+        if dispatcher not in self.DISPATCHERS:
+            raise ActorError(
+                f"unknown dispatcher {dispatcher!r}; expected one of {self.DISPATCHERS}"
+            )
         self.cluster = cluster or ClusterSpec()
         self.nodes = self.cluster.build_nodes()
         self.scheduler = PlacementScheduler(self.nodes)
         self.gcs = GlobalControlStore()
         self.failures = FailureInjector()
         self.rpc_latency_s = rpc_latency_s
+        self.dispatcher = dispatcher
         self._actors: dict[str, _ActorRecord] = {}
         self._ids = IdAllocator()
-        self._call_log: list[CallRecord] = []
+        #: Executed-call records; bounded to the most recent ``call_log_limit``
+        #: entries when set (opt-in, so long runs stop accruing O(E) memory).
+        self._call_log: deque[CallRecord] = deque(maxlen=call_log_limit)
         #: Per-actor FIFO queues of deferred calls (the event engine's inputs).
         self._queues: dict[str, deque[_PendingCall]] = {}
-        #: Per-actor busy windows: one entry per execution lane holding the
-        #: virtual instant that lane finishes its latest executed call.
+        #: Per-actor busy windows, kept as min-heaps: one entry per execution
+        #: lane holding the virtual instant that lane finishes its latest
+        #: executed call (``lanes[0]`` is the actor's earliest-free instant).
         self._lanes_s: dict[str, list[float]] = {}
+        #: Indexed dispatcher state: a global heap of per-actor queue-head
+        #: entries ``(start, seq, actor)`` plus a per-actor live-entry count
+        #: used for lazy invalidation (stale entries are discarded when they
+        #: surface; the count guarantees every non-empty queue stays
+        #: represented by at least one entry).
+        self._heap: list[tuple[float, int, str]] = []
+        self._heap_entries: dict[str, int] = {}
         self._seq = 0
+        #: Optional execution-trace sink for equivalence tests: when set to a
+        #: list, every dispatched event appends ``(start, seq, actor, method)``.
+        self.dispatch_trace: list[tuple[float, int, str, str]] | None = None
         self.clock = VirtualClock()
         #: Executed deferred calls as timed intervals (one event per call),
         #: tagged with the actor's role and, when provided, the pipeline step.
@@ -202,9 +255,13 @@ class ActorSystem:
         self.clock.advance(seconds)
 
     def actor_free_at_s(self, name: str) -> float:
-        """Virtual instant the actor can start another call (earliest lane)."""
+        """Virtual instant the actor can start another call (earliest lane).
+
+        Lane lists are maintained as min-heaps, so this is O(1) rather than a
+        min-scan over every lane.
+        """
         lanes = self._lanes_s.get(name)
-        return min(lanes) if lanes else 0.0
+        return lanes[0] if lanes else 0.0
 
     # -- actor lifecycle --------------------------------------------------------------
 
@@ -393,34 +450,52 @@ class ActorSystem:
         future = ActorFuture(name, method)
         ready_at = self.clock.now_s if earliest_start_s is None else float(earliest_start_s)
         self._seq += 1
-        self._queues.setdefault(name, deque()).append(
-            _PendingCall(
-                future,
-                name,
-                method,
-                args,
-                dict(kwargs),
-                timeout_s,
-                ready_at_s=ready_at,
-                duration_s=duration_s,
-                step=step_tag,
-                seq=self._seq,
-            )
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = deque()
+        # ``kwargs`` is stored without a defensive copy: ActorHandle builds a
+        # fresh dict per submit, and copying here doubled the per-submit
+        # allocations on the hot path.
+        call = _PendingCall(
+            future,
+            name,
+            method,
+            args,
+            kwargs,
+            timeout_s,
+            ready_at_s=ready_at,
+            duration_s=duration_s,
+            step=step_tag,
+            seq=self._seq,
         )
+        was_empty = not queue
+        queue.append(call)
+        if self.dispatcher == "indexed":
+            future._owner = self
+            if was_empty:
+                # The call became its actor's queue head: index it in the
+                # global dispatch heap.  Non-head calls are indexed lazily
+                # when they surface (FIFO per actor), keeping submission
+                # O(log A).  The linear dispatcher never consumes the heap,
+                # so it must not feed it either (entries would accumulate
+                # unboundedly).
+                self._push_head(name)
         return future
 
     def _next_call(self) -> _PendingCall | None:
-        """Pop the queued call with the earliest virtual start (deterministic).
+        """Pop the earliest queued call — the O(A·L) linear-scan reference.
 
         Per-actor queues are FIFO; across actors the head with the smallest
         ``(start, seq)`` wins, where ``start`` respects both the call's ready
         instant and the actor's busy window.  Cancelled heads are discarded.
+        This is the reference implementation the indexed dispatcher must
+        match event-for-event (``dispatcher="linear"``); it is kept for A/B
+        benchmarks and the equivalence property test.
         """
         best: _PendingCall | None = None
         best_key: tuple[float, int] | None = None
         for name, queue in self._queues.items():
-            while queue and queue[0].future.cancelled():
-                queue.popleft()
+            _purge_cancelled_heads(queue)
             if not queue:
                 continue
             head = queue[0]
@@ -432,8 +507,89 @@ class ActorSystem:
             self._queues[best.name].popleft()
         return best
 
-    def tick(self, max_calls: int = 1) -> int:
+    def _push_head(self, name: str) -> None:
+        """Index the actor's current queue head in the global dispatch heap."""
+        queue = self._queues.get(name)
+        if queue:
+            _purge_cancelled_heads(queue)
+        if not queue:
+            return
+        head = queue[0]
+        lanes = self._lanes_s.get(name)
+        free = lanes[0] if lanes else 0.0
+        start = head.ready_at_s if head.ready_at_s >= free else free
+        heapq.heappush(self._heap, (start, head.seq, name))
+        self._heap_entries[name] = self._heap_entries.get(name, 0) + 1
+
+    def _on_future_cancelled(self, name: str, future) -> None:
+        """Re-key an actor whose queue *head* was cancelled.
+
+        Cancelling the head exposes the next call, whose dispatch key may be
+        *smaller* (an earlier ``earliest_start_s``) — the one way an actor's
+        true key can decrease.  Without an immediate re-index the stale heap
+        entry would over-estimate the actor's key and another actor could be
+        dispatched first, diverging from the linear-scan reference.
+        Non-head cancellations leave the head (and its key) untouched.
+        """
+        queue = self._queues.get(name)
+        if queue and queue[0].future is future:
+            self._push_head(name)
+
+    def _drop_heap_entry(self, name: str) -> None:
+        remaining = self._heap_entries.get(name, 1) - 1
+        if remaining > 0:
+            self._heap_entries[name] = remaining
+        else:
+            self._heap_entries.pop(name, None)
+
+    def _pop_next_indexed(self) -> _PendingCall | None:
+        """Pop the earliest queued call via the indexed heap — O(log A).
+
+        Heap entries are keyed ``(start, seq)`` with ``seq`` globally unique,
+        so ties cannot occur and the executed order is byte-identical to the
+        linear-scan reference.  Entries go stale only when their actor's head
+        changed (the head executes → busy window moves → next head surfaces)
+        or its future was cancelled externally; stale entries are discarded
+        when they reach the top — or re-keyed in place when they are the
+        actor's last entry, preserving the invariant that every non-empty
+        queue keeps at least one entry.  A same-head entry is always *exact*:
+        the busy window of an actor only moves when that actor executes,
+        which pops the head and retires the entry by sequence number.
+        """
+        heap = self._heap
+        queues = self._queues
+        while heap:
+            start, seq, name = heap[0]
+            queue = queues.get(name)
+            if queue:
+                _purge_cancelled_heads(queue)
+            if not queue:
+                heapq.heappop(heap)
+                self._drop_heap_entry(name)
+                continue
+            head = queue[0]
+            lanes = self._lanes_s.get(name)
+            free = lanes[0] if lanes else 0.0
+            cur_start = head.ready_at_s if head.ready_at_s >= free else free
+            if seq != head.seq or start != cur_start:
+                if self._heap_entries.get(name, 1) > 1:
+                    heapq.heappop(heap)
+                    self._heap_entries[name] -= 1
+                else:
+                    heapq.heapreplace(heap, (cur_start, head.seq, name))
+                continue
+            heapq.heappop(heap)
+            self._drop_heap_entry(name)
+            queue.popleft()
+            return head
+        return None
+
+    def tick(self, max_calls: int | None = 1) -> int:
         """Execute up to ``max_calls`` deferred calls in virtual-time order.
+
+        ``max_calls=None`` executes without a budget until no runnable call
+        remains — the batched mode :meth:`drain` uses, which stays inside the
+        dispatch loop instead of re-entering the dispatcher per call.
 
         Each executed call advances the shared clock to its start instant,
         marks its actor busy until ``start + rpc + duration`` and publishes
@@ -442,12 +598,18 @@ class ActorSystem:
         the callee (including injected :class:`ActorDead` / :class:`ActorTimeout`)
         are captured on the future rather than propagated.
         """
+        indexed = self.dispatcher == "indexed"
         executed = 0
-        while executed < max_calls:
-            call = self._next_call()
+        while max_calls is None or executed < max_calls:
+            if indexed:
+                call = self._pop_next_indexed()
+            else:
+                call = self._next_call()
             if call is None:
                 break
             start = max(call.ready_at_s, self.actor_free_at_s(call.name))
+            if self.dispatch_trace is not None:
+                self.dispatch_trace.append((start, call.seq, call.name, call.method))
             self.clock.advance_to(start)
             clock_before = self.clock.now_s
             try:
@@ -469,14 +631,20 @@ class ActorSystem:
                 self._occupy_lane(call.name, end)
                 call.future._complete(result, available_at_s=end)
                 self._record_event(call, start, end)
+            if indexed:
+                # Only this actor's key changed: re-index its next head.
+                self._push_head(call.name)
             executed += 1
         return executed
 
     def _occupy_lane(self, name: str, end_s: float) -> None:
-        """Book the earliest-free execution lane until ``end_s``."""
+        """Book the earliest-free execution lane until ``end_s``.
+
+        Lane lists are min-heaps, so booking replaces the root — O(log L)
+        instead of an argmin scan (and O(1) for single-lane actors).
+        """
         lanes = self._lanes_s.setdefault(name, [0.0])
-        index = min(range(len(lanes)), key=lanes.__getitem__)
-        lanes[index] = end_s
+        heapq.heapreplace(lanes, end_s)
 
     def _derived_duration(self, name: str, method: str, result: object) -> float:
         provider = self.latency_provider
@@ -503,10 +671,15 @@ class ActorSystem:
         )
 
     def drain(self) -> int:
-        """Run the event engine until no pending calls remain."""
+        """Run the event engine until no pending calls remain.
+
+        One unbounded tick per pass: the dispatch loop keeps popping until
+        the index is empty (nested submits included), so draining no longer
+        pays a pending-count scan per batch.
+        """
         executed = 0
         while True:
-            ran = self.tick(max_calls=max(1, self.pending_count()))
+            ran = self.tick(max_calls=None)
             executed += ran
             if ran == 0:
                 break
@@ -533,11 +706,14 @@ class ActorSystem:
             queue = self._queues.get(name)
             if not queue:
                 continue
-            for call in queue:
+            # Snapshot first: cancelling a head triggers the dispatcher's
+            # re-key hook, which purges cancelled heads from the live deque.
+            snapshot = list(queue)
+            for call in snapshot:
                 if call.future.cancel():
                     cancelled += 1
             self._queues[name] = deque(
-                call for call in queue if not call.future.cancelled()
+                call for call in snapshot if not call.future.cancelled()
             )
         return cancelled
 

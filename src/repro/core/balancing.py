@@ -74,11 +74,16 @@ def greedy_binpack(items: Sequence[WeightedItem], num_bins: int) -> BalanceResul
         return result
     heap = [(0.0, index) for index in range(num_bins)]
     heapq.heapify(heap)
+    # The heap entries *are* the running bin costs — the final tally falls
+    # out of the packing loop instead of a second O(n·bins) nested sum.
+    running = [0.0] * num_bins
     for item in sorted(items, key=lambda it: it.cost, reverse=True):
         cost, index = heapq.heappop(heap)
         result.bins[index].append(item)
-        heapq.heappush(heap, (cost + item.cost, index))
-    result.bin_costs = [sum(item.cost for item in bin_) for bin_ in result.bins]
+        cost += item.cost
+        running[index] = cost
+        heapq.heappush(heap, (cost, index))
+    result.bin_costs = running
     return result
 
 
@@ -133,11 +138,18 @@ def interleaved_balance(items: Sequence[WeightedItem], num_bins: int) -> Balance
         raise OrchestrationError("num_bins must be positive")
     result = _empty_result(num_bins)
     ordered = sorted(items, key=lambda it: it.cost, reverse=True)
+    if not ordered:
+        return result
+    indices = np.empty(len(ordered), dtype=np.intp)
     for position, item in enumerate(ordered):
         round_index, offset = divmod(position, num_bins)
         index = offset if round_index % 2 == 0 else num_bins - 1 - offset
+        indices[position] = index
         result.bins[index].append(item)
-    result.bin_costs = [sum(item.cost for item in bin_) for bin_ in result.bins]
+    # Vectorized tally: one bincount over the dealt positions replaces the
+    # nested per-bin sum.
+    costs = np.fromiter((item.cost for item in ordered), dtype=float, count=len(ordered))
+    result.bin_costs = np.bincount(indices, weights=costs, minlength=num_bins).tolist()
     return result
 
 

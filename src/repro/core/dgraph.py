@@ -21,6 +21,7 @@ Only lightweight metadata flows through the graph; payload bytes never do.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable
@@ -77,6 +78,25 @@ class DGraphEdge:
     label: str
 
 
+def _merge_sorted_unique(runs: list[list[int]]) -> list[int]:
+    """Merge pre-sorted id runs into one sorted, deduplicated list."""
+    if len(runs) == 1:
+        ids = runs[0]
+        if all(ids[i] < ids[i + 1] for i in range(len(ids) - 1)):
+            return list(ids)
+        return sorted(set(ids))
+    if any(
+        any(ids[i] > ids[i + 1] for i in range(len(ids) - 1)) for ids in runs
+    ):
+        # Defensive fallback for externally built, unsorted demand lists.
+        return sorted({sample_id for ids in runs for sample_id in ids})
+    merged: list[int] = []
+    for sample_id in heapq.merge(*runs):
+        if not merged or sample_id != merged[-1]:
+            merged.append(sample_id)
+    return merged
+
+
 @dataclass
 class DGraphPlan:
     """The finalized output of :meth:`DGraph.plan`."""
@@ -89,13 +109,22 @@ class DGraphPlan:
     api_costs: dict[str, float] = field(default_factory=dict)
 
     def all_source_demands(self) -> dict[str, list[int]]:
-        """Source demands of this plan plus every subplan (deduplicated)."""
-        merged: dict[str, set[int]] = {}
+        """Source demands of this plan plus every subplan (deduplicated).
+
+        Per-source demand lists are sorted once at plan finalization (see
+        :meth:`DGraph.plan`), so merging is a k-way merge of sorted runs with
+        inline dedup — no per-call set build + re-sort.  Unsorted runs (e.g.
+        hand-built plans) fall back to the sort-based path.
+        """
+        runs_by_source: dict[str, list[list[int]]] = {}
         plans = [self] + list(self.subplan.values())
         for plan in plans:
             for source, ids in plan.source_demands.items():
-                merged.setdefault(source, set()).update(ids)
-        return {source: sorted(ids) for source, ids in merged.items()}
+                runs_by_source.setdefault(source, []).append(ids)
+        merged: dict[str, list[int]] = {}
+        for source, runs in runs_by_source.items():
+            merged[source] = _merge_sorted_unique(runs)
+        return merged
 
 
 class DGraph:

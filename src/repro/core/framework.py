@@ -59,7 +59,7 @@ from repro.data.synthetic import (
     navit_like_spec,
 )
 from repro.errors import ConfigurationError, PlanError
-from repro.metrics.timeline import OverlapLedger
+from repro.metrics.timeline import OverlapLedger, Timeline
 from repro.parallelism.mesh import DeviceMesh
 from repro.storage.filesystem import SimulatedFileSystem
 from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
@@ -117,6 +117,20 @@ class TrainingJobSpec:
     #: dial the compute/fetch ratio (e.g. fetch-bound jobs).
     gpu_spec: GpuSpec | None = None
 
+    #: Event-engine dispatcher: "indexed" (O(log A) heap dispatch, the
+    #: default) or "linear" (the O(A) scan reference, kept for A/B
+    #: benchmarks and equivalence tests — both execute identical orders).
+    dispatcher: str = "indexed"
+
+    #: Opt-in bounded telemetry for long runs: caps the actor call log and
+    #: switches the system timeline to the bounded/aggregating mode, so
+    #: per-event bookkeeping stops growing O(E) with executed events while
+    #: OverlapLedger reconciliation keeps working from the online aggregate.
+    bounded_telemetry: bool = False
+
+    #: Retained event/call-record window in bounded-telemetry mode.
+    telemetry_window: int = 4096
+
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
             raise ConfigurationError(
@@ -124,6 +138,13 @@ class TrainingJobSpec:
             )
         if self.prefetch_depth < 0:
             raise ConfigurationError("prefetch_depth must be >= 0")
+        if self.dispatcher not in ActorSystem.DISPATCHERS:
+            raise ConfigurationError(
+                f"unknown dispatcher {self.dispatcher!r}; "
+                f"expected one of {ActorSystem.DISPATCHERS}"
+            )
+        if self.telemetry_window < 1:
+            raise ConfigurationError("telemetry_window must be >= 1")
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -281,7 +302,18 @@ class MegaScaleData:
         cluster = cluster or ClusterSpec(
             accelerator_nodes=max(1, mesh.num_nodes), cpu_pods=job.cpu_pods
         )
-        system = ActorSystem(cluster)
+        system = ActorSystem(
+            cluster,
+            dispatcher=job.dispatcher,
+            call_log_limit=job.telemetry_window if job.bounded_telemetry else None,
+        )
+        if job.bounded_telemetry:
+            # Swap in the bounded/aggregating timeline before any actor is
+            # deployed, so every recorded event feeds the online overlap
+            # aggregate and per-event memory stays O(telemetry_window).
+            system.timeline = Timeline(
+                max_events=job.telemetry_window, aggregate_overlap=True
+            )
 
         partition_plan = cls._partition_sources(job, catalog, cluster)
         loader_handles = cls._spawn_loaders(job, catalog, filesystem, system, partition_plan)

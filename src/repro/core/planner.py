@@ -172,14 +172,18 @@ class Planner(Actor):
         if self.gcs is None:
             return
         if plan.step % self.checkpoint_every == 0:
-            self.gcs.put(
-                f"planner/plan/{plan.step}",
-                {
-                    "step": plan.step,
-                    "source_demands": plan.source_demands,
-                    "mixture_weights": plan.mixture_weights,
+            # Snapshot with tuple-valued demand lists and declare the payload
+            # immutable: the GCS then stores and serves it by reference, so
+            # the per-step checkpoint no longer deep-copies the whole demand
+            # map twice (once in, once per read) on the plan-broadcast path.
+            checkpoint = {
+                "step": plan.step,
+                "source_demands": {
+                    source: tuple(ids) for source, ids in plan.source_demands.items()
                 },
-            )
+                "mixture_weights": dict(plan.mixture_weights),
+            }
+            self.gcs.put(f"planner/plan/{plan.step}", checkpoint, immutable=True)
             self.gcs.put("planner/last_step", plan.step)
             self.stats.checkpoints_written += 1
 

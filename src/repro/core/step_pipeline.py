@@ -56,7 +56,7 @@ from repro.errors import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class _InflightStep:
     """One future step moving through the prefetch state machine."""
 

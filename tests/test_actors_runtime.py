@@ -102,6 +102,31 @@ class TestGcs:
         gcs.deregister_actor("a")
         assert gcs.list_actors() == ["b"]
 
+    def test_immutable_payload_stored_and_served_by_reference(self):
+        gcs = GlobalControlStore()
+        value = ("a", ("b", 1), frozenset({2}))
+        gcs.put("k", value)
+        assert gcs.get("k") is value
+
+    def test_declared_immutable_skips_copies(self):
+        gcs = GlobalControlStore()
+        value = {"demands": (1, 2, 3)}
+        gcs.put("k", value, immutable=True)
+        stored = gcs.get("k")
+        assert stored == value
+        assert gcs.get("k") is stored  # served by reference, no per-read copy
+        with pytest.raises(TypeError):
+            stored["demands"] = ()  # readers cannot mutate versioned state
+        value["extra"] = 1  # nor can the putter, after the fact
+        assert "extra" not in gcs.get("k")
+
+    def test_mutable_payload_isolated_from_caller_mutation(self):
+        gcs = GlobalControlStore()
+        value = {"a": [1]}
+        gcs.put("k", value)
+        value["a"].append(2)
+        assert gcs.get("k") == {"a": [1]}
+
     def test_stale_actor_detection(self):
         gcs = GlobalControlStore()
         gcs.register_actor("a", {"role": "loader"})
