@@ -1,0 +1,80 @@
+"""CI gate: fail when the elastic fleet's stall reduction regresses.
+
+The ``elasticity-bench`` CI leg runs ``test_fig21_elasticity`` in smoke mode
+(``BENCH_ELASTIC_SMOKE=1``), which merges a fresh ``smoke`` section into
+``BENCH_fig21_elastic.json`` next to the committed full-run
+``elastic_fleet`` section.  This script compares the fresh smoke run's
+*same-run* elastic-vs-frozen metrics against the committed ones and exits
+non-zero on a regression beyond the threshold (default: 30%).
+
+Both gated quantities — ``stall_reduction`` (frozen stall / elastic stall)
+and ``wall_speedup`` (frozen wall / elastic wall) — are ratios measured
+inside one run on one machine, so a slow CI runner depresses numerator and
+denominator together: the gate tracks the *benefit of elasticity*, not the
+runner's absolute speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=Path("BENCH_fig21_elastic.json"),
+        help="merged benchmark artifact (committed full run + fresh smoke)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression of the elasticity benefit",
+    )
+    args = parser.parse_args(argv)
+
+    document = json.loads(args.artifact.read_text())
+    committed = document.get("elastic_fleet")
+    fresh = document.get("smoke")
+    if not committed:
+        print("no committed elastic_fleet section — nothing to compare")
+        return 1
+    if not fresh:
+        print("no fresh smoke section — run the benchmark with BENCH_ELASTIC_SMOKE=1")
+        return 1
+
+    failures = 0
+    for metric in ("stall_reduction", "wall_speedup"):
+        fresh_value = float(fresh[metric])
+        reference = float(committed[metric])
+        # The smoke run is shorter than the committed full run, so compare
+        # the *gain over parity* (value - 1): a fleet that stopped helping
+        # at all trips the gate regardless of run length.
+        fresh_gain = fresh_value - 1.0
+        reference_gain = reference - 1.0
+        ratio = fresh_gain / reference_gain if reference_gain > 0 else float("inf")
+        status = "ok" if fresh_gain > 0 and ratio >= 1.0 - args.threshold else "REGRESSION"
+        print(
+            f"{metric}: fresh x{fresh_value:.3f} vs committed x{reference:.3f} "
+            f"(gain ratio {ratio:.2f}) — {status}"
+        )
+        if status != "ok":
+            failures += 1
+
+    elastic_rows = {row["mode"]: row for row in fresh.get("rows", [])}
+    spawns = elastic_rows.get("elastic", {}).get("fleet_spawns", 0)
+    print(f"smoke elastic spawns: {spawns:.0f}")
+    if spawns < 1:
+        print("REGRESSION: the smoke run never scaled up")
+        failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

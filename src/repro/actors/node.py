@@ -54,6 +54,10 @@ class Node:
     _reserved_cpu: float = 0.0
     _reserved_memory: int = 0
     _resident_actors: set[str] = field(default_factory=set)
+    #: High-water marks over the node's lifetime — live telemetry for the
+    #: elastic fleet, capturing reservation peaks even between report samples.
+    _peak_reserved_cpu: float = 0.0
+    _peak_reserved_memory: int = 0
 
     def __post_init__(self) -> None:
         self.ledger.name = f"node:{self.name}"
@@ -96,6 +100,8 @@ class Node:
         self._reserved_cpu += cpu_cores
         self._reserved_memory += memory_bytes
         self._resident_actors.add(actor_name)
+        self._peak_reserved_cpu = max(self._peak_reserved_cpu, self._reserved_cpu)
+        self._peak_reserved_memory = max(self._peak_reserved_memory, self._reserved_memory)
 
     def release(self, actor_name: str, cpu_cores: float, memory_bytes: int) -> None:
         """Release a prior reservation (idempotent for unknown actors)."""
@@ -115,6 +121,17 @@ class Node:
         return {
             "cpu": self._reserved_cpu / self.resources.cpu_cores if self.resources.cpu_cores else 0.0,
             "memory": self._reserved_memory / self.resources.memory_bytes
+            if self.resources.memory_bytes
+            else 0.0,
+        }
+
+    def peak_utilization(self) -> dict[str, float]:
+        """Lifetime reservation high-water marks as utilization fractions."""
+        return {
+            "cpu": self._peak_reserved_cpu / self.resources.cpu_cores
+            if self.resources.cpu_cores
+            else 0.0,
+            "memory": self._peak_reserved_memory / self.resources.memory_bytes
             if self.resources.memory_bytes
             else 0.0,
         }

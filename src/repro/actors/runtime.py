@@ -206,6 +206,15 @@ class ActorSystem:
         self.rpc_latency_s = rpc_latency_s
         self.dispatcher = dispatcher
         self._actors: dict[str, _ActorRecord] = {}
+        #: Per-name incarnation counter.  Heap entries are stamped with the
+        #: generation current at push time, so entries belonging to a removed
+        #: (or removed-and-recreated) actor are recognisably stale and are
+        #: discarded the moment they surface — `tick()` can never dispatch to
+        #: a dead incarnation, and a reused name starts with clean accounting.
+        self._generation: dict[str, int] = {}
+        #: Actors retiring in "drain" mode: no new submissions are accepted
+        #: and the actor is finalized as soon as its queue runs dry.
+        self._retiring: set[str] = set()
         self._ids = IdAllocator()
         #: Executed-call records; bounded to the most recent ``call_log_limit``
         #: entries when set (opt-in, so long runs stop accruing O(E) memory).
@@ -217,11 +226,13 @@ class ActorSystem:
         #: executed call (``lanes[0]`` is the actor's earliest-free instant).
         self._lanes_s: dict[str, list[float]] = {}
         #: Indexed dispatcher state: a global heap of per-actor queue-head
-        #: entries ``(start, seq, actor)`` plus a per-actor live-entry count
-        #: used for lazy invalidation (stale entries are discarded when they
-        #: surface; the count guarantees every non-empty queue stays
-        #: represented by at least one entry).
-        self._heap: list[tuple[float, int, str]] = []
+        #: entries ``(start, seq, actor, generation)`` plus a per-actor
+        #: live-entry count used for lazy invalidation (stale entries are
+        #: discarded when they surface; the count guarantees every non-empty
+        #: queue stays represented by at least one entry).  The generation
+        #: stamp keeps the count exact across actor destruction and name
+        #: reuse: entries of dead incarnations are not counted at all.
+        self._heap: list[tuple[float, int, str, int]] = []
         self._heap_entries: dict[str, int] = {}
         self._seq = 0
         #: Optional execution-trace sink for equivalence tests: when set to a
@@ -275,6 +286,7 @@ class ActorSystem:
         node_affinity: str | None = None,
         allow_spill: bool = True,
         concurrency: int = 1,
+        warmup_s: float = 0.0,
     ) -> ActorHandle:
         """Instantiate, place and register a new actor; returns its handle.
 
@@ -284,9 +296,16 @@ class ActorSystem:
         simulated busy windows may overlap — so actor state stays
         deterministic while e.g. a loader's worker pool can serve several
         prefetch tickets concurrently.
+
+        ``warmup_s`` books every execution lane busy for that many virtual
+        seconds from the current instant, modelling provisioning latency of
+        actors spawned *mid-run* (elastic scale-up): the new actor exists
+        immediately but cannot start events before its warm-up elapsed.
         """
         if concurrency < 1:
             raise ActorError("actor concurrency must be >= 1")
+        if warmup_s < 0:
+            raise ActorError("actor warmup_s must be >= 0")
         instance = factory()
         role = getattr(type(instance), "role", "actor")
         actor_name = name or self._ids.next_name(role)
@@ -317,7 +336,9 @@ class ActorSystem:
             concurrency=concurrency,
         )
         self._actors[actor_name] = record
-        self._lanes_s[actor_name] = [self.clock.now_s] * concurrency
+        self._generation[actor_name] = self._generation.get(actor_name, 0) + 1
+        self._retiring.discard(actor_name)
+        self._lanes_s[actor_name] = [self.clock.now_s + warmup_s] * concurrency
         self.gcs.register_actor(
             actor_name, {"role": role, "node": node.name, "spilled": placement.spilled}
         )
@@ -345,6 +366,7 @@ class ActorSystem:
         if remove:
             self._actors.pop(name, None)
             self._lanes_s.pop(name, None)
+            self._retiring.discard(name)
             # Fail (don't leak) any still-queued deferred calls: a removed
             # actor's queue would otherwise be scanned forever and its lane
             # lookup would backdate the call's start to 0.
@@ -353,7 +375,88 @@ class ActorSystem:
                 for call in queue:
                     if not call.future.cancelled():
                         call.future._fail(ActorError(f"actor {name!r} was stopped"))
+            # Eagerly invalidate the actor's indexed-heap entries: dropping
+            # the live-entry count turns every entry of this incarnation
+            # stale (its generation no longer matches), so they are discarded
+            # untouched when they surface and a later same-name actor starts
+            # with exact accounting — `tick()` can never dispatch to the dead
+            # incarnation, and surviving actors' dispatch order is unchanged.
+            self._heap_entries.pop(name, None)
             self.gcs.deregister_actor(name)
+
+    def retire_actor(
+        self, name: str, mode: str = "drain", successor: str | None = None
+    ) -> bool:
+        """Gracefully retire an actor mid-run without perturbing dispatch.
+
+        Unlike :meth:`stop_actor` (which fails still-queued calls), retirement
+        deals with pending events first:
+
+        - ``mode="drain"``: the actor stops accepting new submissions but its
+          already-queued calls keep dispatching in their normal virtual-time
+          order; the actor is stopped (resources released, heap entries
+          invalidated) the moment its queue runs dry.  Returns ``True`` when
+          the actor retired immediately (empty queue), ``False`` when the
+          retirement is pending a drain.
+        - ``mode="handoff"``: queued calls are re-targeted onto ``successor``
+          (merged by submission sequence, preserving the global virtual-time
+          order) and the actor stops immediately.  The successor must be a
+          live, non-retiring actor.
+
+        Either way, surviving actors' indexed-heap entries are untouched —
+        the retired actor's entries go stale via its generation stamp and are
+        lazily discarded, so the relative dispatch order of every other actor
+        is byte-identical to a run where the retirement never happened.
+        """
+        record = self._record(name)
+        if mode not in ("drain", "handoff"):
+            raise ActorError(f"unknown retire mode {mode!r}")
+        if record.state is not ActorState.RUNNING:
+            raise ActorError(f"actor {name!r} is not running; cannot retire")
+        if mode == "handoff":
+            if successor is None or successor == name:
+                raise ActorError("handoff retirement needs a distinct successor actor")
+            target = self._record(successor)
+            if target.state is not ActorState.RUNNING or successor in self._retiring:
+                raise ActorError(f"successor {successor!r} cannot accept handed-off calls")
+            self._handoff_queue(name, successor)
+            self.stop_actor(name)
+            return True
+        queue = self._queues.get(name)
+        if queue:
+            _purge_cancelled_heads(queue)
+        if not queue:
+            self.stop_actor(name)
+            return True
+        self._retiring.add(name)
+        return False
+
+    def retiring(self, name: str) -> bool:
+        """Whether the actor is draining toward retirement."""
+        return name in self._retiring
+
+    def _handoff_queue(self, name: str, successor: str) -> None:
+        """Merge the retiree's pending calls into the successor's queue by seq."""
+        pending = self._queues.pop(name, None)
+        if not pending:
+            return
+        target_queue = self._queues.get(successor)
+        if target_queue is None:
+            target_queue = self._queues[successor] = deque()
+        merged = sorted(
+            [call for call in pending if not call.future.cancelled()]
+            + [call for call in target_queue if not call.future.cancelled()],
+            key=lambda call: call.seq,
+        )
+        for call in merged:
+            call.name = successor
+            call.future.actor = successor
+        self._queues[successor] = deque(merged)
+        # The successor's head may now be an earlier call than the one its
+        # heap entry was keyed for; re-index it (the retiree's entries go
+        # stale via the generation stamp once stop_actor drops its count).
+        if self.dispatcher == "indexed":
+            self._push_head(successor)
 
     def restart_actor(self, name: str, state: dict | None = None) -> ActorHandle:
         """Restart a failed actor in place, optionally restoring checkpoint state."""
@@ -447,6 +550,8 @@ class ActorSystem:
         system's ``latency_provider`` when ``None``) plus the RPC latency.
         """
         self._record(name)  # reject unknown actors eagerly
+        if name in self._retiring:
+            raise ActorError(f"actor {name!r} is retiring and accepts no new calls")
         future = ActorFuture(name, method)
         ready_at = self.clock.now_s if earliest_start_s is None else float(earliest_start_s)
         self._seq += 1
@@ -518,7 +623,7 @@ class ActorSystem:
         lanes = self._lanes_s.get(name)
         free = lanes[0] if lanes else 0.0
         start = head.ready_at_s if head.ready_at_s >= free else free
-        heapq.heappush(self._heap, (start, head.seq, name))
+        heapq.heappush(self._heap, (start, head.seq, name, self._generation.get(name, 0)))
         self._heap_entries[name] = self._heap_entries.get(name, 0) + 1
 
     def _on_future_cancelled(self, name: str, future) -> None:
@@ -559,7 +664,13 @@ class ActorSystem:
         heap = self._heap
         queues = self._queues
         while heap:
-            start, seq, name = heap[0]
+            start, seq, name, gen = heap[0]
+            if gen != self._generation.get(name, 0):
+                # Entry of a retired/destroyed incarnation (possibly of a
+                # reused name): its count was dropped at removal, so discard
+                # without touching the live accounting.
+                heapq.heappop(heap)
+                continue
             queue = queues.get(name)
             if queue:
                 _purge_cancelled_heads(queue)
@@ -576,7 +687,7 @@ class ActorSystem:
                     heapq.heappop(heap)
                     self._heap_entries[name] -= 1
                 else:
-                    heapq.heapreplace(heap, (cur_start, head.seq, name))
+                    heapq.heapreplace(heap, (cur_start, head.seq, name, gen))
                 continue
             heapq.heappop(heap)
             self._drop_heap_entry(name)
@@ -606,6 +717,7 @@ class ActorSystem:
             else:
                 call = self._next_call()
             if call is None:
+                self._sweep_retirements()
                 break
             start = max(call.ready_at_s, self.actor_free_at_s(call.name))
             if self.dispatch_trace is not None:
@@ -622,7 +734,7 @@ class ActorSystem:
             else:
                 duration = call.duration_s
                 if duration is None:
-                    duration = self._derived_duration(call.name, call.method, result)
+                    duration = self._derived_duration(call.name, call.method, result, start)
                 # Nested synchronous calls made by the target advance the
                 # clock; fold exactly that delta into the event so completion
                 # never precedes work the call itself performed.
@@ -634,8 +746,22 @@ class ActorSystem:
             if indexed:
                 # Only this actor's key changed: re-index its next head.
                 self._push_head(call.name)
+            if call.name in self._retiring:
+                self._maybe_finish_retirement(call.name)
             executed += 1
         return executed
+
+    def _maybe_finish_retirement(self, name: str) -> None:
+        """Finalize a drain-mode retirement once the actor's queue is empty."""
+        queue = self._queues.get(name)
+        if queue:
+            _purge_cancelled_heads(queue)
+        if not queue and name in self._retiring:
+            self.stop_actor(name)
+
+    def _sweep_retirements(self) -> None:
+        for name in list(self._retiring):
+            self._maybe_finish_retirement(name)
 
     def _occupy_lane(self, name: str, end_s: float) -> None:
         """Book the earliest-free execution lane until ``end_s``.
@@ -646,14 +772,32 @@ class ActorSystem:
         lanes = self._lanes_s.setdefault(name, [0.0])
         heapq.heapreplace(lanes, end_s)
 
-    def _derived_duration(self, name: str, method: str, result: object) -> float:
+    def _derived_duration(
+        self, name: str, method: str, result: object, start_s: float = 0.0
+    ) -> float:
         provider = self.latency_provider
         if provider is None:
             return 0.0
         record = self._actors.get(name)
         if record is None:
             return 0.0
-        duration = provider.call_duration_s(record.instance, method, result)
+        if getattr(provider, "wants_lane_context", False):
+            # Capacity-aware providers see the actor's lane occupancy at the
+            # event's start instant — which lanes are still busy and until
+            # when — so a worker pool's throughput can be split across
+            # concurrently in-flight tickets (the capacity-split lane model).
+            lanes = self._lanes_s.get(name) or ()
+            busy_ends = tuple(end for end in lanes if end > start_s)
+            duration = provider.call_duration_s(
+                record.instance,
+                method,
+                result,
+                busy_lanes=1 + len(busy_ends),
+                start_s=start_s,
+                lane_ends_s=busy_ends,
+            )
+        else:
+            duration = provider.call_duration_s(record.instance, method, result)
         return max(0.0, float(duration or 0.0))
 
     def _record_event(self, call: _PendingCall, start: float, end: float) -> None:
@@ -715,6 +859,10 @@ class ActorSystem:
             self._queues[name] = deque(
                 call for call in snapshot if not call.future.cancelled()
             )
+        # Cancellation may have drained a retiring actor's queue; finalize
+        # such retirements now rather than waiting for a dispatch that may
+        # never come.
+        self._sweep_retirements()
         return cancelled
 
     # -- introspection ----------------------------------------------------------------------

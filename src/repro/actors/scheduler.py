@@ -101,3 +101,27 @@ class PlacementScheduler:
 
     def cluster_utilization(self) -> dict[str, dict[str, float]]:
         return {name: node.utilization() for name, node in self._nodes.items()}
+
+    def peak_cluster_utilization(self) -> dict[str, dict[str, float]]:
+        """Per-node lifetime reservation peaks (elastic-fleet telemetry)."""
+        return {name: node.peak_utilization() for name, node in self._nodes.items()}
+
+    def peak_utilization_summary(self) -> dict[str, float]:
+        """Cluster-wide lifetime reservation peaks for run reports.
+
+        Takes the max over every node's reservation high-water mark, so a
+        transient elastic scale-up that reserved and released between two
+        report samples is still visible.  (Time-averaged utilization comes
+        from per-step sampling — see
+        :class:`repro.metrics.report.ClusterUtilizationTracker` — not from
+        this instantaneous view.)
+        """
+        peaks = self.peak_cluster_utilization()
+        return {
+            "peak_node_cpu_utilization": max(
+                (u["cpu"] for u in peaks.values()), default=0.0
+            ),
+            "peak_node_memory_utilization": max(
+                (u["memory"] for u in peaks.values()), default=0.0
+            ),
+        }

@@ -277,10 +277,26 @@ class MixtureDrivenScaler:
         }
         self.rescale_events = 0
         self._last_decision_s: float | None = None
+        self._last_observed_s: float | None = None
         self.decision_log: list[ScalingDecision] = []
 
     def current_actors(self, source: str) -> int:
         return self._current_actors.get(source, 1)
+
+    def reconcile_actors(self, source: str, actual_actors: int) -> None:
+        """Adopt the fleet's *actual* actor count for ``source``.
+
+        The facade calls this when a directive could not be applied as issued
+        — e.g. node CPU/memory budgets rejected the placement of a scale-up,
+        or a scale-down was clamped at the canonical shard floor — so the
+        scaler's view never drifts from the deployed fleet and later
+        directives target real counts.
+        """
+        if actual_actors < 1:
+            raise ScalingError("a source always keeps at least one loader actor")
+        if source not in self.plan.configs:
+            raise ScalingError(f"unknown source {source!r}")
+        self._current_actors[source] = int(actual_actors)
 
     def _decisions_gated(self, now_s: float | None) -> bool:
         """Whether the virtual-time rate limit suppresses directives right now."""
@@ -308,6 +324,16 @@ class MixtureDrivenScaler:
         ``min_decision_interval_s`` simulated seconds passed since the last
         decision.
         """
+        if now_s is not None:
+            # The virtual clock is monotonic by construction; an observation
+            # stamped earlier than one already consumed means the caller is
+            # feeding instants out of order, which would silently corrupt the
+            # rate limit and the decision log.
+            if self._last_observed_s is not None and now_s < self._last_observed_s:
+                raise ScalingError(
+                    f"observation clock moved backwards: {now_s} < {self._last_observed_s}"
+                )
+            self._last_observed_s = now_s
         gated = self._decisions_gated(now_s)
         directives: list[LoaderScalingDirective] = []
         for source, config in self.plan.configs.items():

@@ -46,6 +46,44 @@ from repro.training.simulator import BACKWARD_MULTIPLIER, GpuSpec, IterationResu
 CostFn = Callable[[SampleMetadata], tuple[float, float]]
 
 
+#: Lane models accepted by :class:`DataPlaneLatencyProvider`.
+LANE_MODELS = ("capacity_split", "amortized")
+
+
+def capacity_split_duration_s(
+    amortized_s: float, start_s: float, lane_ends_s: tuple[float, ...] | list[float]
+) -> float:
+    """Fair-share duration of a chunk competing with in-flight lane work.
+
+    A loader's worker pool has a fixed aggregate throughput; ``amortized_s``
+    is the chunk's wall clock when the *whole* pool serves it.  While ``b``
+    other lanes are still busy, the new chunk only owns ``1/(b+1)`` of the
+    pool, so it progresses at that fraction of full speed; each time a busy
+    lane drains (its end instant passes) the share grows.  Integrating the
+    piecewise-constant rate from the chunk's start gives its stretched
+    duration — work-conserving (fully overlapped tickets split the pool
+    exactly) without the naive ``×b`` overshoot for barely-overlapping ones.
+
+    One-sided by construction: tickets already in flight keep the share they
+    were booked with (the engine cannot retroactively stretch executed
+    events), so a new arrival yields to them rather than slowing them down.
+    """
+    remaining = float(amortized_s)
+    if remaining <= 0.0:
+        return 0.0
+    ends = sorted(end for end in lane_ends_s if end > start_s)
+    now = float(start_s)
+    busy = len(ends)
+    for index, end in enumerate(ends):
+        share = 1.0 / (busy - index + 1)
+        window = (end - now) * share
+        if window >= remaining:
+            return now + remaining / share - start_s
+        remaining -= window
+        now = end
+    return now + remaining - start_s
+
+
 class DataPlaneLatencyProvider:
     """Derives virtual durations for every data-plane (and trainer) actor call.
 
@@ -58,7 +96,9 @@ class DataPlaneLatencyProvider:
     ``planner``           ``generate_plan``   :attr:`PlanTimings.total_s` (gather +
                                               compute + broadcast) of that plan
     ``source_loader``     ``prepare``         worker-amortised ``wall_clock_s``
-    ``source_loader``     ``poll``            the chunk's ``chunk_wall_clock_s``
+    ``source_loader``     ``poll``            the chunk's ``chunk_wall_clock_s``,
+                                              stretched by lane contention under
+                                              the capacity-split lane model
     ``data_constructor``  ``construct``       ``collate_seconds`` of the step
     ``trainer``           ``train_step``      the iteration's compute window
                                               (iteration time minus exposed fetch)
@@ -68,9 +108,42 @@ class DataPlaneLatencyProvider:
     Methods that merely move references (``fetch_prepared``, ``get_batch``,
     buffer-metadata gathers) are deliberately free: their cost is the
     simulated RPC latency the runtime already charges.
+
+    **Lane models.**  A loader actor exposes ``prefetch_depth + 1`` execution
+    lanes so its worker pool can pipeline several step tickets.  Under the
+    default ``lane_model="capacity_split"`` the pool's throughput divides
+    across concurrently busy lanes: the event engine reports the busy lanes'
+    end instants at a poll's start (via the ``wants_lane_context`` protocol
+    flag), and the chunk's amortised wall clock is stretched by integrating
+    its fair pool share over those windows
+    (:func:`capacity_split_duration_s`) — overlapping tickets split the pool,
+    conserving aggregate throughput.  ``lane_model="amortized"`` restores the
+    PR-2 idealised model where every ticket sees the whole pool regardless of
+    overlap (kept for A/B runs).
     """
 
-    def call_duration_s(self, actor: object, method: str, result: object) -> float:
+    #: Protocol flag read by the event engine: providers that set this
+    #: receive the event's start instant (``start_s``), the number of
+    #: occupied lanes including the one the event takes (``busy_lanes``) and
+    #: the busy lanes' end instants (``lane_ends_s``) as keyword arguments.
+    wants_lane_context = True
+
+    def __init__(self, lane_model: str = "capacity_split") -> None:
+        if lane_model not in LANE_MODELS:
+            raise ValueError(
+                f"unknown lane_model {lane_model!r}; expected one of {LANE_MODELS}"
+            )
+        self.lane_model = lane_model
+
+    def call_duration_s(
+        self,
+        actor: object,
+        method: str,
+        result: object,
+        busy_lanes: int = 1,
+        start_s: float = 0.0,
+        lane_ends_s: tuple[float, ...] = (),
+    ) -> float:
         role = getattr(type(actor), "role", "actor")
         if role == "planner" and method == "generate_plan":
             timings = getattr(getattr(actor, "stats", None), "latest_timings", None)
@@ -79,7 +152,10 @@ class DataPlaneLatencyProvider:
             if method == "prepare":
                 return float(result.get("wall_clock_s", 0.0))
             if method == "poll":
-                return float(result.get("chunk_wall_clock_s", 0.0))
+                amortized = float(result.get("chunk_wall_clock_s", 0.0))
+                if self.lane_model == "capacity_split":
+                    return capacity_split_duration_s(amortized, start_s, lane_ends_s)
+                return amortized
             return 0.0
         if role == "data_constructor" and method == "construct" and isinstance(result, dict):
             return float(result.get("collate_seconds", 0.0))

@@ -41,9 +41,10 @@ from repro.core.autoscaler import (
     ResourceBudget,
     SourceAutoPartitioner,
 )
-from repro.core.cost_model import DataPlaneLatencyProvider
+from repro.core.cost_model import LANE_MODELS, DataPlaneLatencyProvider
 from repro.core.data_constructor import DataConstructor, RankDelivery
 from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
+from repro.core.loader_fleet import LoaderFleet
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.planner import Planner, PlanTimings
 from repro.core.plans import LoadingPlan
@@ -58,8 +59,9 @@ from repro.data.synthetic import (
     coyo700m_like_spec,
     navit_like_spec,
 )
-from repro.errors import ConfigurationError, PlanError
-from repro.metrics.timeline import OverlapLedger, Timeline
+from repro.errors import ActorDead, ActorTimeout, ConfigurationError
+from repro.metrics.report import ClusterUtilizationTracker
+from repro.metrics.timeline import FLEET_ROLE, OverlapLedger, Timeline
 from repro.parallelism.mesh import DeviceMesh
 from repro.storage.filesystem import SimulatedFileSystem
 from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
@@ -107,6 +109,22 @@ class TrainingJobSpec:
     deferred_transforms: tuple[str, ...] = ()
     seed: int = 0
 
+    #: Apply piggybacked ScalingPlan directives end to end: spawn/retire
+    #: loader actors through the placement scheduler at step boundaries.
+    #: False keeps the pre-elastic behaviour (directives are only logged),
+    #: which is the frozen-fleet baseline of the elasticity benchmarks.
+    elastic_fleet: bool = True
+
+    #: Loader worker-pool timing model: "capacity_split" (pool throughput
+    #: divides across concurrently in-flight step tickets, stretching each
+    #: ticket under contention) or "amortized" (the idealized PR-2 model
+    #: where every ticket sees the whole pool, kept for A/B runs).
+    lane_model: str = "capacity_split"
+
+    #: Virtual provisioning latency booked on every lane of a loader spawned
+    #: mid-run by the elastic fleet (0 = instant warm-up).
+    spawn_warmup_s: float = 0.0
+
     #: How many future steps the data plane keeps in flight behind the
     #: trainer.  0 = fully synchronous pull workflow; >=1 enables the
     #: asynchronous prefetching StepPipeline.
@@ -145,6 +163,12 @@ class TrainingJobSpec:
             )
         if self.telemetry_window < 1:
             raise ConfigurationError("telemetry_window must be >= 1")
+        if self.lane_model not in LANE_MODELS:
+            raise ConfigurationError(
+                f"unknown lane_model {self.lane_model!r}; expected one of {LANE_MODELS}"
+            )
+        if self.spawn_warmup_s < 0:
+            raise ConfigurationError("spawn_warmup_s must be >= 0")
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -245,7 +269,25 @@ class MegaScaleData:
         # The data plane and the trainer co-simulate on the actor system's
         # virtual clock: results of deferred calls determine how long each
         # call occupied its actor (see DataPlaneLatencyProvider).
-        system.latency_provider = DataPlaneLatencyProvider()
+        system.latency_provider = DataPlaneLatencyProvider(lane_model=job.lane_model)
+        # The elastic loader fleet: shard groups seeded with the deploy-time
+        # loaders as canonical members.  ScalingPlan directives spawn/retire
+        # mirror members through the placement scheduler at step boundaries
+        # (see repro.core.loader_fleet).
+        self.fleet = LoaderFleet(system, filesystem, job)
+        for handle in self.loader_handles:
+            loader: SourceLoader = handle.instance()
+            config = partition_plan.config_for(loader.source.name)
+            self.fleet.register_canonical(
+                handle,
+                source=loader.source.name,
+                shard_index=loader.shard_index,
+                shard_count=loader.shard_count,
+                workers_per_actor=loader.num_workers,
+                memory_bytes=config.estimated_memory_bytes,
+            )
+        self.fleet.on_change = self._on_fleet_change
+        self.utilization = ClusterUtilizationTracker()
         simulator = TrainingSimulator(job.model(), tree.mesh, gpu=job.gpu_spec or GpuSpec())
         self.trainer_handle = system.create_actor(
             lambda: TrainerActor(simulator),
@@ -524,19 +566,33 @@ class MegaScaleData:
         sample_count = self.job.global_samples_per_step()
         plan = self._generate_sized_plan(planner, step, sample_count)
 
-        # Step 5: source loaders prepare the demanded samples.
+        # Apply any piggybacked scaling directives before routing demands, so
+        # an enlarged (or shrunk) fleet serves this very step.
+        self._apply_scaling_plan(plan)
+
+        # Step 5: source loaders prepare the demanded samples.  A member that
+        # died since the last boundary (canonical or elastic mirror) is
+        # recovered in place — nothing was delivered yet, so re-preparing its
+        # slice on the replacement neither drops nor duplicates a sample.
         loader_wall_clock = 0.0
         loader_transform = 0.0
         prepared: dict[int, object] = {}
-        demands_by_loader = self._split_demands(plan)
-        for handle, sample_ids in demands_by_loader.items():
-            if not sample_ids:
-                continue
-            result = handle.call("prepare", sample_ids)
-            loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
-            loader_transform += result["transform_latency_s"]
-            for item in handle.call("fetch_prepared", sample_ids):
-                prepared[item.sample.sample_id] = item
+        demands_by_loader: dict[object, list[int]] = {}
+        for handle, sample_ids in self._split_demands(plan).items():
+            if sample_ids:
+                try:
+                    result, fetched = self._prepare_and_fetch(handle, sample_ids)
+                except (ActorDead, ActorTimeout):
+                    handle = self.recover_fleet_member(handle, step)
+                    result, fetched = self._prepare_and_fetch(handle, sample_ids)
+                loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
+                loader_transform += result["transform_latency_s"]
+                for item in fetched:
+                    prepared[item.sample.sample_id] = item
+            demands_by_loader[handle] = sample_ids
+        # Shard-group members absorb their peers' demands (one refill each),
+        # keeping every mirror byte-identical to a lone loader's buffer.
+        self.fleet.sync_after_prepare(demands_by_loader)
 
         # Step 2: constructors assemble microbatches and parallelism slices.
         backbone_plan = plan.module("backbone")
@@ -558,6 +614,12 @@ class MegaScaleData:
             prefetched=False,
             simulate=simulate,
         )
+
+    @staticmethod
+    def _prepare_and_fetch(handle, sample_ids: list[int]):
+        """One member's synchronous prepare + hand-off (retried on recovery)."""
+        result = handle.call("prepare", sample_ids)
+        return result, handle.call("fetch_prepared", sample_ids)
 
     def _finalize_step(
         self,
@@ -600,6 +662,9 @@ class MegaScaleData:
             stall_s = max(0.0, data_ready_s - trainer_free_s)
         hidden_s = max(0.0, data_fetch_latency - stall_s)
         entry = self.overlap.record(step, data_fetch_latency, hidden_s, stall_s=stall_s)
+        self.trainer_handle.instance().record_stall(
+            step, stall_s, self.fleet.total_members()
+        )
 
         deliveries: dict[int, RankDelivery] = {}
         fetching = set(plan.fetching_ranks)
@@ -659,6 +724,10 @@ class MegaScaleData:
         # Release constructor staging for completed steps (double buffering).
         for constructor_handle in self.constructor_handles:
             constructor_handle.call("release_steps_below", step)
+        # Elasticity housekeeping at the step boundary: finalize retirements
+        # whose drain completed and sample live cluster utilization.
+        self.fleet.reap_draining()
+        self.utilization.observe(step, self.system.scheduler.cluster_utilization())
         self._step = step + 1
         self._history.append(result)
         return result
@@ -708,6 +777,18 @@ class MegaScaleData:
         }
         if iteration_times:
             summary["throughput_tokens_per_s"] = tokens / sum(iteration_times)
+        # Live placement telemetry: per-step sampled node utilization, with
+        # peaks widened by the scheduler's lifetime reservation high-water
+        # marks (a spawn that came and went between samples still shows).
+        utilization = self.utilization.summary()
+        scheduler_peaks = self.system.scheduler.peak_utilization_summary()
+        for key in ("peak_node_cpu_utilization", "peak_node_memory_utilization"):
+            utilization[key] = max(utilization[key], scheduler_peaks[key])
+        summary.update(utilization)
+        # Elasticity section: how the loader fleet moved during the run.
+        summary.update(self.overlap.elasticity_summary())
+        summary["loader_actors"] = float(self.fleet.total_members())
+        summary["peak_loader_actors"] = float(self.fleet.peak_members())
         return summary
 
     # -- runtime reconfiguration ----------------------------------------------------------------------------
@@ -807,8 +888,9 @@ class MegaScaleData:
         return report
 
     def loader_memory_bytes(self) -> int:
+        """Live memory of the whole loader fleet (canonicals + mirrors)."""
         return sum(
-            handle.instance().ledger.total_bytes() for handle in self.loader_handles
+            handle.instance().ledger.total_bytes() for handle in self.fleet.all_handles()
         )
 
     def history(self) -> list[StepResult]:
@@ -908,24 +990,101 @@ class MegaScaleData:
         return bounded
 
     def _split_demands(self, plan: LoadingPlan) -> dict[object, list[int]]:
-        """Map each loader handle to the sample ids it must prepare."""
-        by_source: dict[str, list[object]] = {}
+        """Map each fleet member to the sample ids it must prepare.
+
+        Routing is owned by the :class:`LoaderFleet`: ids go to the shard
+        group whose canonical buffers them, and split round-robin across the
+        group's members — byte-identical to the pre-fleet routing while every
+        group is a singleton, and work-dividing once the fleet scaled up.
+        Canonicals swapped externally (manual failover at the facade level)
+        are adopted into their shard groups first.
+        """
         for handle in self.loader_handles:
-            loader: SourceLoader = handle.instance()
-            by_source.setdefault(loader.source.name, []).append(handle)
-        demands: dict[object, list[int]] = {handle: [] for handle in self.loader_handles}
-        for source, sample_ids in plan.source_demands.items():
-            handles = by_source.get(source)
-            if not handles:
-                raise PlanError(f"plan demands source {source!r} but no loader serves it")
-            buffered: dict[int, object] = {}
-            for handle in handles:
-                for metadata in handle.instance().summary_buffer():
-                    buffered.setdefault(metadata.sample_id, handle)
-            for position, sample_id in enumerate(sample_ids):
-                handle = buffered.get(sample_id, handles[position % len(handles)])
-                demands[handle].append(sample_id)
-        return demands
+            if self.fleet.group_for(handle.name) is None:
+                self.fleet.adopt_canonical(handle)
+        return self.fleet.split_demands(plan)
+
+    def _apply_scaling_plan(self, plan: LoadingPlan) -> None:
+        """Consume a plan's piggybacked ScalingPlan at the step boundary."""
+        if not self.job.elastic_fleet:
+            return
+        scaling = plan.scaling
+        if scaling is None or scaling.is_empty():
+            return
+        planner: Planner = self.planner_handle.instance()
+        self.fleet.apply_scaling(scaling, plan.step, planner, scaler=planner.scaler)
+
+    def scale_source(self, source: str, target_actors: int) -> int:
+        """Manually resize one source's loader fleet; returns the new count.
+
+        Applies the same spawn/retire machinery the AutoScaler's directives
+        use (placement-gated, deterministic bootstrap replay, drain-mode
+        retirement), without involving the scaler's streak logic.
+        """
+        if target_actors < 1:
+            raise ConfigurationError("target_actors must be >= 1")
+        from repro.core.plans import LoaderScalingDirective, ScalingPlan
+
+        planner: Planner = self.planner_handle.instance()
+        directive = LoaderScalingDirective(
+            source=source,
+            target_actors=target_actors,
+            target_workers_per_actor=0,
+            reason="manual scale_source",
+        )
+        self.fleet.apply_scaling(
+            ScalingPlan(step=self._step, directives=[directive]),
+            self._step,
+            planner,
+            scaler=None,
+        )
+        return self.fleet.member_count(source)
+
+    def recover_fleet_member(self, handle, at_step: int):
+        """Promote/restart a failed fleet member and resync its buffer state.
+
+        Shared by the synchronous path and the step pipeline: the replacement
+        (shadow promotion for canonicals, in-place restart otherwise) is reset
+        to pristine state and the Planner's *delivered* plan history (steps
+        before ``at_step``) is replayed against it — Sec. 6.1 differential
+        checkpoint + replay — reproducing the failed member's buffer exactly.
+        Only canonical members sit in the Planner's gather set; a failed
+        elastic mirror is swapped inside its shard group without touching it.
+        """
+        self.system.cancel_pending(handle.name)
+        promoted = self.fault_manager.recover_loader(handle, step=at_step)
+
+        for index, existing in enumerate(self.loader_handles):
+            if existing is handle or existing.name == handle.name:
+                self.loader_handles[index] = promoted
+                break
+        planner: Planner = self.planner_handle.instance()
+        planner.register_loaders(self.loader_handles)
+        self.fleet.replace_member(handle, promoted)
+
+        promoted.call("reset_for_replay")
+        source_name = promoted.instance().source.name
+        for plan in planner.plan_history():
+            if plan.step >= at_step:
+                continue
+            demanded = plan.source_demands.get(source_name, [])
+            if demanded:
+                promoted.call("replay_demands", list(demanded))
+        return promoted
+
+    def _on_fleet_change(self, change) -> None:
+        """Mirror fleet mutations onto the timeline and the overlap ledger."""
+        self.system.timeline.record(
+            component=change.actor,
+            name=change.kind,
+            start=change.at_s,
+            duration=0.0,
+            role=FLEET_ROLE,
+            step=change.step,
+            source=change.source,
+            node=change.node,
+        )
+        self.overlap.add_fleet_event(change)
 
     def _assignments_from_plan(
         self, plan: LoadingPlan, module: str

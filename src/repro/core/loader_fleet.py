@@ -1,0 +1,428 @@
+"""Elastic loader fleet: shard groups, capacity scaling and demand routing.
+
+The AutoScaler's :class:`~repro.core.plans.ScalingPlan` directives adjust how
+many loader actors serve each source.  This module makes those directives
+*real* while keeping the data plane byte-deterministic:
+
+- Every source shard (the ``(source, shard_index)`` file-access state) is
+  owned by one :class:`ShardGroup`.  The deploy-time loader is the group's
+  **canonical** member: it alone is registered with the Planner, so gathered
+  buffer metadata — and therefore every generated plan — is identical to a
+  frozen-fleet run regardless of how the fleet scales.
+- A scale-up spawns a **mirror** member into the least-populated group of the
+  source.  The new actor goes through
+  :meth:`~repro.actors.scheduler.PlacementScheduler.place` (node CPU/memory
+  budgets gate the scale-up; a rejection is reported back to the scaler via
+  :meth:`~repro.core.autoscaler.MixtureDrivenScaler.reconcile_actors`), and
+  its buffer is bootstrapped by deterministically replaying the Planner's
+  delivered plan history — the same machinery PR-1's shadow promotion uses —
+  so it is an exact replica of the canonical's state.
+- Per step, the group's demanded ids are split round-robin across members;
+  each member transforms only its slice (cutting the group's wall clock by
+  the member count) and afterwards *absorbs* its peers' ids via
+  :meth:`~repro.core.source_loader.SourceLoader.replay_demands` — one refill
+  per member per step, so every member's read cursor consumes byte-for-byte
+  the sequence a lone loader preparing the full list would have consumed.
+  Fleet changes are therefore behaviour-invisible: only timing moves.
+- A scale-down retires the youngest mirror through
+  :meth:`~repro.actors.runtime.ActorSystem.retire_actor` (drain mode),
+  releasing its placement reservation.  Canonical members are never retired:
+  they own the shard's registered buffer view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.actor import ActorHandle
+from repro.actors.node import NodeKind
+from repro.core.plans import LoadingPlan, ScalingPlan
+from repro.core.source_loader import SourceLoader
+from repro.errors import ActorError, PlanError, SchedulingError
+from repro.metrics.timeline import FleetEvent
+
+
+@dataclass
+class ShardGroup:
+    """One source shard and the loader members currently serving it."""
+
+    source: str
+    shard_index: int
+    shard_count: int
+    workers_per_actor: int
+    memory_bytes: int
+    #: Active members, canonical first.  Mirrors append after it.
+    members: list[ActorHandle] = field(default_factory=list)
+
+    @property
+    def canonical(self) -> ActorHandle:
+        return self.members[0]
+
+    @property
+    def deferred(self) -> bool:
+        """Whether members run in deferred-refill (group-sync) mode."""
+        return len(self.members) > 1
+
+
+class LoaderFleet:
+    """Owns the elastic loader fleet of one :class:`MegaScaleData` deployment."""
+
+    def __init__(self, system, filesystem, job) -> None:
+        self.system = system
+        self.filesystem = filesystem
+        self.job = job
+        self._groups: list[ShardGroup] = []
+        self._by_source: dict[str, list[ShardGroup]] = {}
+        self._group_of: dict[str, ShardGroup] = {}
+        #: Members whose drain-mode retirement is still pending.
+        self._draining: dict[str, FleetEvent] = {}
+        self._spawn_serial = 0
+        #: Applied (or rejected) fleet mutations, as the same
+        #: :class:`~repro.metrics.timeline.FleetEvent` records the overlap
+        #: ledger's elasticity section stores — one dataclass, no copying.
+        self.changes: list[FleetEvent] = []
+        #: Observer invoked with every FleetEvent (the facade wires this to
+        #: the system timeline and the overlap ledger's elasticity section).
+        self.on_change = None
+
+    # -- registration -----------------------------------------------------------------
+
+    def register_canonical(
+        self,
+        handle: ActorHandle,
+        source: str,
+        shard_index: int,
+        shard_count: int,
+        workers_per_actor: int,
+        memory_bytes: int,
+    ) -> None:
+        """Adopt a deploy-time loader as the canonical member of its shard."""
+        group = ShardGroup(
+            source=source,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            workers_per_actor=workers_per_actor,
+            memory_bytes=memory_bytes,
+            members=[handle],
+        )
+        self._groups.append(group)
+        self._by_source.setdefault(source, []).append(group)
+        self._group_of[handle.name] = group
+
+    # -- introspection ----------------------------------------------------------------
+
+    def member_count(self, source: str) -> int:
+        return sum(len(group.members) for group in self._by_source.get(source, []))
+
+    def total_members(self) -> int:
+        return sum(len(group.members) for group in self._groups)
+
+    def peak_members(self) -> int:
+        """Largest fleet size reached, replayed from the change log."""
+        size = len(self._groups)
+        peak = size
+        for change in self.changes:
+            if change.kind == "spawn":
+                size += 1
+            elif change.kind == "retire":
+                size -= 1
+            peak = max(peak, size)
+        return max(peak, self.total_members())
+
+    def all_handles(self) -> list[ActorHandle]:
+        """Every active member (canonicals first within each group)."""
+        return [handle for group in self._groups for handle in group.members]
+
+    def group_for(self, handle_name: str) -> ShardGroup | None:
+        return self._group_of.get(handle_name)
+
+    def spawn_count(self) -> int:
+        return sum(1 for change in self.changes if change.kind == "spawn")
+
+    def retire_count(self) -> int:
+        return sum(1 for change in self.changes if change.kind == "retire")
+
+    def rejection_count(self) -> int:
+        return sum(1 for change in self.changes if change.kind == "reject")
+
+    # -- demand routing ---------------------------------------------------------------
+
+    def split_demands(self, plan: LoadingPlan) -> dict[ActorHandle, list[int]]:
+        """Map each active member to the sample ids it must prepare.
+
+        Stage 1 routes each demanded id to a shard group — to the group whose
+        canonical buffers it, falling back to position-round-robin across the
+        source's groups (byte-identical to the pre-fleet routing when every
+        group is a singleton).  Stage 2 splits a group's ids round-robin
+        across its members, so a scaled-up group divides its transform work.
+        """
+        demands: dict[ActorHandle, list[int]] = {
+            handle: [] for handle in self.all_handles()
+        }
+        for source, sample_ids in plan.source_demands.items():
+            groups = self._by_source.get(source)
+            if not groups:
+                raise PlanError(f"plan demands source {source!r} but no loader serves it")
+            buffered: dict[int, ShardGroup] = {}
+            for group in groups:
+                loader: SourceLoader = group.canonical.instance()
+                for metadata in loader.summary_buffer():
+                    buffered.setdefault(metadata.sample_id, group)
+            group_ids: dict[int, list[int]] = {}
+            for position, sample_id in enumerate(sample_ids):
+                group = buffered.get(sample_id, groups[position % len(groups)])
+                group_ids.setdefault(id(group), []).append(sample_id)
+            for group in groups:
+                ids = group_ids.get(id(group), [])
+                for position, sample_id in enumerate(ids):
+                    demands[group.members[position % len(group.members)]].append(sample_id)
+        return demands
+
+    def sync_after_prepare(self, demands: dict[ActorHandle, list[int]]) -> None:
+        """Absorb peers' demands on every deferred-mode member (one refill each).
+
+        Called once per step after the step's prepare work finished mutating
+        buffers (both the synchronous path and the pipeline's
+        preparing→fetching transition).  Members in legacy mode (singleton
+        groups) already refilled inside their prepare epilogue and are
+        skipped, so the frozen-fleet fast path stays call-for-call identical.
+        """
+        by_group: dict[int, tuple[ShardGroup, dict[str, list[int]]]] = {}
+        for handle, sample_ids in demands.items():
+            group = self._group_of.get(handle.name)
+            if group is None:
+                continue
+            entry = by_group.setdefault(id(group), (group, {}))
+            entry[1][handle.name] = list(sample_ids)
+        for group, slices in by_group.values():
+            if not group.deferred:
+                continue
+            all_ids = [
+                sample_id
+                for member in group.members
+                for sample_id in slices.get(member.name, [])
+            ]
+            if not all_ids:
+                continue
+            for member in group.members:
+                mine = set(slices.get(member.name, []))
+                others = [sample_id for sample_id in all_ids if sample_id not in mine]
+                member.call("replay_demands", others)
+
+    # -- scaling ----------------------------------------------------------------------
+
+    def apply_scaling(self, scaling: ScalingPlan, step: int, planner, scaler=None) -> None:
+        """Apply a piggybacked scaling plan at a step boundary.
+
+        Spawns mirrors for scale-ups (placement permitting) and retires the
+        youngest mirrors for scale-downs.  When the applied count diverges
+        from the directive (placement rejection, canonical floor), the scaler
+        is reconciled so its view tracks the deployed fleet.
+        """
+        for directive in scaling.directives:
+            source = directive.source
+            groups = self._by_source.get(source)
+            if not groups:
+                continue
+            floor = len(groups)  # canonicals are never retired
+            target = max(floor, directive.target_actors)
+            current = self.member_count(source)
+            while current < target:
+                if self.spawn_member(source, step, planner) is None:
+                    break  # placement rejected: stop trying this boundary
+                current += 1
+            while current > target:
+                if not self.retire_member(source, step):
+                    break
+                current -= 1
+            if scaler is not None and current != directive.target_actors:
+                scaler.reconcile_actors(source, current)
+
+    def spawn_member(self, source: str, step: int, planner) -> ActorHandle | None:
+        """Place and bootstrap one mirror member for ``source``.
+
+        Returns the new handle, or ``None`` when no node could host it (the
+        rejection is recorded and surfaced through :attr:`changes`).
+        """
+        groups = self._by_source.get(source)
+        if not groups:
+            raise PlanError(f"no shard group serves source {source!r}")
+        group = min(groups, key=lambda g: (len(g.members), g.shard_index))
+        canonical: SourceLoader = group.canonical.instance()
+        self._spawn_serial += 1
+        name = f"loader/{source}/{group.shard_index}m{self._spawn_serial}"
+        job = self.job
+        filesystem = self.filesystem
+        source_obj = canonical.source
+        deferred_transforms = set(job.deferred_transforms) or None
+        buffer_size = canonical.buffer_size
+
+        def factory(
+            src=source_obj,
+            fs=filesystem,
+            workers=group.workers_per_actor,
+            buf=buffer_size,
+            shard=group.shard_index,
+            shards=group.shard_count,
+            transforms=deferred_transforms,
+        ):
+            return SourceLoader(
+                source=src,
+                filesystem=fs,
+                num_workers=workers,
+                buffer_size=buf,
+                shard_index=shard,
+                shard_count=shards,
+                deferred_transforms=transforms,
+                deferred_refill=True,
+            )
+
+        try:
+            handle = self.system.create_actor(
+                factory,
+                name=name,
+                cpu_cores=group.workers_per_actor * 1.0,
+                memory_bytes=group.memory_bytes,
+                prefer=NodeKind.ACCELERATOR,
+                concurrency=job.prefetch_depth + 1,
+                warmup_s=getattr(job, "spawn_warmup_s", 0.0),
+            )
+        except SchedulingError as exc:
+            self._record(
+                FleetEvent(
+                    kind="reject",
+                    step=step,
+                    at_s=self.system.clock.now_s,
+                    source=source,
+                    actor=name,
+                    detail=str(exc),
+                )
+            )
+            return None
+
+        # Deterministic bootstrap: replay every *delivered* plan's demands for
+        # this source against the pristine buffer, reproducing the canonical's
+        # state exactly (ids of other shards are ignored by replay_demands).
+        for plan in planner.plan_history():
+            if plan.step >= step:
+                continue
+            demanded = plan.source_demands.get(source, [])
+            if demanded:
+                handle.call("replay_demands", list(demanded))
+
+        group.members.append(handle)
+        self._group_of[handle.name] = group
+        self._apply_group_mode(group)
+        self._record(
+            FleetEvent(
+                kind="spawn",
+                step=step,
+                at_s=self.system.clock.now_s,
+                source=source,
+                actor=handle.name,
+                node=self.system.actor_node(handle.name),
+                detail=f"mirror of shard {group.shard_index}",
+            )
+        )
+        return handle
+
+    def retire_member(self, source: str, step: int) -> bool:
+        """Retire the youngest mirror serving ``source`` (drain mode).
+
+        Returns ``True`` when a mirror was found; the placement reservation is
+        released immediately when the member is idle, otherwise the member
+        drains and is reaped at a later step boundary.
+        """
+        groups = self._by_source.get(source, [])
+        candidates = [group for group in groups if len(group.members) > 1]
+        if not candidates:
+            return False
+        group = max(candidates, key=lambda g: (len(g.members), g.shard_index))
+        member = group.members.pop()  # youngest mirror; canonical is index 0
+        self._group_of.pop(member.name, None)
+        self._apply_group_mode(group)
+        node = self.system.actor_node(member.name)
+        change = FleetEvent(
+            kind="retire",
+            step=step,
+            at_s=self.system.clock.now_s,
+            source=source,
+            actor=member.name,
+            node=node,
+            detail=f"mirror of shard {group.shard_index}",
+        )
+        try:
+            immediate = self.system.retire_actor(member.name, mode="drain")
+        except ActorError:
+            # The mirror already failed/stopped: release its reservation
+            # directly rather than leaking the placement.
+            try:
+                self.system.stop_actor(member.name)
+            except ActorError:
+                pass  # already removed from the system entirely
+            immediate = True
+        if immediate:
+            self._record(change)
+        else:
+            self._draining[member.name] = change
+        return True
+
+    def reap_draining(self) -> int:
+        """Record retirements whose drain has since completed; returns count."""
+        reaped = 0
+        for name in list(self._draining):
+            if not self.system.retiring(name):
+                self._record(self._draining.pop(name))
+                reaped += 1
+        return reaped
+
+    def adopt_canonical(self, handle: ActorHandle) -> None:
+        """Adopt an externally-swapped loader as its shard's canonical member.
+
+        Failover performed at the facade level (tests, operational tooling)
+        replaces an entry of ``MegaScaleData.loader_handles`` with a promoted
+        shadow or restarted loader without notifying the fleet.  This resolves
+        the handle's ``(source, shard_index)`` to its shard group and swaps
+        the canonical in place, so demand routing never targets the dead
+        predecessor.
+        """
+        loader: SourceLoader = handle.instance()
+        for group in self._by_source.get(loader.source.name, []):
+            if group.shard_index != loader.shard_index:
+                continue
+            old = group.members[0]
+            if old.name != handle.name:
+                self._group_of.pop(old.name, None)
+                group.members[0] = handle
+                self._group_of[handle.name] = group
+                self._apply_group_mode(group)
+            return
+        raise PlanError(
+            f"loader {handle.name!r} serves no registered shard of "
+            f"source {loader.source.name!r}"
+        )
+
+    def replace_member(self, old: ActorHandle, new: ActorHandle) -> None:
+        """Swap a failed member for its recovered replacement (failover)."""
+        group = self._group_of.pop(old.name, None)
+        if group is None:
+            return
+        for index, member in enumerate(group.members):
+            if member is old or member.name == old.name:
+                group.members[index] = new
+                break
+        self._group_of[new.name] = group
+        self._apply_group_mode(group)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _apply_group_mode(self, group: ShardGroup) -> None:
+        """Keep every member's refill mode consistent with the group size."""
+        deferred = group.deferred
+        for member in group.members:
+            member.instance().deferred_refill = deferred
+
+    def _record(self, change: FleetEvent) -> None:
+        self.changes.append(change)
+        if self.on_change is not None:
+            self.on_change(change)

@@ -37,6 +37,10 @@ class LoaderStats:
     samples_buffered: int = 0
     samples_prepared: int = 0
     samples_delivered: int = 0
+    #: Demanded ids consumed from the buffer without transforming (mirror
+    #: members of a fleet shard group absorbing their peers' demands, and
+    #: failover/bootstrap replay).
+    samples_replayed: int = 0
     transform_seconds: float = 0.0
     read_seconds: float = 0.0
     refills: int = 0
@@ -80,6 +84,7 @@ class SourceLoader(Actor):
         shard_count: int = 1,
         deferred_transforms: set[str] | None = None,
         keep_payloads: bool = False,
+        deferred_refill: bool = False,
     ) -> None:
         super().__init__()
         if num_workers < 1:
@@ -93,6 +98,15 @@ class SourceLoader(Actor):
         self.shard_index = shard_index
         self.shard_count = shard_count
         self.keep_payloads = keep_payloads
+        #: Fleet shard-group mode: a member of a multi-loader shard group
+        #: prepares only its slice of the group's demands, so refilling at
+        #: the end of :meth:`prepare`/:meth:`poll` would desynchronise its
+        #: cursor from the other members.  With ``deferred_refill=True`` the
+        #: prepare epilogue skips the refill; the group-sync pass
+        #: (:meth:`replay_demands` with the peers' ids) performs the step's
+        #: single refill instead, keeping every member's cursor consumption
+        #: byte-identical to a lone loader preparing the full demand list.
+        self.deferred_refill = deferred_refill
         self.pipeline = TransformPipeline.for_modality(
             source.modality, deferred=deferred_transforms
         )
@@ -284,6 +298,7 @@ class SourceLoader(Actor):
             if sample_id in self._metadata_by_id:
                 self._remove_from_buffer(sample_id)
                 replayed += 1
+        self.stats.samples_replayed += replayed
         self.refill()
         return replayed
 
@@ -324,7 +339,8 @@ class SourceLoader(Actor):
         self.stats.samples_prepared += num_samples
         self.stats.transform_seconds += total_latency
         wall_clock = total_latency / self.num_workers
-        self.refill()
+        if not self.deferred_refill:
+            self.refill()
         self._steps_since_checkpoint += 1
         return {
             "transform_latency_s": total_latency,

@@ -218,7 +218,10 @@ class StepPipeline:
         planner = fw.planner_handle.instance()
         planner.truncate_history(fw._step)
         delivered_plans = planner.plan_history()
-        for handle in fw.loader_handles:
+        # Reset the *whole* fleet (canonicals and elastic mirrors alike):
+        # every shard-group member is a byte-exact replica of its canonical,
+        # so the same delivered-history replay reconstructs each of them.
+        for handle in fw.fleet.all_handles():
             try:
                 handle.call("reset_for_replay")
                 source_name = handle.instance().source.name
@@ -312,6 +315,11 @@ class StepPipeline:
         # Capture the timings of exactly this plan before later plans overwrite
         # the planner's "latest" slot.
         item.plan_timings = fw.planner_handle.instance().stats.latest_timings()
+        # Step boundary: consume the plan's piggybacked scaling directives
+        # (spawn/retire through the placement scheduler) before routing this
+        # step's demands, so the resized fleet serves the step that carried
+        # the directive — exactly like the synchronous path.
+        fw._apply_scaling_plan(item.plan)
         item.demands = fw._split_demands(item.plan)
         for handle, sample_ids in item.demands.items():
             if not sample_ids:
@@ -373,6 +381,10 @@ class StepPipeline:
                 item.pending_loaders.discard(handle)
 
         if not item.pending_loaders:
+            # Every loader finished mutating its buffer for this step: let
+            # shard-group mirrors absorb their peers' demands now (one refill
+            # per member), before any later step's plan gathers buffers.
+            fw.fleet.sync_after_prepare(item.demands)
             item.state = "fetching"
         return True
 
@@ -452,35 +464,15 @@ class StepPipeline:
     def _recover_loader_handle(self, handle: ActorHandle, at_step: int) -> ActorHandle:
         """Promote/restart a failed loader and resync its buffer state.
 
-        The replacement is reset to the pristine post-start state (discarding
-        any restored cursor checkpoint, which shortens the *modelled*
-        recovery latency but cannot reproduce buffer contents) and the
-        Planner's completed plan history (steps before ``at_step``) is
-        replayed against it (Sec. 6.1 differential checkpoint + replay),
-        reproducing the failed primary's buffer exactly.
+        Delegates to :meth:`MegaScaleData.recover_fleet_member` — the one
+        recovery implementation shared with the synchronous path: reset the
+        replacement to pristine post-start state (discarding any restored
+        cursor checkpoint, which shortens the *modelled* recovery latency but
+        cannot reproduce buffer contents) and replay the Planner's completed
+        plan history before ``at_step`` (Sec. 6.1 differential checkpoint +
+        replay), reproducing the failed primary's buffer exactly.
         """
-        fw = self.framework
-        fw.system.cancel_pending(handle.name)
-        promoted = fw.fault_manager.recover_loader(handle, step=at_step)
-
-        for index, existing in enumerate(fw.loader_handles):
-            if existing is handle or existing.name == handle.name:
-                fw.loader_handles[index] = promoted
-                break
-        else:
-            fw.loader_handles.append(promoted)
-        planner = fw.planner_handle.instance()
-        planner.register_loaders(fw.loader_handles)
-
-        promoted.call("reset_for_replay")
-        source_name = promoted.instance().source.name
-        for plan in planner.plan_history():
-            if plan.step >= at_step:
-                continue
-            demanded = plan.source_demands.get(source_name, [])
-            if demanded:
-                promoted.call("replay_demands", list(demanded))
-        return promoted
+        return self.framework.recover_fleet_member(handle, at_step)
 
     def _handle_loader_failure(self, item: _InflightStep, handle: ActorHandle) -> None:
         """Recover a loader that died mid-prepare/fetch and re-issue its work.

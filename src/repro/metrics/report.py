@@ -59,6 +59,68 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One step-boundary snapshot of cluster CPU/memory utilization."""
+
+    step: int
+    mean_cpu: float
+    max_cpu: float
+    mean_memory: float
+    max_memory: float
+
+
+class ClusterUtilizationTracker:
+    """Per-step cluster utilization series fed from the placement scheduler.
+
+    The facade samples
+    :meth:`~repro.actors.scheduler.PlacementScheduler.cluster_utilization`
+    at every step boundary; this tracker reduces each snapshot to per-node
+    mean/max and exposes peak/mean aggregates for the run report, so elastic
+    spawn/retire activity shows up as node CPU and memory movement next to
+    the overlap statistics.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[UtilizationSample] = []
+
+    def observe(self, step: int, snapshot: dict[str, dict[str, float]]) -> UtilizationSample:
+        cpu = [node["cpu"] for node in snapshot.values()]
+        memory = [node["memory"] for node in snapshot.values()]
+        count = max(1, len(snapshot))
+        sample = UtilizationSample(
+            step=step,
+            mean_cpu=sum(cpu) / count,
+            max_cpu=max(cpu, default=0.0),
+            mean_memory=sum(memory) / count,
+            max_memory=max(memory, default=0.0),
+        )
+        self._samples.append(sample)
+        return sample
+
+    def samples(self) -> list[UtilizationSample]:
+        return list(self._samples)
+
+    def summary(self) -> dict[str, float]:
+        """Peak/mean node utilization over the sampled step boundaries."""
+        if not self._samples:
+            return {
+                "utilization_samples": 0.0,
+                "peak_node_cpu_utilization": 0.0,
+                "mean_node_cpu_utilization": 0.0,
+                "peak_node_memory_utilization": 0.0,
+                "mean_node_memory_utilization": 0.0,
+            }
+        count = len(self._samples)
+        return {
+            "utilization_samples": float(count),
+            "peak_node_cpu_utilization": max(s.max_cpu for s in self._samples),
+            "mean_node_cpu_utilization": sum(s.mean_cpu for s in self._samples) / count,
+            "peak_node_memory_utilization": max(s.max_memory for s in self._samples),
+            "mean_node_memory_utilization": sum(s.mean_memory for s in self._samples) / count,
+        }
+
+
 def summarize(values: list[float] | np.ndarray) -> dict[str, float]:
     """Mean / std / min / max / p50 / p95 of a numeric series."""
     array = np.asarray(list(values), dtype=float)

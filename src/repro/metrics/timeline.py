@@ -194,6 +194,26 @@ class FetchOverlap:
 #: Actor roles whose timeline events count as data-plane work.
 DATA_PLANE_ROLES = frozenset({"planner", "source_loader", "data_constructor"})
 
+#: Role tag for fleet-lifecycle timeline events (spawn / retire / placement
+#: rejection).  Deliberately outside :data:`DATA_PLANE_ROLES` and distinct
+#: from the trainer component, so elasticity markers never perturb
+#: hidden/exposed reconciliation: they are neither busy data time nor compute
+#: windows work could hide behind.
+FLEET_ROLE = "fleet"
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One loader-fleet mutation, recorded in the ledger's elasticity section."""
+
+    kind: str  # "spawn" | "retire" | "reject"
+    step: int
+    at_s: float
+    source: str
+    actor: str
+    node: str | None = None
+    detail: str = ""
+
 
 class OverlapAggregator:
     """Online hidden/exposed accounting over a stream of timeline events.
@@ -359,10 +379,20 @@ class OverlapAggregator:
 
 
 class OverlapLedger:
-    """Append-only record of per-step :class:`FetchOverlap` entries."""
+    """Append-only record of per-step :class:`FetchOverlap` entries.
+
+    Besides the per-step hidden/exposed records, the ledger keeps an
+    **elasticity section**: the fleet-size changes (loader spawns, retires,
+    rejected placements) that happened during the run, stamped with their
+    step and virtual-clock instant.  Hidden/exposed reconciliation is
+    unaffected by fleet changes — ``hidden + exposed == fetch`` holds per
+    step whatever the fleet size — but the section lets reports and
+    benchmarks correlate stall movement with scaling activity.
+    """
 
     def __init__(self) -> None:
         self._records: list[FetchOverlap] = []
+        self._fleet_events: list[FleetEvent] = []
 
     def record(
         self, step: int, fetch_s: float, hidden_s: float, stall_s: float | None = None
@@ -442,6 +472,57 @@ class OverlapLedger:
             hidden = sum(_window_overlap_s(event, windows) for event in events)
             ledger.record(step, fetch, hidden)
         return ledger
+
+    def add_fleet_event(self, event: FleetEvent) -> FleetEvent:
+        """Append one elasticity event (spawn / retire / reject) as-is.
+
+        The loader fleet emits :class:`FleetEvent` records directly, so the
+        ledger stores the same objects — one dataclass, no field copying.
+        """
+        if event.kind not in ("spawn", "retire", "reject"):
+            raise ValueError(f"unknown fleet event kind {event.kind!r}")
+        self._fleet_events.append(event)
+        return event
+
+    def record_fleet_event(
+        self,
+        kind: str,
+        step: int,
+        at_s: float,
+        source: str,
+        actor: str,
+        node: str | None = None,
+        detail: str = "",
+    ) -> FleetEvent:
+        """Build and append one elasticity event from its fields."""
+        return self.add_fleet_event(
+            FleetEvent(
+                kind=kind,
+                step=int(step),
+                at_s=float(at_s),
+                source=source,
+                actor=actor,
+                node=node,
+                detail=detail,
+            )
+        )
+
+    def fleet_events(self, kind: str | None = None) -> list[FleetEvent]:
+        if kind is None:
+            return list(self._fleet_events)
+        return [event for event in self._fleet_events if event.kind == kind]
+
+    def elasticity_summary(self) -> dict[str, float]:
+        """Spawn/retire/reject counts plus the net fleet delta."""
+        spawns = sum(1 for event in self._fleet_events if event.kind == "spawn")
+        retires = sum(1 for event in self._fleet_events if event.kind == "retire")
+        rejects = sum(1 for event in self._fleet_events if event.kind == "reject")
+        return {
+            "fleet_spawns": float(spawns),
+            "fleet_retires": float(retires),
+            "fleet_rejections": float(rejects),
+            "fleet_net_delta": float(spawns - retires),
+        }
 
     def records(self) -> list[FetchOverlap]:
         return list(self._records)

@@ -328,6 +328,15 @@ class TrainerActor(Actor):
         super().__init__()
         self.simulator = simulator
         self.steps_consumed = 0
+        #: Per-step ``(step, measured stall seconds, loader fleet size)``
+        #: triples appended by the framework after each consume.  The series
+        #: lets elasticity benchmarks correlate trainer stalls with fleet
+        #: size over the run (burst → stall spike → scale-up → recovery).
+        self.stall_log: list[tuple[int, float, int]] = []
+
+    def record_stall(self, step: int, stall_s: float, fleet_size: int) -> None:
+        """Log the measured data stall of one consumed step."""
+        self.stall_log.append((int(step), float(stall_s), int(fleet_size)))
 
     def train_step(
         self,

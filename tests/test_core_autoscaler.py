@@ -201,6 +201,76 @@ class TestMixtureDrivenScaler:
         with pytest.raises(ScalingError):
             MixtureDrivenScaler(self.make_plan(), min_decision_interval_s=-1.0)
 
+    def test_decision_exactly_at_min_interval_fires(self):
+        """The rate limit is a half-open window: an observation landing at
+        exactly ``last + min_decision_interval_s`` is *not* gated."""
+        scaler = MixtureDrivenScaler(
+            self.make_plan(), consecutive_intervals=1, min_decision_interval_s=10.0
+        )
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        assert scaler.observe(0, hot, now_s=0.0).directives
+        # Strictly inside the window: held.
+        assert not scaler.observe(1, hot, now_s=10.0 - 1e-9).directives
+        # Exactly at the boundary: fires.
+        assert scaler.observe(2, hot, now_s=10.0).directives
+        assert scaler.current_actors("a") == 3
+
+    def test_now_s_regression_rejected(self):
+        """The virtual clock never moves backwards; feeding a stale instant
+        must fail loudly instead of silently corrupting the rate limit."""
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=1)
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        scaler.observe(0, hot, now_s=5.0)
+        with pytest.raises(ScalingError):
+            scaler.observe(1, hot, now_s=4.0)
+        # Equal instants are fine (several observations inside one event).
+        scaler.observe(1, hot, now_s=5.0)
+        # Clock-less observations skip the monotonicity check entirely.
+        scaler.observe(2, hot)
+
+    def test_total_current_actors_consistent_after_mixed_decisions(self):
+        """Up/down decisions across sources must keep the per-source counts
+        and their total reconciled with the issued directives."""
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=1)
+        baseline = scaler.total_current_actors()
+        net = 0
+        mixtures = [
+            {"a": 0.8, "b": 0.1, "c": 0.1},   # a up
+            {"a": 0.8, "b": 0.1, "c": 0.1},   # a up again
+            {"a": 0.02, "b": 0.49, "c": 0.49},  # a down, b+c up
+            {"a": 0.02, "b": 0.49, "c": 0.49},
+            {"a": 0.34, "b": 0.33, "c": 0.33},  # calm: no decisions
+        ]
+        for step, weights in enumerate(mixtures):
+            plan = scaler.observe(step, weights)
+            for directive in plan.directives:
+                net += 1 if ">" in directive.reason else -1
+        assert scaler.total_current_actors() == baseline + net
+        assert scaler.total_current_actors() == sum(
+            scaler.current_actors(source) for source in ("a", "b", "c")
+        )
+        # Every logged decision's target matches the count adopted at issue time.
+        replay = {"a": 1, "b": 1, "c": 1}
+        for decision in scaler.decision_log:
+            replay[decision.directive.source] = decision.directive.target_actors
+        assert replay == {
+            source: scaler.current_actors(source) for source in ("a", "b", "c")
+        }
+
+    def test_reconcile_actors_adopts_fleet_truth(self):
+        scaler = MixtureDrivenScaler(self.make_plan(), consecutive_intervals=1)
+        hot = {"a": 0.8, "b": 0.1, "c": 0.1}
+        scaler.observe(0, hot)
+        assert scaler.current_actors("a") == 2
+        # Placement rejected the spawn: the facade reports the actual count.
+        scaler.reconcile_actors("a", 1)
+        assert scaler.current_actors("a") == 1
+        assert scaler.total_current_actors() == 3
+        with pytest.raises(ScalingError):
+            scaler.reconcile_actors("a", 0)
+        with pytest.raises(ScalingError):
+            scaler.reconcile_actors("zzz", 1)
+
     def test_clockless_observation_does_not_disarm_rate_limit(self):
         scaler = MixtureDrivenScaler(
             self.make_plan(), consecutive_intervals=1, min_decision_interval_s=10.0

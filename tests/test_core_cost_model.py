@@ -84,3 +84,62 @@ class TestSimpleCostFns:
         fast = BackboneCostModel(llama_12b(), gpu=GpuSpec(peak_flops=1e15))(metadata)[0]
         slow = BackboneCostModel(llama_12b(), gpu=GpuSpec(peak_flops=1e13))(metadata)[0]
         assert slow > fast
+
+
+class TestCapacitySplitLaneModel:
+    """Fair-share stretching of pool-amortised durations under contention."""
+
+    def test_no_contention_is_amortized(self):
+        from repro.core.cost_model import capacity_split_duration_s
+
+        assert capacity_split_duration_s(2.0, 10.0, ()) == pytest.approx(2.0)
+        # Lanes that already drained do not contend.
+        assert capacity_split_duration_s(2.0, 10.0, (9.0, 10.0)) == pytest.approx(2.0)
+
+    def test_full_overlap_splits_pool(self):
+        from repro.core.cost_model import capacity_split_duration_s
+
+        # One busy lane covering the whole chunk: half the pool -> 2x.
+        assert capacity_split_duration_s(1.0, 0.0, (100.0,)) == pytest.approx(2.0)
+        # Two busy lanes covering everything: a third of the pool -> 3x.
+        assert capacity_split_duration_s(1.0, 0.0, (100.0, 100.0)) == pytest.approx(3.0)
+
+    def test_partial_overlap_integrates_piecewise(self):
+        from repro.core.cost_model import capacity_split_duration_s
+
+        # Busy lane ends at t=1: first second at half speed (0.5 units of
+        # work), remaining 0.5 units at full speed -> 1.5s total.
+        assert capacity_split_duration_s(1.0, 0.0, (1.0,)) == pytest.approx(1.5)
+        # Barely-overlapping lane stretches almost nothing (the naive xN
+        # model would have doubled the whole chunk).
+        assert capacity_split_duration_s(1.0, 0.0, (0.01,)) == pytest.approx(1.005)
+
+    def test_work_conservation_pairwise(self):
+        from repro.core.cost_model import capacity_split_duration_s
+
+        # Ticket A booked alone for [0, 1]; ticket B arrives at 0 with the
+        # same work: B finishes at 1.5 — together 2 units of work completed
+        # by t=1.5 with a peak of 2 lanes, never exceeding pool capacity.
+        a_end = capacity_split_duration_s(1.0, 0.0, ())
+        b_duration = capacity_split_duration_s(1.0, 0.0, (a_end,))
+        assert a_end == pytest.approx(1.0)
+        assert b_duration == pytest.approx(1.5)
+
+    def test_provider_lane_models(self):
+        from repro.core.cost_model import DataPlaneLatencyProvider
+
+        class FakeLoader:
+            role = "source_loader"
+
+        result = {"chunk_wall_clock_s": 1.0}
+        split = DataPlaneLatencyProvider(lane_model="capacity_split")
+        amortized = DataPlaneLatencyProvider(lane_model="amortized")
+        assert split.wants_lane_context
+        assert split.call_duration_s(
+            FakeLoader(), "poll", result, busy_lanes=2, start_s=0.0, lane_ends_s=(50.0,)
+        ) == pytest.approx(2.0)
+        assert amortized.call_duration_s(
+            FakeLoader(), "poll", result, busy_lanes=2, start_s=0.0, lane_ends_s=(50.0,)
+        ) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            DataPlaneLatencyProvider(lane_model="bogus")

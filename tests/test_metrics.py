@@ -392,3 +392,80 @@ class TestOverlapAggregator:
 
         reference, aggregated = self._ledgers(workload)
         self._assert_ledgers_match(reference, aggregated)
+
+
+class TestFleetEvents:
+    """The overlap ledger's elasticity section (loader fleet telemetry)."""
+
+    def test_record_and_summarize(self):
+        ledger = OverlapLedger()
+        ledger.record_fleet_event("spawn", 2, 1.5, "src-a", "loader/src-a/0m1", node="accel-0")
+        ledger.record_fleet_event("spawn", 4, 2.5, "src-b", "loader/src-b/0m2", node="accel-1")
+        ledger.record_fleet_event("retire", 9, 5.0, "src-a", "loader/src-a/0m1", node="accel-0")
+        ledger.record_fleet_event("reject", 11, 6.0, "src-b", "loader/src-b/0m3",
+                                  detail="no node can host")
+        assert len(ledger.fleet_events()) == 4
+        assert [e.actor for e in ledger.fleet_events("spawn")] == [
+            "loader/src-a/0m1", "loader/src-b/0m2",
+        ]
+        summary = ledger.elasticity_summary()
+        assert summary == {
+            "fleet_spawns": 2.0,
+            "fleet_retires": 1.0,
+            "fleet_rejections": 1.0,
+            "fleet_net_delta": 1.0,
+        }
+
+    def test_unknown_kind_rejected(self):
+        ledger = OverlapLedger()
+        with pytest.raises(ValueError):
+            ledger.record_fleet_event("explode", 0, 0.0, "src", "actor")
+
+    def test_fleet_role_excluded_from_overlap_accounting(self):
+        """Fleet markers on the system timeline are neither data-plane busy
+        time nor trainer compute: the rebuilt ledger ignores them even when
+        they carry a step tag."""
+        from repro.metrics.timeline import FLEET_ROLE
+
+        def workload(timeline: Timeline) -> None:
+            timeline.record("trainer", "train_step", 0.0, 2.0, role="trainer")
+            timeline.record("loader/a", "poll", 1.0, 2.0, role="source_loader", step=0)
+            timeline.record("loader/a/0m1", "spawn", 1.5, 0.0, role=FLEET_ROLE, step=0)
+            timeline.record("loader/a/0m1", "retire", 2.5, 0.0, role=FLEET_ROLE, step=1)
+
+        plain = Timeline()
+        workload(plain)
+        rebuilt = OverlapLedger.from_timeline(plain)
+        records = rebuilt.records()
+        assert len(records) == 1
+        assert records[0].fetch_s == pytest.approx(2.0)
+        assert records[0].hidden_s == pytest.approx(1.0)
+        # The aggregating (bounded-telemetry) path ignores them identically.
+        aggregating = Timeline(max_events=1, aggregate_overlap=True)
+        workload(aggregating)
+        from_aggregate = OverlapLedger.from_timeline(aggregating)
+        assert from_aggregate.records()[0].fetch_s == records[0].fetch_s
+        assert from_aggregate.records()[0].hidden_s == records[0].hidden_s
+
+
+class TestClusterUtilizationTracker:
+    def test_summary_over_samples(self):
+        from repro.metrics.report import ClusterUtilizationTracker
+
+        tracker = ClusterUtilizationTracker()
+        tracker.observe(0, {"n0": {"cpu": 0.2, "memory": 0.1}, "n1": {"cpu": 0.4, "memory": 0.3}})
+        tracker.observe(1, {"n0": {"cpu": 0.6, "memory": 0.5}, "n1": {"cpu": 0.2, "memory": 0.1}})
+        summary = tracker.summary()
+        assert summary["utilization_samples"] == 2.0
+        assert summary["peak_node_cpu_utilization"] == pytest.approx(0.6)
+        assert summary["peak_node_memory_utilization"] == pytest.approx(0.5)
+        assert summary["mean_node_cpu_utilization"] == pytest.approx((0.3 + 0.4) / 2)
+        assert summary["mean_node_memory_utilization"] == pytest.approx((0.2 + 0.3) / 2)
+        assert len(tracker.samples()) == 2
+
+    def test_empty_tracker_reports_zeros(self):
+        from repro.metrics.report import ClusterUtilizationTracker
+
+        summary = ClusterUtilizationTracker().summary()
+        assert summary["utilization_samples"] == 0.0
+        assert summary["peak_node_cpu_utilization"] == 0.0
