@@ -16,54 +16,30 @@ runner's absolute speed.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
+
+from _regression import gate_ratio, load_sections, make_parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--artifact",
-        type=Path,
-        default=Path("BENCH_fig21_elastic.json"),
-        help="merged benchmark artifact (committed full run + fresh smoke)",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="maximum tolerated fractional regression of the elasticity benefit",
-    )
-    args = parser.parse_args(argv)
+    args = make_parser(__doc__, "BENCH_fig21_elastic.json").parse_args(argv)
 
-    document = json.loads(args.artifact.read_text())
-    committed = document.get("elastic_fleet")
-    fresh = document.get("smoke")
-    if not committed:
-        print("no committed elastic_fleet section — nothing to compare")
-        return 1
-    if not fresh:
-        print("no fresh smoke section — run the benchmark with BENCH_ELASTIC_SMOKE=1")
+    committed, fresh = load_sections(args.artifact, "elastic_fleet")
+    if not committed or not fresh:
         return 1
 
     failures = 0
     for metric in ("stall_reduction", "wall_speedup"):
-        fresh_value = float(fresh[metric])
-        reference = float(committed[metric])
         # The smoke run is shorter than the committed full run, so compare
         # the *gain over parity* (value - 1): a fleet that stopped helping
         # at all trips the gate regardless of run length.
-        fresh_gain = fresh_value - 1.0
-        reference_gain = reference - 1.0
-        ratio = fresh_gain / reference_gain if reference_gain > 0 else float("inf")
-        status = "ok" if fresh_gain > 0 and ratio >= 1.0 - args.threshold else "REGRESSION"
-        print(
-            f"{metric}: fresh x{fresh_value:.3f} vs committed x{reference:.3f} "
-            f"(gain ratio {ratio:.2f}) — {status}"
-        )
-        if status != "ok":
+        fresh_gain = float(fresh[metric]) - 1.0
+        reference_gain = float(committed[metric]) - 1.0
+        if fresh_gain <= 0:
+            print(f"{metric}: fresh x{float(fresh[metric]):.3f} — REGRESSION (no gain)")
+            failures += 1
+            continue
+        if not gate_ratio(f"{metric} gain", fresh_gain, reference_gain, args.threshold):
             failures += 1
 
     elastic_rows = {row["mode"]: row for row in fresh.get("rows", [])}

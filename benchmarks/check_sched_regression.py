@@ -11,39 +11,26 @@ actor count and exits non-zero on a regression beyond the threshold
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
+
+from _regression import gate_ratio, load_sections, make_parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--artifact",
-        type=Path,
-        default=Path("BENCH_fig20_sched.json"),
-        help="merged benchmark artifact (committed sweep + fresh smoke rows)",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="maximum tolerated fractional events/sec regression",
-    )
-    args = parser.parse_args(argv)
+    args = make_parser(__doc__, "BENCH_fig20_sched.json").parse_args(argv)
 
-    document = json.loads(args.artifact.read_text())
-    committed = {
-        row["actors"]: row
-        for row in document.get("scheduler_scalability", {}).get("rows", [])
-    }
-    fresh_rows = document.get("smoke", {}).get("rows", [])
+    committed_section, fresh_section = load_sections(
+        args.artifact, "scheduler_scalability"
+    )
+    if not committed_section or not fresh_section:
+        return 1
+    committed = {row["actors"]: row for row in committed_section.get("rows", [])}
+    fresh_rows = fresh_section.get("rows", [])
     if not committed:
-        print("no committed scheduler_scalability section — nothing to compare")
+        print("committed scheduler_scalability section has no rows — nothing to compare")
         return 1
     if not fresh_rows:
-        print("no fresh smoke section — run the benchmark with BENCH_SCHED_SMOKE=1")
+        print("fresh smoke section has no rows — run the benchmark with BENCH_SCHED_SMOKE=1")
         return 1
 
     failures = 0
@@ -53,13 +40,11 @@ def main(argv: list[str] | None = None) -> int:
         if baseline is None:
             print(f"actors={actors}: no committed baseline row, skipping")
             continue
-        fresh = row["indexed_events_per_s"]
-        reference = baseline["indexed_events_per_s"]
-        ratio = fresh / reference if reference > 0 else float("inf")
-        status = "ok" if ratio >= 1.0 - args.threshold else "REGRESSION"
-        print(
-            f"actors={actors}: indexed {fresh:,.0f} ev/s vs committed "
-            f"{reference:,.0f} ev/s (x{ratio:.2f}) — {status}"
+        ok = gate_ratio(
+            f"actors={actors} indexed ev/s",
+            row["indexed_events_per_s"],
+            baseline["indexed_events_per_s"],
+            args.threshold,
         )
         # Machine-independent context: the indexed-vs-linear speedup measured
         # in the *same* smoke run, next to the committed sweep's speedup.  A
@@ -70,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
             f"actors={actors}: same-run speedup x{row['speedup']:.2f} "
             f"(committed sweep x{baseline['speedup']:.2f})"
         )
-        if status != "ok":
+        if not ok:
             failures += 1
 
     return 1 if failures else 0

@@ -1,0 +1,186 @@
+"""Fig. 22 (planner leg) — plan-generation throughput vs buffer depth × sources.
+
+PR 3 made event *dispatch* O(E·log A); what throttles the simulator next is
+the per-step planning cycle itself: the legacy Planner re-copies every
+loader's whole buffer each step and the DGraph materialises per-sample node
+dictionaries and Python grouping lists over the entire buffered set before a
+single sample is mixed — O(total buffered samples) of object churn per plan.
+This benchmark sweeps buffer depth × source count and measures raw planning
+throughput (plans/sec of ``Planner.generate_plan``) under both
+implementations:
+
+- ``planning="legacy"`` — full-buffer gather + eager row-mode DGraph;
+- ``planning="columnar"`` — delta buffer gather (loaders ship only the
+  mutations since the previous plan) + vectorized DGraph with lazy lineage.
+
+Between timed plans each loader *consumes* its demanded ids and refills
+(``replay_demands``), so the columnar path is measured in its steady state:
+non-empty deltas proportional to the per-step batch, not to the buffer.
+Both paths are asserted to emit byte-identical source demands step for step.
+
+The columnar path must deliver **>= 5x** the legacy plans/sec at the largest
+sweep point (the gap widens with buffer depth: per-delta vs per-buffer).
+Results are written to ``BENCH_fig22_planner.json``; the CI ``planner-bench``
+leg re-runs the middle sweep point in smoke mode and fails on a >30%
+plans/sec regression against the committed artifact via
+``check_plan_regression.py``.
+
+Env knobs: ``BENCH_PLANNER_SMOKE=1`` restricts the sweep to the middle point
+(CI smoke — the smallest point's timed region is too short to gate on) and
+writes the ``smoke`` section of the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.place_tree import ClientPlaceTree
+from repro.core.planner import Planner
+from repro.core.source_loader import SourceLoader
+from repro.core.strategies import StrategyConfig, backbone_balance_strategy
+from repro.data.mixture import MixtureSchedule
+from repro.data.synthetic import build_source_catalog, navit_like_spec
+from repro.metrics.report import MetricReport
+from repro.parallelism.mesh import DeviceMesh
+from repro.storage.filesystem import SimulatedFileSystem
+from repro.utils.units import GIB
+
+from .conftest import emit, write_bench_json
+
+#: (buffer depth per source, source count) sweep; total buffered metadata
+#: ranges from 2k to ~100k samples.  The smoke point must stay in the full
+#: sweep so the CI gate can compare fresh smoke rows against committed ones.
+SWEEP_POINTS = ((256, 8), (1024, 16), (4096, 24))
+#: The smoke (CI) point is the *middle* sweep point: the smallest one's
+#: timed region is a few milliseconds, which is too noisy to gate on.
+SMOKE_POINTS = ((1024, 16),)
+#: Samples mixed per plan (the per-step batch) — fixed across the sweep so
+#: depth scales only the *buffered* metadata, as in a deep-prefetch fleet.
+BATCH_SAMPLES = 64
+TIMED_STEPS = 10
+#: Required columnar-over-legacy planning speedup at the largest sweep point.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _smoke_mode() -> bool:
+    return os.environ.get("BENCH_PLANNER_SMOKE", "0") == "1"
+
+
+def _drive(planning: str, depth: int, num_sources: int) -> dict[str, object]:
+    """Time ``generate_plan`` over a churning fleet; return rate + demands."""
+    filesystem = SimulatedFileSystem()
+    catalog = build_source_catalog(
+        navit_like_spec(num_sources=num_sources, samples_per_source=depth, seed=0),
+        filesystem,
+    )
+    system = ActorSystem(ClusterSpec(accelerator_nodes=4, cpu_pods=1))
+    handles = []
+    for index, source in enumerate(catalog.sources()):
+        handles.append(
+            system.create_actor(
+                lambda src=source: SourceLoader(src, filesystem, buffer_size=depth),
+                name=f"loader-{index}",
+                memory_bytes=GIB,
+            )
+        )
+    mixture = MixtureSchedule.uniform(catalog.names())
+    tree = ClientPlaceTree(DeviceMesh(pp=1, dp=4, cp=1, tp=1, gpus_per_node=4))
+    planner = Planner(
+        strategy=backbone_balance_strategy(
+            StrategyConfig(
+                mixture=mixture, sample_count=BATCH_SAMPLES, num_microbatches=2
+            )
+        ),
+        tree=tree,
+        mixture=mixture,
+        planning=planning,
+    )
+    planner.register_loaders(handles)
+
+    planner.generate_plan(0)  # warm-up: the columnar path's one-time resync
+    plan_seconds = 0.0
+    demand_trace: list[dict[str, list[int]]] = []
+    for step in range(1, TIMED_STEPS + 1):
+        begin = time.perf_counter()
+        plan = planner.generate_plan(step)
+        plan_seconds += time.perf_counter() - begin
+        demand_trace.append(plan.source_demands)
+        # Steady-state churn (untimed): every loader consumes its demanded
+        # ids and refills, so the next delta carries ~one batch of events.
+        for handle in handles:
+            ids = plan.source_demands.get(handle.instance().source.name, [])
+            if ids:
+                handle.call("replay_demands", list(ids))
+    return {
+        "planning": planning,
+        "depth": depth,
+        "sources": num_sources,
+        "buffered_samples": depth * num_sources,
+        "plans": TIMED_STEPS,
+        "plan_wall_s": plan_seconds,
+        "plans_per_s": TIMED_STEPS / plan_seconds if plan_seconds > 0 else float("inf"),
+        "demand_trace": demand_trace,
+    }
+
+
+def _sweep(points) -> list[dict[str, object]]:
+    rows = []
+    for depth, num_sources in points:
+        legacy = _drive("legacy", depth, num_sources)
+        columnar = _drive("columnar", depth, num_sources)
+        # Identical schedule, identical churn: the fast path must demand the
+        # exact same samples every step.
+        assert columnar["demand_trace"] == legacy["demand_trace"]
+        rows.append(
+            {
+                "depth": depth,
+                "sources": num_sources,
+                "buffered_samples": depth * num_sources,
+                "batch_samples": BATCH_SAMPLES,
+                "legacy_plans_per_s": legacy["plans_per_s"],
+                "columnar_plans_per_s": columnar["plans_per_s"],
+                "speedup": columnar["plans_per_s"] / legacy["plans_per_s"],
+            }
+        )
+    return rows
+
+
+def test_fig22_planner_scalability(benchmark):
+    smoke = _smoke_mode()
+    points = SMOKE_POINTS if smoke else SWEEP_POINTS
+    rows = benchmark(_sweep, points)
+
+    report = MetricReport(
+        title="Fig. 22 (planner) - plan throughput vs buffer depth x sources",
+        columns=[
+            "depth", "sources", "buffered", "legacy plans/s",
+            "columnar plans/s", "speedup",
+        ],
+    )
+    for row in rows:
+        report.add_row(
+            row["depth"],
+            row["sources"],
+            row["buffered_samples"],
+            round(row["legacy_plans_per_s"], 1),
+            round(row["columnar_plans_per_s"], 1),
+            round(row["speedup"], 2),
+        )
+    emit(report)
+
+    write_bench_json(
+        "fig22_planner",
+        "smoke" if smoke else "planner_scalability",
+        {"rows": rows, "timed_steps": TIMED_STEPS, "batch_samples": BATCH_SAMPLES},
+    )
+
+    # Even at the smallest point the fast path must not be slower.
+    assert all(row["speedup"] > 1.0 for row in rows)
+    if not smoke:
+        largest = rows[-1]
+        # The tentpole claim: >= 5x plans/sec at the largest sweep point.
+        assert largest["speedup"] >= REQUIRED_SPEEDUP
+        # The gap must widen with buffered metadata (per-delta vs per-buffer).
+        assert largest["speedup"] > rows[0]["speedup"]

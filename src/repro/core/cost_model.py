@@ -262,3 +262,25 @@ def image_token_cost(metadata: SampleMetadata) -> tuple[float, float]:
     """Cost proportional to the encoder's per-image quadratic attention."""
     patches = float(metadata.image_tokens)
     return patches * patches, patches
+
+
+def _linear_columns(values):
+    floats = values.astype(float)
+    return floats, floats
+
+
+def _quadratic_columns(values):
+    floats = values.astype(float)
+    return floats * floats, floats
+
+
+# Vectorized twins for the columnar DGraph fast path (`columns_eval` takes a
+# SampleColumns view and returns (load array, memory array)); the arithmetic
+# mirrors the scalar forms exactly, so both paths cost bit-identically.
+token_count_cost.columns_eval = lambda columns: _linear_columns(columns.total_tokens)
+quadratic_token_cost.columns_eval = lambda columns: _quadratic_columns(
+    columns.total_tokens
+)
+image_token_cost.columns_eval = lambda columns: _quadratic_columns(
+    columns.image_tokens
+)

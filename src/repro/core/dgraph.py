@@ -17,6 +17,21 @@ topology, and manipulated through a small set of declarative primitives
     plan = dgraph.plan()
 
 Only lightweight metadata flows through the graph; payload bytes never do.
+
+Two execution modes produce byte-identical plans:
+
+- **Legacy (row) mode** — ``buffer_infos`` values are metadata lists; every
+  buffered sample eagerly materialises a ``buffered`` :class:`DGraphNode` and
+  the primitives run Python loops over the objects.
+- **Columnar (vectorized) mode** — ``buffer_infos`` values are
+  :class:`~repro.core.columns.SampleColumns`; ``mix``/``cost``/``plan`` run
+  as numpy index arithmetic over the column arrays, and the per-sample
+  lineage graph is **lazy**: nodes, edges and state transitions are recorded
+  as compact column-level operations and only expanded into
+  :class:`DGraphNode`/:class:`DGraphEdge` objects when :attr:`nodes`,
+  :attr:`edges` or :meth:`lineage` is actually consulted (telemetry,
+  debugging).  The hot planning path therefore allocates O(selected) small
+  objects instead of O(buffered).
 """
 
 from __future__ import annotations
@@ -29,6 +44,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.balancing import WeightedItem, balance_items
+from repro.core.columns import SampleColumns
 from repro.core.place_tree import DISTRIBUTION_AXES, ClientPlaceTree
 from repro.core.plans import MicrobatchAssignment, ModulePlan
 from repro.data.mixture import MixtureSchedule
@@ -57,6 +73,15 @@ def metas_image(metadata: SampleMetadata) -> SampleMetadata | None:
 def metas_text_only(metadata: SampleMetadata) -> SampleMetadata | None:
     """Select only pure-text samples."""
     return metadata if metadata.image_tokens == 0 else None
+
+
+# Columnar counterparts: a selector that is a pure *filter* (returns the
+# sample unchanged or None) can advertise a vectorized mask over
+# SampleColumns; ``None`` means "select all".  Selectors without the
+# attribute fall back to per-object evaluation even in columnar mode.
+metas_token.columns_mask = lambda columns: None
+metas_image.columns_mask = lambda columns: columns.image_tokens > 0
+metas_text_only.columns_mask = lambda columns: columns.image_tokens == 0
 
 
 @dataclass
@@ -130,16 +155,36 @@ class DGraphPlan:
 class DGraph:
     """Stateful dataflow graph over buffered sample metadata."""
 
-    def __init__(self, samples: list[SampleMetadata], module: str = "backbone") -> None:
+    def __init__(
+        self,
+        samples: list[SampleMetadata] | SampleColumns,
+        module: str = "backbone",
+    ) -> None:
         self.module = module
-        self._samples: list[SampleMetadata] = list(samples)
         self._nodes: dict[tuple[int, str], DGraphNode] = {}
         self._edges: list[DGraphEdge] = []
-        for sample in self._samples:
-            self._add_node(sample.sample_id, "buffered", sample.source)
+        # Lazy lineage (columnar mode): compact column-level ops replayed
+        # into nodes/edges only when the lineage is actually inspected.
+        self._lineage_ops: list[tuple] = []
+        self._lineage_cursor = 0
+        self._base_materialized = False
+
+        if isinstance(samples, SampleColumns):
+            self._vectorized = True
+            self._columns: SampleColumns | None = samples
+            self._samples_list: list[SampleMetadata] | None = None
+            self._selected_columns: SampleColumns | None = samples
+            self._selected_list: list[SampleMetadata] | None = None
+        else:
+            self._vectorized = False
+            self._columns = None
+            self._samples_list = list(samples)
+            self._selected_columns = None
+            self._selected_list = list(self._samples_list)
+            for sample in self._samples_list:
+                self._add_node(sample.sample_id, "buffered", sample.source)
 
         self._tree: ClientPlaceTree | None = None
-        self._selected: list[SampleMetadata] = list(self._samples)
         self._mixture_weights: dict[str, float] = {}
         self._axis: str | None = None
         self._group_size: int | None = None
@@ -161,19 +206,39 @@ class DGraph:
     @classmethod
     def from_buffer_infos(
         cls,
-        buffer_infos: dict[str, list[SampleMetadata]] | list[SampleMetadata],
+        buffer_infos: (
+            dict[str, list[SampleMetadata] | SampleColumns]
+            | list[SampleMetadata]
+            | SampleColumns
+        ),
         metas: Callable[[SampleMetadata], SampleMetadata | None] = metas_token,
         module: str = "backbone",
     ) -> "DGraph":
         """Create a DGraph from Source Loader buffer metadata.
 
         ``buffer_infos`` is either a mapping ``source name -> buffered sample
-        metadata`` (as gathered by the Planner) or a flat list.  ``metas``
+        metadata`` (as gathered by the Planner) or a flat collection.  ``metas``
         selects and re-views the metadata for this graph's module: e.g.
         :func:`metas_image` builds the encoder's view over the same shared
         buffer dictionary, giving the "unified multisource representation" of
         Sec. 4.1.
+
+        Values may be metadata lists (legacy row mode) or
+        :class:`SampleColumns` (the Planner's columnar gather); the columnar
+        form enters the vectorized fast path and yields byte-identical plans.
         """
+        columns = cls._coerce_columns(buffer_infos)
+        if columns is not None:
+            mask_fn = getattr(metas, "columns_mask", None)
+            if mask_fn is not None:
+                mask = mask_fn(columns)
+                selected = columns if mask is None else columns.where(mask)
+                return cls(selected, module=module)
+            # Arbitrary (possibly transforming) selector: fall back to
+            # per-object evaluation, then re-enter columnar mode.
+            viewed = [metas(sample) for sample in columns.to_list()]
+            chosen = [sample for sample in viewed if sample is not None]
+            return cls(SampleColumns.from_samples(chosen), module=module)
         if isinstance(buffer_infos, dict):
             flat = [sample for samples in buffer_infos.values() for sample in samples]
         else:
@@ -184,6 +249,23 @@ class DGraph:
             if viewed is not None:
                 selected.append(viewed)
         return cls(selected, module=module)
+
+    @staticmethod
+    def _coerce_columns(buffer_infos) -> SampleColumns | None:
+        """Normalise columnar inputs to one concatenated SampleColumns."""
+        if isinstance(buffer_infos, SampleColumns):
+            return buffer_infos
+        if isinstance(buffer_infos, dict) and any(
+            isinstance(value, SampleColumns) for value in buffer_infos.values()
+        ):
+            parts = [
+                value
+                if isinstance(value, SampleColumns)
+                else SampleColumns.from_samples(list(value))
+                for value in buffer_infos.values()
+            ]
+            return SampleColumns.concat(parts)
+        return None
 
     def init(self, tree: ClientPlaceTree) -> "DGraph":
         """Bind the graph to a trainer topology."""
@@ -196,6 +278,23 @@ class DGraph:
         self._seed = int(seed)
         return self
 
+    # -- selection bookkeeping ----------------------------------------------------------
+
+    def _selection(self) -> list[SampleMetadata]:
+        """The currently selected samples as objects (materialised lazily)."""
+        if self._selected_list is None:
+            self._selected_list = self._selected_columns.to_list()
+        return self._selected_list
+
+    def _selection_count(self) -> int:
+        if self._selected_columns is not None:
+            return len(self._selected_columns)
+        return len(self._selected_list or [])
+
+    def _set_selected_columns(self, columns: SampleColumns) -> None:
+        self._selected_columns = columns
+        self._selected_list = None
+
     # -- primitives ---------------------------------------------------------------------
 
     def mix(self, schedule: MixtureSchedule, sample_count: int | None = None) -> "DGraph":
@@ -206,10 +305,12 @@ class DGraph:
         buffer contribute nothing; only sampled data participates in
         subsequent orchestration (un-sampled nodes stay in ``buffered`` state).
         """
+        if self._vectorized:
+            return self._mix_columns(schedule, sample_count)
         weights = schedule.weights_at(self._step)
         self._mixture_weights = dict(weights)
         by_source: dict[str, list[SampleMetadata]] = {}
-        for sample in self._selected:
+        for sample in self._selection():
             by_source.setdefault(sample.source, []).append(sample)
 
         available_sources = [name for name in by_source if weights.get(name, 0.0) > 0.0]
@@ -217,13 +318,14 @@ class DGraph:
             raise OrchestrationError(
                 "mixture schedule assigns zero weight to every buffered source"
             )
-        target = sample_count if sample_count is not None else len(self._selected)
-        target = min(target, len(self._selected))
+        target = sample_count if sample_count is not None else self._selection_count()
+        target = min(target, self._selection_count())
 
         rng = derive_rng(self._seed, "mix", self._step)
         probs = np.array([weights[name] for name in available_sources], dtype=float)
         probs = probs / probs.sum()
-        quotas = self._quota_per_source(available_sources, probs, by_source, target, rng)
+        pool_sizes = {name: len(by_source[name]) for name in available_sources}
+        quotas = self._quota_per_source(available_sources, probs, pool_sizes, target)
 
         chosen: list[SampleMetadata] = []
         for name in available_sources:
@@ -236,7 +338,55 @@ class DGraph:
                 chosen.extend(pool[index] for index in sorted(indices))
         for sample in chosen:
             self._transition(sample.sample_id, "buffered", "sampled", "mix")
-        self._selected = chosen
+        self._selected_list = chosen
+        return self
+
+    def _mix_columns(
+        self, schedule: MixtureSchedule, sample_count: int | None
+    ) -> "DGraph":
+        """Vectorized mix: identical draws to the row path, no object churn."""
+        columns = self._selected_columns
+        weights = schedule.weights_at(self._step)
+        self._mixture_weights = dict(weights)
+
+        available: list[tuple[str, int]] = []
+        for code in columns.source_order():
+            name = columns.sources[code]
+            if weights.get(name, 0.0) > 0.0:
+                available.append((name, code))
+        if not available:
+            raise OrchestrationError(
+                "mixture schedule assigns zero weight to every buffered source"
+            )
+        total = len(columns)
+        target = sample_count if sample_count is not None else total
+        target = min(target, total)
+
+        rng = derive_rng(self._seed, "mix", self._step)
+        probs = np.array([weights[name] for name, _ in available], dtype=float)
+        probs = probs / probs.sum()
+        pools = columns.pool_positions()
+        names = [name for name, _ in available]
+        pool_sizes = {name: len(pools[code]) for name, code in available}
+        quotas = self._quota_per_source(names, probs, pool_sizes, target)
+
+        chosen_parts: list[np.ndarray] = []
+        for name, code in available:
+            pool = pools[code]
+            quota = quotas[name]
+            if quota >= len(pool):
+                chosen_parts.append(pool)
+            else:
+                indices = rng.choice(len(pool), size=quota, replace=False)
+                chosen_parts.append(pool[np.sort(indices)])
+        chosen = (
+            np.concatenate(chosen_parts)
+            if chosen_parts
+            else np.empty(0, dtype=np.intp)
+        )
+        selected = columns.select(chosen)
+        self._lineage_ops.append(("mix", selected.sample_ids))
+        self._set_selected_columns(selected)
         return self
 
     def distribute(self, axis: str, group_size: int | None = None) -> "DGraph":
@@ -305,7 +455,7 @@ class DGraph:
 
         items = [
             WeightedItem(key=sample, cost=self._costs[sample.sample_id])
-            for sample in self._selected
+            for sample in self._selection()
         ]
         bucket_result = balance_items(items, self._num_buckets, method)
         assignments: list[list[list[SampleMetadata]]] = []
@@ -329,17 +479,20 @@ class DGraph:
         self._api_costs["balance"] = self._api_costs.get("balance", 0.0) + (
             2.5e-6 * n * math.log2(n + 1) * coordination
         )
-        for bucket_index, bucket in enumerate(assignments):
-            for mb_index, bin_samples in enumerate(bucket):
-                for sample in bin_samples:
-                    self._transition(
-                        sample.sample_id,
-                        "sampled" if (sample.sample_id, "sampled") in self._nodes else "buffered",
-                        "assigned",
-                        f"balance[{method}]",
-                        bucket=bucket_index,
-                        microbatch=mb_index,
-                    )
+        if self._vectorized:
+            self._lineage_ops.append(("balance", f"balance[{method}]", assignments))
+        else:
+            for bucket_index, bucket in enumerate(assignments):
+                for mb_index, bin_samples in enumerate(bucket):
+                    for sample in bin_samples:
+                        self._transition(
+                            sample.sample_id,
+                            "sampled" if (sample.sample_id, "sampled") in self._nodes else "buffered",
+                            "assigned",
+                            f"balance[{method}]",
+                            bucket=bucket_index,
+                            microbatch=mb_index,
+                        )
         return self
 
     def broadcast_at(self, target_dim: str) -> "DGraph":
@@ -384,16 +537,29 @@ class DGraph:
                 )
         module_plan.validate()
 
-        demands: dict[str, list[int]] = {}
-        for sample in self._selected:
-            demands.setdefault(sample.source, []).append(sample.sample_id)
         return DGraphPlan(
             module=module_plan,
             fetching_ranks=tree.fetching_ranks(),
             mixture_weights=dict(self._mixture_weights),
-            source_demands={source: sorted(ids) for source, ids in demands.items()},
+            source_demands=self._source_demands(),
             api_costs=dict(self._api_costs),
         )
+
+    def _source_demands(self) -> dict[str, list[int]]:
+        """Selected sample ids per source, sorted (vectorized when columnar)."""
+        columns = self._selected_columns
+        if self._vectorized and columns is not None:
+            demands: dict[str, list[int]] = {}
+            for code in columns.source_order():
+                mask = columns.source_codes == code
+                demands[columns.sources[code]] = np.sort(
+                    columns.sample_ids[mask]
+                ).tolist()
+            return demands
+        demands_raw: dict[str, list[int]] = {}
+        for sample in self._selection():
+            demands_raw.setdefault(sample.source, []).append(sample.sample_id)
+        return {source: sorted(ids) for source, ids in demands_raw.items()}
 
     # -- low-level interfaces (plan_raw / summary_buffer) --------------------------------
 
@@ -403,7 +569,7 @@ class DGraph:
         """Escape hatch: supply the full bucket/bin assignment directly."""
         if self._num_buckets is None:
             raise OrchestrationError("call distribute() before plan_raw()")
-        assignment = assignment_fn(self._selected, self._num_buckets, self._num_microbatches)
+        assignment = assignment_fn(self._selection(), self._num_buckets, self._num_microbatches)
         if len(assignment) != self._num_buckets:
             raise OrchestrationError(
                 f"plan_raw returned {len(assignment)} buckets, expected {self._num_buckets}"
@@ -415,7 +581,7 @@ class DGraph:
     def summary_buffer(self) -> dict[str, dict[str, float]]:
         """Summarise the buffered metadata per source (tokens, counts, cost)."""
         summary: dict[str, dict[str, float]] = {}
-        for sample in self._selected:
+        for sample in self._selection():
             entry = summary.setdefault(
                 sample.source, {"count": 0.0, "tokens": 0.0, "image_tokens": 0.0, "cost": 0.0}
             )
@@ -429,7 +595,18 @@ class DGraph:
 
     @property
     def selected_samples(self) -> list[SampleMetadata]:
-        return list(self._selected)
+        return list(self._selection())
+
+    @property
+    def selected_ids(self) -> np.ndarray:
+        """Ids of the selected samples (no object materialisation needed)."""
+        if self._selected_columns is not None:
+            return self._selected_columns.sample_ids
+        return np.fromiter(
+            (sample.sample_id for sample in self._selection()),
+            dtype=np.int64,
+            count=self._selection_count(),
+        )
 
     @property
     def num_buckets(self) -> int | None:
@@ -437,10 +614,12 @@ class DGraph:
 
     @property
     def nodes(self) -> list[DGraphNode]:
+        self._materialize_lineage()
         return list(self._nodes.values())
 
     @property
     def edges(self) -> list[DGraphEdge]:
+        self._materialize_lineage()
         return list(self._edges)
 
     @property
@@ -450,13 +629,14 @@ class DGraph:
 
     def lineage(self, sample_id: int) -> list[str]:
         """Ordered list of states a sample has passed through."""
+        self._materialize_lineage()
         states = [state for (sid, state) in self._nodes if sid == sample_id]
         order = {"buffered": 0, "sampled": 1, "assigned": 2}
         return sorted(states, key=lambda state: order.get(state, 99))
 
     def describe(self) -> str:
         return (
-            f"DGraph(module={self.module!r}, samples={len(self._selected)}, "
+            f"DGraph(module={self.module!r}, samples={self._selection_count()}, "
             f"axis={self._axis}, buckets={self._num_buckets}, "
             f"microbatches={self._num_microbatches}, balance={self._balance_method!r})"
         )
@@ -485,28 +665,85 @@ class DGraph:
             DGraphEdge(src=(sample_id, from_state), dst=(sample_id, to_state), label=label)
         )
 
+    def _materialize_lineage(self) -> None:
+        """Expand recorded column-level ops into nodes/edges (columnar mode).
+
+        Idempotent and incremental: the buffered base nodes are created once,
+        and each recorded op is consumed exactly once, so interleaving
+        primitive calls with lineage inspection behaves like the eager path.
+        """
+        if not self._vectorized:
+            return
+        if not self._base_materialized:
+            self._base_materialized = True
+            columns = self._columns
+            codes = columns.source_codes.tolist()
+            for sample_id, code in zip(columns.sample_ids.tolist(), codes):
+                self._add_node(sample_id, "buffered", columns.sources[code])
+        while self._lineage_cursor < len(self._lineage_ops):
+            op = self._lineage_ops[self._lineage_cursor]
+            self._lineage_cursor += 1
+            if op[0] == "mix":
+                for sample_id in op[1].tolist():
+                    self._transition(sample_id, "buffered", "sampled", "mix")
+            elif op[0] == "balance":
+                _, label, assignments = op
+                for bucket_index, bucket in enumerate(assignments):
+                    for mb_index, bin_samples in enumerate(bucket):
+                        for sample in bin_samples:
+                            from_state = (
+                                "sampled"
+                                if (sample.sample_id, "sampled") in self._nodes
+                                else "buffered"
+                            )
+                            self._transition(
+                                sample.sample_id,
+                                from_state,
+                                "assigned",
+                                label,
+                                bucket=bucket_index,
+                                microbatch=mb_index,
+                            )
+
     def _evaluate_costs(self) -> None:
         """Evaluate the registered cost function over the selected samples.
 
         The per-primitive latency recorded in ``api_costs`` is an analytical
         estimate (a fixed per-sample evaluation cost) so that Table 2 numbers
         are deterministic and machine-independent.
+
+        Columnar mode: cost functions advertising a ``columns_eval`` hook
+        (metadata columns -> (load array, memory array)) are evaluated in one
+        vectorized pass; others fall back to the per-object loop, which
+        yields bit-identical values by construction.
         """
         if self._cost_fn is None:
             return
-        costs: dict[int, float] = {}
-        memory: dict[int, float] = {}
-        for sample in self._selected:
-            result = self._cost_fn(sample)
-            if isinstance(result, tuple):
-                load, mem = float(result[0]), float(result[1])
-            else:
-                load, mem = float(result), 0.0
-            costs[sample.sample_id] = load
-            memory[sample.sample_id] = mem
-        self._costs = costs
-        self._memory_costs = memory
-        self._api_costs["cost"] = self._api_costs.get("cost", 0.0) + 1.2e-6 * len(self._selected)
+        columns = self._selected_columns if self._vectorized else None
+        columns_eval = getattr(self._cost_fn, "columns_eval", None)
+        if columns is not None and columns_eval is not None:
+            loads, memories = columns_eval(columns)
+            ids = columns.sample_ids.tolist()
+            self._costs = dict(zip(ids, np.asarray(loads, dtype=float).tolist()))
+            self._memory_costs = dict(
+                zip(ids, np.asarray(memories, dtype=float).tolist())
+            )
+        else:
+            costs: dict[int, float] = {}
+            memory: dict[int, float] = {}
+            for sample in self._selection():
+                result = self._cost_fn(sample)
+                if isinstance(result, tuple):
+                    load, mem = float(result[0]), float(result[1])
+                else:
+                    load, mem = float(result), 0.0
+                costs[sample.sample_id] = load
+                memory[sample.sample_id] = mem
+            self._costs = costs
+            self._memory_costs = memory
+        self._api_costs["cost"] = (
+            self._api_costs.get("cost", 0.0) + 1.2e-6 * self._selection_count()
+        )
 
     def _round_robin_bins(self, bucket_items: list[WeightedItem]) -> list[list[SampleMetadata]]:
         bins: list[list[SampleMetadata]] = [[] for _ in range(self._num_microbatches)]
@@ -520,8 +757,9 @@ class DGraph:
             [[] for _ in range(self._num_microbatches)] for _ in range(self._num_buckets or 1)
         ]
         num_buckets = self._num_buckets or 1
-        per_bucket = math.ceil(len(self._selected) / num_buckets) or 1
-        for position, sample in enumerate(self._selected):
+        selected = self._selection()
+        per_bucket = math.ceil(len(selected) / num_buckets) or 1
+        for position, sample in enumerate(selected):
             bucket_index = min(num_buckets - 1, position // per_bucket)
             offset = position - bucket_index * per_bucket
             per_bin = math.ceil(per_bucket / self._num_microbatches) or 1
@@ -533,9 +771,8 @@ class DGraph:
     def _quota_per_source(
         names: list[str],
         probs: np.ndarray,
-        by_source: dict[str, list[SampleMetadata]],
+        pool_sizes: dict[str, int],
         target: int,
-        rng: np.random.Generator,
     ) -> dict[str, int]:
         """Largest-remainder allocation of the sampling target across sources."""
         raw = probs * target
@@ -548,5 +785,5 @@ class DGraph:
                 quotas[index] += 1
         allocation = {}
         for name, quota in zip(names, quotas):
-            allocation[name] = min(int(quota), len(by_source[name]))
+            allocation[name] = min(int(quota), pool_sizes[name])
         return allocation

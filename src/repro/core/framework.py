@@ -44,9 +44,10 @@ from repro.core.autoscaler import (
 from repro.core.cost_model import LANE_MODELS, DataPlaneLatencyProvider
 from repro.core.data_constructor import DataConstructor, RankDelivery
 from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
+from repro.core.columns import SampleColumns
 from repro.core.loader_fleet import LoaderFleet
 from repro.core.place_tree import ClientPlaceTree
-from repro.core.planner import Planner, PlanTimings
+from repro.core.planner import PLANNING_MODES, Planner, PlanTimings
 from repro.core.plans import LoadingPlan
 from repro.core.resharding import ElasticResharder, ReshardNotification, ReshardReport
 from repro.core.source_loader import SourceLoader
@@ -140,6 +141,12 @@ class TrainingJobSpec:
     #: benchmarks and equivalence tests — both execute identical orders).
     dispatcher: str = "indexed"
 
+    #: Planning-cycle implementation: "columnar" (delta buffer gather +
+    #: vectorized DGraph with lazy lineage, the default) or "legacy" (full
+    #: per-step buffer copies + eager row path, kept for A/B runs and
+    #: equivalence tests — both emit byte-identical loading plans).
+    planning: str = "columnar"
+
     #: Opt-in bounded telemetry for long runs: caps the actor call log and
     #: switches the system timeline to the bounded/aggregating mode, so
     #: per-event bookkeeping stops growing O(E) with executed events while
@@ -163,6 +170,11 @@ class TrainingJobSpec:
             )
         if self.telemetry_window < 1:
             raise ConfigurationError("telemetry_window must be >= 1")
+        if self.planning not in PLANNING_MODES:
+            raise ConfigurationError(
+                f"unknown planning mode {self.planning!r}; "
+                f"expected one of {PLANNING_MODES}"
+            )
         if self.lane_model not in LANE_MODELS:
             raise ConfigurationError(
                 f"unknown lane_model {self.lane_model!r}; expected one of {LANE_MODELS}"
@@ -510,6 +522,7 @@ class MegaScaleData:
                 gcs=system.gcs,
                 seed=job.seed,
                 clock=system.clock,
+                planning=job.planning,
             ),
             name="planner",
             cpu_cores=4.0,
@@ -969,13 +982,22 @@ class MegaScaleData:
 
     @staticmethod
     def _bound_buffer(
-        buffer_infos: dict[str, list[SampleMetadata]], sample_count: int, step: int, seed: int
-    ) -> dict[str, list[SampleMetadata]]:
-        """Deterministically subsample the buffered metadata to the step budget."""
+        buffer_infos: dict[str, list[SampleMetadata] | SampleColumns],
+        sample_count: int,
+        step: int,
+        seed: int,
+    ) -> dict[str, list[SampleMetadata] | SampleColumns]:
+        """Deterministically subsample the buffered metadata to the step budget.
+
+        Handles both gather representations: metadata lists (legacy planning)
+        and :class:`SampleColumns` (columnar planning), whose rotation+take is
+        index arithmetic rather than list copies — the two paths select the
+        exact same samples in the same order.
+        """
         total = sum(len(samples) for samples in buffer_infos.values())
         if total <= sample_count:
             return buffer_infos
-        bounded: dict[str, list[SampleMetadata]] = {}
+        bounded: dict[str, list[SampleMetadata] | SampleColumns] = {}
         remaining = sample_count
         sources = sorted(buffer_infos)
         for index, source in enumerate(sources):
@@ -984,8 +1006,11 @@ class MegaScaleData:
             share = min(share, remaining - (len(sources) - index - 1)) if index < len(sources) - 1 else remaining
             share = max(0, min(share, len(samples), remaining))
             offset = (step * 7) % max(1, len(samples))
-            rotated = samples[offset:] + samples[:offset]
-            bounded[source] = rotated[:share]
+            if isinstance(samples, SampleColumns):
+                bounded[source] = samples.rotate_take(offset, share)
+            else:
+                rotated = samples[offset:] + samples[:offset]
+                bounded[source] = rotated[:share]
             remaining -= share
         return bounded
 

@@ -163,15 +163,21 @@ class LoaderFleet:
             groups = self._by_source.get(source)
             if not groups:
                 raise PlanError(f"plan demands source {source!r} but no loader serves it")
-            buffered: dict[int, ShardGroup] = {}
-            for group in groups:
-                loader: SourceLoader = group.canonical.instance()
-                for metadata in loader.summary_buffer():
-                    buffered.setdefault(metadata.sample_id, group)
             group_ids: dict[int, list[int]] = {}
-            for position, sample_id in enumerate(sample_ids):
-                group = buffered.get(sample_id, groups[position % len(groups)])
-                group_ids.setdefault(id(group), []).append(sample_id)
+            if len(groups) == 1:
+                # Single-shard source (the common case): every id lands on
+                # the one group regardless of which buffer holds it, so skip
+                # building the O(buffer) membership map entirely.
+                group_ids[id(groups[0])] = list(sample_ids)
+            else:
+                buffered: dict[int, ShardGroup] = {}
+                for group in groups:
+                    loader: SourceLoader = group.canonical.instance()
+                    for metadata in loader.summary_buffer():
+                        buffered.setdefault(metadata.sample_id, group)
+                for position, sample_id in enumerate(sample_ids):
+                    group = buffered.get(sample_id, groups[position % len(groups)])
+                    group_ids.setdefault(id(group), []).append(sample_id)
             for group in groups:
                 ids = group_ids.get(id(group), [])
                 for position, sample_id in enumerate(ids):

@@ -15,20 +15,30 @@ from dataclasses import dataclass, field
 from repro.actors.actor import Actor, ActorHandle
 from repro.actors.gcs import GlobalControlStore
 from repro.core.autoscaler import MixtureDrivenScaler
+from repro.core.columns import ColumnarBufferCache, SampleColumns
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.plans import LoadingPlan, ScalingPlan
 from repro.core.strategies import StrategyFn
 from repro.data.mixture import MixtureSchedule
 from repro.data.samples import SampleMetadata
-from repro.errors import PlanError
+from repro.errors import ActorDead, ActorError, ActorTimeout, PlanError
 
 #: Simulated cost of gathering one loader's buffer summary over RPC.
 GATHER_RPC_SECONDS = 0.00035
 #: Per-sample metadata deserialisation cost during gathering.
 GATHER_PER_SAMPLE_SECONDS = 1.0e-7
+#: Per-event deserialisation cost of an incremental buffer delta.  The
+#: columnar gather ships only the mutations since the previous plan, so its
+#: modelled latency scales with the per-step churn, not the buffer depth.
+GATHER_PER_DELTA_SECONDS = 1.0e-7
 #: Broadcast base latency plus per-byte cost for shipping the finalized plan.
 BROADCAST_BASE_SECONDS = 0.0008
 BROADCAST_PER_BYTE_SECONDS = 1.0 / 4.0e9
+
+#: Planning-cycle implementations: "columnar" (delta gather + vectorized
+#: DGraph, the default) or "legacy" (full-buffer copy + eager row path, kept
+#: for A/B runs and equivalence tests — both emit byte-identical plans).
+PLANNING_MODES = ("columnar", "legacy")
 
 
 @dataclass
@@ -70,8 +80,14 @@ class Planner(Actor):
         seed: int = 0,
         checkpoint_every: int = 1,
         clock: object | None = None,
+        planning: str = "columnar",
     ) -> None:
         super().__init__()
+        if planning not in PLANNING_MODES:
+            raise PlanError(
+                f"unknown planning mode {planning!r}; expected one of {PLANNING_MODES}"
+            )
+        self.planning = planning
         self.strategy = strategy
         self.tree = tree
         self.mixture = mixture
@@ -87,12 +103,29 @@ class Planner(Actor):
         self._loader_handles: list[ActorHandle] = []
         self._plan_history: list[LoadingPlan] = []
         self._step = 0
+        #: Columnar gather state: per-loader incremental buffer mirrors and
+        #: each loader's declared source (the bucket key even when a buffer
+        #: is momentarily empty).
+        self._gather_caches: dict[str, ColumnarBufferCache] = {}
+        self._declared_sources: dict[str, str] = {}
 
     # -- wiring ---------------------------------------------------------------------------
 
     def register_loaders(self, handles: list[ActorHandle]) -> None:
         """Tell the Planner which Source Loaders exist (called at deploy time)."""
         self._loader_handles = list(handles)
+        # Re-registration (deploy-time wiring, failover swaps) drops caches
+        # for handles that left the gather set; replacement loaders start a
+        # new delta epoch, so surviving names resynchronise automatically.
+        names = {handle.name for handle in handles}
+        self._gather_caches = {
+            name: cache for name, cache in self._gather_caches.items() if name in names
+        }
+        self._declared_sources = {
+            name: source
+            for name, source in self._declared_sources.items()
+            if name in names
+        }
 
     def set_tree(self, tree: ClientPlaceTree) -> None:
         """Adopt a new trainer topology (elastic resharding)."""
@@ -105,15 +138,93 @@ class Planner(Actor):
     # -- planning -------------------------------------------------------------------------------
 
     def gather_buffer_metadata(self) -> tuple[dict[str, list[SampleMetadata]], float]:
-        """Collect buffer summaries from every loader; returns (infos, latency)."""
+        """Collect full buffer summaries from every loader (legacy gather)."""
         infos: dict[str, list[SampleMetadata]] = {}
         latency = 0.0
         for handle in self._loader_handles:
             summary: list[SampleMetadata] = handle.call("summary_buffer")
-            source_name = summary[0].source if summary else handle.name
+            source_name = (
+                summary[0].source if summary else self._declared_source(handle)
+            )
             infos.setdefault(source_name, []).extend(summary)
             latency += GATHER_RPC_SECONDS + GATHER_PER_SAMPLE_SECONDS * len(summary)
         return infos, latency
+
+    def gather_buffer_columns(self) -> tuple[dict[str, SampleColumns], float]:
+        """Delta gather: maintain per-loader columnar mirrors incrementally.
+
+        Instead of copying every loader's whole buffer each step, ask each
+        loader for the mutations since the previous gather
+        (:meth:`~repro.core.source_loader.SourceLoader.buffer_delta`) and
+        replay them onto a persistent :class:`ColumnarBufferCache`.  A fresh
+        consumer position, a loader restart/pristine replay (new delta epoch)
+        or a truncated log degenerates to a full snapshot for that loader —
+        so the mirror is always exact, never merely hopefully-consistent.
+        The modelled latency charges per delta event (or per sample on a
+        resync), keeping gather cost proportional to churn rather than depth.
+        """
+        parts: dict[str, list[ColumnarBufferCache]] = {}
+        latency = 0.0
+        for handle in self._loader_handles:
+            cache = self._gather_caches.get(handle.name)
+            if cache is None:
+                cache = ColumnarBufferCache(source=self._declared_source(handle))
+                self._gather_caches[handle.name] = cache
+            try:
+                reply = handle.call("buffer_delta", cache.epoch, cache.seq)
+            except (ActorDead, ActorTimeout):
+                raise
+            except ActorError:
+                # The runtime raises plain ActorError for a missing method;
+                # anything thrown *inside* a real buffer_delta propagates.
+                # Loader without the delta protocol (custom/stub actors):
+                # degrade to a per-step snapshot of its summary buffer,
+                # bucketed like the legacy gather — under the buffered
+                # metadata's source when there is any.
+                summary = handle.call("summary_buffer")
+                if summary and cache.source != summary[0].source:
+                    cache.source = summary[0].source
+                cache.snapshot(summary)
+                latency += GATHER_RPC_SECONDS + GATHER_PER_SAMPLE_SECONDS * len(summary)
+                parts.setdefault(cache.source, []).append(cache)
+                continue
+            if reply["resync"]:
+                buffer = reply["buffer"]
+                cache.snapshot(buffer)
+                latency += GATHER_RPC_SECONDS + GATHER_PER_SAMPLE_SECONDS * len(buffer)
+            else:
+                events = reply["events"]
+                cache.apply(events)
+                latency += GATHER_RPC_SECONDS + GATHER_PER_DELTA_SECONDS * len(events)
+            cache.epoch = reply["epoch"]
+            cache.seq = reply["seq"]
+            parts.setdefault(cache.source, []).append(cache)
+        infos = {
+            source: SampleColumns.concat([cache.columns() for cache in caches])
+            for source, caches in parts.items()
+        }
+        return infos, latency
+
+    def _declared_source(self, handle: ActorHandle) -> str:
+        """The source a loader serves, resolved once and cached by actor name.
+
+        Falls back to the actor name for loaders that do not expose
+        ``declared_source`` (hand-rolled test doubles); for real Source
+        Loaders this keeps an empty buffer bucketed under its source instead
+        of splitting one source across a metadata-derived bucket and an
+        actor-name-derived one.
+        """
+        cached = self._declared_sources.get(handle.name)
+        if cached is not None:
+            return cached
+        try:
+            source = handle.call("declared_source")
+        except (ActorDead, ActorTimeout):
+            raise
+        except ActorError:  # missing method: a hand-rolled test double
+            source = handle.name
+        self._declared_sources[handle.name] = source
+        return source
 
     def generate_plan(self, step: int | None = None) -> LoadingPlan:
         """Run one full planning cycle and return the finalized plan."""
@@ -121,7 +232,10 @@ class Planner(Actor):
             raise PlanError("the planner has no registered source loaders")
         step = self._step if step is None else step
 
-        buffer_infos, gather_latency = self.gather_buffer_metadata()
+        if self.planning == "columnar":
+            buffer_infos, gather_latency = self.gather_buffer_columns()
+        else:
+            buffer_infos, gather_latency = self.gather_buffer_metadata()
         dgraph_plan = self.strategy(buffer_infos, self.tree, step, self.seed)
         compute_latency = sum(dgraph_plan.api_costs.values()) + 0.0005
         for subplan in dgraph_plan.subplan.values():

@@ -12,6 +12,7 @@ redundancy is eliminated (Sec. 3).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.actors.actor import Actor
@@ -28,6 +29,12 @@ from repro.transforms.pipeline import TransformPipeline
 WORKER_CONTEXT_BYTES = 96 * 1024 * 1024
 #: Metadata bytes buffered per sample in the read buffer.
 BUFFERED_METADATA_BYTES = 96
+
+#: Monotone generation counter for buffer-delta epochs.  A fresh loader
+#: instance (initial start, in-place restart, pristine replay) gets a new
+#: epoch, so a consumer holding a log position from a previous incarnation
+#: can never be served that incarnation's events by accident.
+_DELTA_EPOCHS = itertools.count(1)
 
 
 @dataclass
@@ -114,12 +121,29 @@ class SourceLoader(Actor):
 
         self._cursor: SourceCursor | None = None
         self._readers: list[ColumnarReader] = []
-        self._buffer: list[SampleMetadata] = []
+        #: Read buffer in arrival order.  Keyed by sample id (ids are unique
+        #: within a buffer) so consuming a demanded id is O(1) instead of an
+        #: O(buffer) list scan; dict insertion order preserves the exact
+        #: arrival order the list-based buffer had.
+        self._buffer: dict[int, SampleMetadata] = {}
         self._staged: dict[int, PreparedSample] = {}
         self._metadata_by_id: dict[int, SampleMetadata] = {}
         self._tickets: dict[int, _PrepareTicket] = {}
         self._checkpoint_interval = 50
         self._steps_since_checkpoint = 0
+
+        # Buffer delta log consumed by the Planner's columnar gather: every
+        # buffer mutation is appended as ("add", metadata) / ("del", id) so a
+        # single consumer can mirror the buffer incrementally instead of
+        # copying it whole each step (see :meth:`buffer_delta`).
+        self._delta_epoch = next(_DELTA_EPOCHS)
+        self._delta_seq = 0
+        self._delta_base = 0
+        self._delta_log: list[tuple[int, str, object]] = []
+        #: Log size cap: with no consumer (legacy planning mode) the log is
+        #: dropped once it exceeds this, forcing a resync on first gather
+        #: instead of growing without bound.
+        self._delta_cap = max(4 * buffer_size, 256)
 
     # -- lifecycle -----------------------------------------------------------------------
 
@@ -154,16 +178,15 @@ class SourceLoader(Actor):
         if self._cursor is None:
             raise PlanError(f"loader {self.actor_name!r} is not started")
         added = 0
-        buffered_ids = {metadata.sample_id for metadata in self._buffer}
         while len(self._buffer) < self.buffer_size:
             metadata = self._cursor.next_metadata()
-            if metadata.sample_id in buffered_ids:
+            if metadata.sample_id in self._buffer:
                 # The cursor wrapped around the shard: every distinct sample is
                 # already buffered, so stop rather than introduce duplicates.
                 break
-            buffered_ids.add(metadata.sample_id)
-            self._buffer.append(metadata)
+            self._buffer[metadata.sample_id] = metadata
             self._metadata_by_id[metadata.sample_id] = metadata
+            self._log_delta("add", metadata)
             self.ledger.charge("prefetch_buffer", BUFFERED_METADATA_BYTES)
             added += 1
         if added:
@@ -177,7 +200,54 @@ class SourceLoader(Actor):
 
     def summary_buffer(self) -> list[SampleMetadata]:
         """Buffer metadata handed to the Planner during plan generation."""
-        return list(self._buffer)
+        return list(self._buffer.values())
+
+    def declared_source(self) -> str:
+        """The source this loader was deployed for.
+
+        The Planner buckets gathered metadata under this name even when the
+        buffer happens to be empty, so one source can never be split across a
+        metadata-derived bucket and an actor-name-derived one.
+        """
+        return self.source.name
+
+    def buffer_delta(self, epoch: int, since_seq: int) -> dict[str, object]:
+        """Buffer mutations since ``(epoch, since_seq)`` — the columnar gather RPC.
+
+        Returns ``{"epoch", "seq", "resync", ...}``: when the caller's log
+        position is still covered by the retained log, ``events`` holds the
+        ordered ``("add", metadata)`` / ``("del", sample_id)`` mutations after
+        ``since_seq``; otherwise (fresh consumer, loader restart, log
+        truncated past the caller) ``resync`` is true and ``buffer`` holds a
+        full snapshot.  Served events are dropped from the log — the protocol
+        assumes a single consumer (the Planner), which is also why a stale
+        position simply degenerates to a snapshot rather than an error.
+        """
+        if (
+            epoch != self._delta_epoch
+            or since_seq < self._delta_base
+            or since_seq > self._delta_seq
+        ):
+            self._delta_log.clear()
+            self._delta_base = self._delta_seq
+            return {
+                "epoch": self._delta_epoch,
+                "seq": self._delta_seq,
+                "resync": True,
+                "buffer": list(self._buffer.values()),
+            }
+        if since_seq > self._delta_base:
+            self._delta_log = [e for e in self._delta_log if e[0] > since_seq]
+            self._delta_base = since_seq
+        events = [(op, payload) for _, op, payload in self._delta_log]
+        self._delta_log = []
+        self._delta_base = self._delta_seq
+        return {
+            "epoch": self._delta_epoch,
+            "seq": self._delta_seq,
+            "resync": False,
+            "events": events,
+        }
 
     def buffer_depth(self) -> int:
         return len(self._buffer)
@@ -274,6 +344,9 @@ class SourceLoader(Actor):
         """
         self._drop_staged()
         self._drop_buffer()
+        # New delta epoch: a consumer holding a log position from the
+        # pre-replay incarnation must resync rather than splice stale events.
+        self._delta_epoch = next(_DELTA_EPOCHS)
         self._metadata_by_id.clear()
         self._tickets.clear()
         self._cursor = SourceCursor(
@@ -414,16 +487,27 @@ class SourceLoader(Actor):
 
     # -- internals -----------------------------------------------------------------------------------
 
+    def _log_delta(self, op: str, payload: object) -> None:
+        self._delta_seq += 1
+        self._delta_log.append((self._delta_seq, op, payload))
+        if len(self._delta_log) > self._delta_cap:
+            # Nobody is consuming the log (legacy planning mode): drop it and
+            # let the first columnar gather, if any, start from a snapshot.
+            self._delta_log.clear()
+            self._delta_base = self._delta_seq
+
     def _remove_from_buffer(self, sample_id: int) -> None:
-        for index, metadata in enumerate(self._buffer):
-            if metadata.sample_id == sample_id:
-                del self._buffer[index]
-                self.ledger.release("prefetch_buffer", BUFFERED_METADATA_BYTES)
-                return
+        if self._buffer.pop(sample_id, None) is not None:
+            self._log_delta("del", sample_id)
+            self.ledger.release("prefetch_buffer", BUFFERED_METADATA_BYTES)
 
     def _drop_buffer(self) -> None:
         self.ledger.release("prefetch_buffer", BUFFERED_METADATA_BYTES * len(self._buffer))
         self._buffer.clear()
+        # A wholesale drop invalidates any incrementally maintained mirror.
+        self._delta_seq += 1
+        self._delta_log.clear()
+        self._delta_base = self._delta_seq
 
     def _drop_staged(self) -> None:
         for prepared in self._staged.values():

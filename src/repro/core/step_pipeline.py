@@ -210,6 +210,12 @@ class StepPipeline:
         prefix, (3) resets every loader to pristine state and replays the
         delivered plans against it, and (4) releases the staging the flushed
         steps occupied on the constructors.
+
+        Each reset starts a fresh buffer-delta epoch on its loader, so the
+        Planner's columnar gather mirrors (``planning="columnar"``) resync
+        from a full snapshot on the next plan instead of splicing events from
+        the pre-flush incarnation — the flush costs one O(buffer) gather,
+        after which delta gathering resumes.
         """
         fw = self.framework
         for item in self._queue:

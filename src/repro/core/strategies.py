@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
+from repro.core.columns import SampleColumns
 from repro.core.dgraph import DGraph, DGraphPlan, metas_image, metas_token
 from repro.core.place_tree import ClientPlaceTree
 from repro.data.mixture import MixtureSchedule
@@ -32,11 +35,26 @@ def _image_cost(metadata: SampleMetadata) -> float:
     return float(metadata.image_tokens) ** 2
 
 
+def _square_columns(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    floats = values.astype(float)
+    return floats * floats, np.zeros(len(floats), dtype=float)
+
+
+# Vectorized twins consumed by the columnar DGraph fast path: one array pass
+# instead of a per-sample call, bit-identical to the scalar forms above
+# (squaring a double rounds once either way).
+_token_cost.columns_eval = lambda columns: _square_columns(columns.total_tokens)
+_image_cost.columns_eval = lambda columns: _square_columns(columns.image_tokens)
+
+
 @dataclass
 class StrategyConfig:
     """Shared knobs for the built-in strategies."""
 
     mixture: MixtureSchedule | None = None
+    #: Cap on how many samples ``mix`` draws per step (None = the whole
+    #: buffered pool); benchmarks use it to decouple batch size from depth.
+    sample_count: int | None = None
     num_microbatches: int = 4
     balance_method: str = "greedy"
     backbone_costfn: CostFn | None = None
@@ -61,7 +79,7 @@ def vanilla_strategy(config: StrategyConfig | None = None) -> StrategyFn:
         dgraph = DGraph.from_buffer_infos(buffer_infos, metas_token)
         dgraph.init(tree).with_step(step, seed)
         if config.mixture is not None:
-            dgraph.mix(config.mixture)
+            dgraph.mix(config.mixture, sample_count=config.sample_count)
         dgraph.distribute(axis=config.distribute_axis, group_size=config.group_size)
         dgraph._num_microbatches = config.num_microbatches
         if config.broadcast_tp:
@@ -91,7 +109,7 @@ def backbone_balance_strategy(config: StrategyConfig | None = None) -> StrategyF
         dgraph = DGraph.from_buffer_infos(buffer_infos, metas_token)
         dgraph.init(tree).with_step(step, seed)
         if config.mixture is not None:
-            dgraph.mix(config.mixture)
+            dgraph.mix(config.mixture, sample_count=config.sample_count)
         dgraph.distribute(axis=config.distribute_axis, group_size=config.group_size)
         dgraph.cost(costfn)
         dgraph.balance(
@@ -124,7 +142,7 @@ def hybrid_vlm_strategy(config: StrategyConfig | None = None) -> StrategyFn:
         dgraph = DGraph.from_buffer_infos(buffer_infos, metas_token, module="backbone")
         dgraph.init(tree).with_step(step, seed)
         if config.mixture is not None:
-            dgraph.mix(config.mixture)
+            dgraph.mix(config.mixture, sample_count=config.sample_count)
         dgraph.distribute(axis=config.distribute_axis, group_size=config.group_size)
         dgraph.cost(backbone_costfn)
         dgraph.balance(
@@ -140,9 +158,15 @@ def hybrid_vlm_strategy(config: StrategyConfig | None = None) -> StrategyFn:
 
         # Encoder subplan: the image view of the *same* selected samples,
         # distributed across every GPU (world-wide encoder data parallelism).
-        selected = {sample.sample_id for sample in dgraph.selected_samples}
+        # Columnar buffers filter with one isin pass per source; metadata
+        # lists keep the legacy per-object comprehension — same rows, same
+        # order either way.
+        selected_ids = dgraph.selected_ids
+        selected_id_set = set(selected_ids.tolist())
         encoder_buffer = {
-            source: [sample for sample in samples if sample.sample_id in selected]
+            source: samples.where(np.isin(samples.sample_ids, selected_ids))
+            if isinstance(samples, SampleColumns)
+            else [s for s in samples if s.sample_id in selected_id_set]
             for source, samples in buffer_infos.items()
         }
         dgraph_encoder = DGraph.from_buffer_infos(encoder_buffer, metas_image, module="encoder")

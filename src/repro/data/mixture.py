@@ -63,6 +63,13 @@ class MixtureSchedule:
         self._weight_fn = weight_fn
         self._source_names = list(source_names)
         self.description = description
+        # Per-step memo: the Planner evaluates weights_at(step) several times
+        # per step (DGraph.mix, the AutoScaler's moving average window), and
+        # staged/warmup weight functions re-normalise on every call.  Weights
+        # are a pure function of the step for one schedule instance, so a
+        # small step-keyed memo is safe; swapping schedules at runtime
+        # (``set_mixture``) installs a new instance and thus a fresh memo.
+        self._weights_memo: dict[int, dict[str, float]] = {}
 
     # -- constructors ----------------------------------------------------------
 
@@ -160,12 +167,23 @@ class MixtureSchedule:
         return list(self._source_names)
 
     def weights_at(self, step: int) -> dict[str, float]:
-        """Normalized weights for ``step`` (unknown sources get weight 0)."""
+        """Normalized weights for ``step`` (unknown sources get weight 0).
+
+        Memoized per step (callers receive a fresh copy, so mutating the
+        returned dict cannot poison the memo); the memo is cleared once it
+        grows past a small bound to keep long adaptive runs flat in memory.
+        """
         if step < 0:
             raise MixtureError("step must be >= 0")
-        weights = self._weight_fn(step)
-        full = {name: float(weights.get(name, 0.0)) for name in self._source_names}
-        return _normalize(full) if sum(full.values()) > 0 else full
+        cached = self._weights_memo.get(step)
+        if cached is None:
+            weights = self._weight_fn(step)
+            full = {name: float(weights.get(name, 0.0)) for name in self._source_names}
+            cached = _normalize(full) if sum(full.values()) > 0 else full
+            if len(self._weights_memo) >= 256:
+                self._weights_memo.clear()
+            self._weights_memo[step] = cached
+        return dict(cached)
 
     def sample_sources(
         self, step: int, count: int, rng: np.random.Generator

@@ -326,3 +326,71 @@ class TestElasticReporting:
             assert len(rebuilt) > 0
         finally:
             system.shutdown()
+
+
+class TestColumnarDeltaCacheUnderFleetChurn:
+    """The planner's columnar buffer mirrors must stay exact through every
+    fleet mutation: mirror spawn (bootstrap replay), per-step group sync
+    (`replay_demands` on the canonical), drain-retire, and loader crash +
+    pristine-replay recovery."""
+
+    @staticmethod
+    def _assert_caches_exact(system):
+        """Gather once, then compare every cached mirror to its loader."""
+        planner = system.planner_handle.instance()
+        assert planner.planning == "columnar"
+        planner.gather_buffer_columns()
+        for handle in system.loader_handles:
+            cache = planner._gather_caches[handle.name]
+            buffered = [m.sample_id for m in handle.instance().summary_buffer()]
+            mirrored = cache.sample_ids()
+            assert mirrored == buffered  # no stale ids, no dups, exact order
+
+    @pytest.mark.parametrize("depth", [0, 2])
+    def test_cache_exact_across_scale_up_down_and_mirror_crash(self, depth):
+        frozen = MegaScaleData.deploy(make_job(0, elastic=False, planning="legacy"))
+        elastic = MegaScaleData.deploy(make_job(depth, elastic=True, planning="columnar"))
+        arm_scaler(frozen)
+        arm_scaler(elastic)
+        killed = False
+        try:
+            for step in range(14):
+                a = frozen.run_step()
+                if not killed and elastic.fleet.spawn_count() >= 1:
+                    mirror = elastic.fleet.changes[0].actor
+                    if mirror in elastic.system.list_actor_names():
+                        elastic.system.failures.fail(mirror)
+                        killed = True
+                b = elastic.run_step()
+                assert a.plan.source_demands == b.plan.source_demands, step
+                assert delivery_signature(a) == delivery_signature(b), step
+            assert killed
+            assert elastic.fleet.spawn_count() >= 1
+            assert elastic.fleet.retire_count() >= 1
+            self._assert_caches_exact(elastic)
+        finally:
+            frozen.shutdown()
+            elastic.shutdown()
+
+    def test_cache_resyncs_after_canonical_crash_recovery(self):
+        """A canonical loader dying mid-prefetch is recovered by pristine
+        replay; the recovered loader starts a new delta epoch, so the next
+        gather must resync its mirror instead of splicing stale events."""
+        legacy = MegaScaleData.deploy(make_job(2, elastic=False, planning="legacy"))
+        columnar = MegaScaleData.deploy(make_job(2, elastic=False, planning="columnar"))
+        try:
+            for step in range(10):
+                a = legacy.run_step()
+                if step == 4:
+                    columnar.system.failures.fail(columnar.loader_handles[0].name)
+                    legacy.system.failures.fail(legacy.loader_handles[0].name)
+                b = columnar.run_step()
+                assert a.plan.source_demands == b.plan.source_demands, step
+                assert delivery_signature(a) == delivery_signature(b), step
+            assert any(
+                event.kind == "restart" for event in columnar.fault_manager.events()
+            )
+            self._assert_caches_exact(columnar)
+        finally:
+            legacy.shutdown()
+            columnar.shutdown()

@@ -271,6 +271,35 @@ class TestShutdownAndMixture:
         total = sum(len(ids) for ids in demands.values())
         assert len(demands.get(names[0], [])) > 0.5 * total
 
+    def test_set_mixture_invalidates_weights_memo(self):
+        """Swapping schedules at runtime must not serve the old schedule's
+        memoized weights: set_mixture installs a new schedule instance, and
+        the planner reads the new weights for a step the old instance had
+        already memoized."""
+        job = TrainingJobSpec(
+            pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+            samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+            samples_per_source=32,
+        )
+        system = MegaScaleData.deploy(job)
+        try:
+            names = system.catalog.names()
+            system.set_mixture(MixtureSchedule.uniform(names))
+            planner = system.planner_handle.instance()
+            old = planner.mixture
+            old_weights = old.weights_at(5)
+            assert 5 in old._weights_memo
+            system.set_mixture(
+                MixtureSchedule.static({names[0]: 0.9, **{n: 0.05 for n in names[1:]}})
+            )
+            assert planner.mixture is not old
+            assert 5 not in planner.mixture._weights_memo
+            new_weights = planner.mixture.weights_at(5)
+            assert new_weights != old_weights
+            assert new_weights[names[0]] == pytest.approx(0.9)
+        finally:
+            system.shutdown()
+
 
 class TestSetMixtureFlushPending:
     def make_job(self, prefetch_depth: int) -> TrainingJobSpec:

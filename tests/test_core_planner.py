@@ -2,16 +2,30 @@
 
 from __future__ import annotations
 
+import zlib
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.actors.runtime import ActorSystem, ClusterSpec
 from repro.core.autoscaler import MixtureDrivenScaler, ResourceBudget, SourceAutoPartitioner
+from repro.core.columns import SampleColumns
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.planner import Planner
 from repro.core.source_loader import SourceLoader
-from repro.core.strategies import StrategyConfig, backbone_balance_strategy
+from repro.core.strategies import (
+    StrategyConfig,
+    backbone_balance_strategy,
+    make_strategy,
+    vanilla_strategy,
+)
+from repro.data.synthetic import build_source_catalog, navit_like_spec
+from repro.storage.filesystem import SimulatedFileSystem
 from repro.data.mixture import MixturePhase, MixtureSchedule
+from repro.data.samples import Modality, SampleMetadata
 from repro.errors import PlanError
+from repro.parallelism.mesh import DeviceMesh
 from repro.utils.units import GIB
 
 
@@ -172,3 +186,218 @@ class TestFaultTolerance:
         )
         fresh.load_state_dict(state)
         assert fresh.heartbeat_payload()["step"] == 1
+
+
+# -- columnar planning fast path --------------------------------------------------
+
+
+def _random_buffer_infos(draw_spec):
+    """Build per-source metadata lists from a hypothesis-drawn spec."""
+    buffer_infos: dict[str, list[SampleMetadata]] = {}
+    sample_id = 0
+    for source_index, rows in enumerate(draw_spec):
+        source = f"src{source_index:02d}"
+        samples = []
+        for text, image in rows:
+            samples.append(
+                SampleMetadata(
+                    sample_id=sample_id,
+                    source=source,
+                    modality=Modality.IMAGE if image else Modality.TEXT,
+                    text_tokens=text,
+                    image_tokens=image,
+                )
+            )
+            sample_id += 1
+        buffer_infos[source] = samples
+    return buffer_infos
+
+
+buffer_specs = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4096),
+            st.integers(min_value=0, max_value=2048),
+        ),
+        min_size=1,
+        max_size=24,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _plan_signature(plan):
+    """The byte-identity fields of a DGraphPlan/LoadingPlan module plan."""
+    return (
+        plan.source_demands,
+        plan.mixture_weights,
+        plan.fetching_ranks,
+        plan.module.module,
+        plan.module.axis,
+        plan.module.num_buckets,
+        plan.module.balance_method,
+        plan.module.assignments,
+        plan.api_costs,
+        {name: _plan_signature(sub) for name, sub in plan.subplan.items()},
+    )
+
+
+class TestColumnarPlanEquivalence:
+    """The fast path must emit byte-identical plans to the legacy row path."""
+
+    @given(
+        spec=buffer_specs,
+        step=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=10),
+        strategy_name=st.sampled_from(["vanilla", "backbone_balance", "hybrid"]),
+        balance_method=st.sampled_from(["greedy", "interleave"]),
+        sample_count=st.one_of(st.none(), st.integers(min_value=1, max_value=40)),
+        weight_seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_columns_and_lists_emit_identical_plans(
+        self, spec, step, seed, strategy_name, balance_method, sample_count, weight_seed
+    ):
+        buffer_infos = _random_buffer_infos(spec)
+        # A deterministic "random" mixture over the drawn sources (some of
+        # them possibly zero-weighted so whole pools drop out of the mix).
+        # crc32, not hash(): PYTHONHASHSEED salting would make a falsifying
+        # example irreproducible in another process.
+        weights = {
+            source: (zlib.crc32(f"{source}:{weight_seed}".encode()) % 7) / 7.0
+            for source in buffer_infos
+        }
+        if all(weight == 0.0 for weight in weights.values()):
+            weights[next(iter(weights))] = 1.0
+        config = StrategyConfig(
+            mixture=MixtureSchedule.static(weights),
+            sample_count=sample_count,
+            num_microbatches=2,
+            balance_method=balance_method,
+        )
+        tree_rows = ClientPlaceTree(DeviceMesh(pp=1, dp=2, cp=1, tp=2, gpus_per_node=8))
+        tree_cols = ClientPlaceTree(DeviceMesh(pp=1, dp=2, cp=1, tp=2, gpus_per_node=8))
+        strategy_rows = make_strategy(strategy_name, config)
+        strategy_cols = make_strategy(strategy_name, config)
+
+        columns_infos = {
+            source: SampleColumns.from_samples(samples)
+            for source, samples in buffer_infos.items()
+        }
+        plan_rows = strategy_rows(buffer_infos, tree_rows, step, seed)
+        plan_cols = strategy_cols(columns_infos, tree_cols, step, seed)
+        assert _plan_signature(plan_cols) == _plan_signature(plan_rows)
+
+    @given(
+        steps=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=3),
+        consume=st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_planner_modes_identical_across_buffer_churn(self, steps, seed, consume):
+        """Columnar and legacy planners agree step for step while loader
+        buffers churn (prepares between plans), including a mid-run pristine
+        replay that forces a delta-epoch resync."""
+        filesystem = SimulatedFileSystem()
+        catalog = build_source_catalog(
+            navit_like_spec(num_sources=3, samples_per_source=48, seed=7), filesystem
+        )
+        mesh = DeviceMesh(pp=1, dp=4, cp=1, tp=1, gpus_per_node=4)
+
+        def build(planning):
+            system = ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+            handles = []
+            for index, source in enumerate(catalog.sources()):
+                handles.append(
+                    system.create_actor(
+                        lambda src=source: SourceLoader(src, filesystem, buffer_size=16),
+                        name=f"loader-{index}",
+                        memory_bytes=GIB,
+                    )
+                )
+            mixture = MixtureSchedule.uniform([h.instance().source.name for h in handles])
+            planner = Planner(
+                strategy=backbone_balance_strategy(
+                    StrategyConfig(mixture=mixture, sample_count=8, num_microbatches=2)
+                ),
+                tree=ClientPlaceTree(mesh),
+                mixture=mixture,
+                seed=seed,
+                planning=planning,
+            )
+            planner.register_loaders(handles)
+            return system, planner, handles
+
+        _, planner_cols, handles_cols = build("columnar")
+        _, planner_rows, handles_rows = build("legacy")
+        for step in range(steps):
+            plan_cols = planner_cols.generate_plan(step)
+            plan_rows = planner_rows.generate_plan(step)
+            assert plan_cols.source_demands == plan_rows.source_demands
+            assert plan_cols.mixture_weights == plan_rows.mixture_weights
+            assert plan_cols.fetching_ranks == plan_rows.fetching_ranks
+            for name, module in plan_cols.modules.items():
+                assert module.assignments == plan_rows.modules[name].assignments
+            # Churn both fleets identically: prepare a drawn subset of the
+            # demanded ids (consuming them and triggering a refill).
+            for h_cols, h_rows in zip(handles_cols, handles_rows):
+                source = h_cols.instance().source.name
+                ids = plan_cols.source_demands.get(source, [])
+                picked = sorted({ids[c % len(ids)] for c in consume}) if ids else []
+                if picked:
+                    h_cols.call("prepare", picked)
+                    h_cols.call("fetch_prepared", picked)
+                    h_rows.call("prepare", picked)
+                    h_rows.call("fetch_prepared", picked)
+            if step == steps // 2:
+                # Pristine replay (the failover bootstrap): new delta epoch on
+                # one loader — the columnar gather must resync, not splice.
+                for handle in (handles_cols[0], handles_rows[0]):
+                    handle.call("reset_for_replay")
+        # After the next gather the planner's columnar mirror is exactly each
+        # loader's buffer — no stale rows, no duplicates, same order.
+        planner_cols.gather_buffer_columns()
+        for handle in handles_cols:
+            cache = planner_cols._gather_caches[handle.name]
+            assert cache.sample_ids() == [
+                m.sample_id for m in handle.instance().summary_buffer()
+            ]
+
+
+class TestEmptyBufferBucketing:
+    def test_empty_buffer_buckets_under_declared_source(self, system, filesystem, small_catalog, dp_mesh):
+        """Regression: an empty loader must report under its *declared*
+        source, not its actor name — one source can never split into a
+        metadata-derived bucket and a name-derived one."""
+        source = small_catalog.sources()[0]
+        handles = [
+            system.create_actor(
+                lambda idx=index: SourceLoader(
+                    source, filesystem, buffer_size=8, deferred_refill=True
+                ),
+                name=f"oddly-named-{index}",
+                memory_bytes=GIB,
+            )
+            for index in range(2)
+        ]
+        # Drain the second loader completely; deferred_refill keeps it empty.
+        loader = handles[1].instance()
+        ids = [m.sample_id for m in loader.summary_buffer()]
+        handles[1].call("prepare", ids)
+        handles[1].call("fetch_prepared", ids)
+        assert loader.buffer_depth() == 0
+
+        for planning in ("legacy", "columnar"):
+            planner = Planner(
+                strategy=vanilla_strategy(StrategyConfig(num_microbatches=2)),
+                tree=ClientPlaceTree(dp_mesh),
+                planning=planning,
+            )
+            planner.register_loaders(handles)
+            if planning == "legacy":
+                infos, _ = planner.gather_buffer_metadata()
+            else:
+                infos, _ = planner.gather_buffer_columns()
+            assert set(infos) == {source.name}, planning
+            assert len(infos[source.name]) == 8

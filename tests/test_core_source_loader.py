@@ -228,3 +228,86 @@ class TestAsyncPrepareProtocol:
         assert replica.instance().staged_count() == 0
         # Ids from other shards are ignored rather than failing.
         assert replica.call("replay_demands", [10**9]) == 0
+
+
+class TestBufferDeltaProtocol:
+    """The incremental gather RPC behind the Planner's columnar fast path."""
+
+    @staticmethod
+    def _mirror(handle):
+        from repro.core.columns import ColumnarBufferCache
+
+        loader = handle.instance()
+        cache = ColumnarBufferCache(source=loader.source.name)
+        reply = handle.call("buffer_delta", cache.epoch, cache.seq)
+        assert reply["resync"]  # a fresh consumer always snapshots
+        cache.snapshot(reply["buffer"])
+        cache.epoch, cache.seq = reply["epoch"], reply["seq"]
+        return cache
+
+    @staticmethod
+    def _pull(handle, cache):
+        reply = handle.call("buffer_delta", cache.epoch, cache.seq)
+        if reply["resync"]:
+            cache.snapshot(reply["buffer"])
+        else:
+            cache.apply(reply["events"])
+        cache.epoch, cache.seq = reply["epoch"], reply["seq"]
+        return reply
+
+    def test_deltas_reconstruct_buffer_order_exactly(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=16)
+        cache = self._mirror(handle)
+        for round_index in range(4):
+            ids = [m.sample_id for m in handle.instance().summary_buffer()][
+                round_index::5
+            ]
+            handle.call("prepare", ids)
+            handle.call("fetch_prepared", ids)
+            reply = self._pull(handle, cache)
+            assert not reply["resync"]  # steady state ships only the churn
+            assert len(reply["events"]) <= 2 * len(ids) + 1
+            assert cache.sample_ids() == [
+                m.sample_id for m in handle.instance().summary_buffer()
+            ]
+
+    def test_empty_delta_between_quiet_steps(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        cache = self._mirror(handle)
+        reply = self._pull(handle, cache)
+        assert not reply["resync"]
+        assert reply["events"] == []
+
+    def test_pristine_replay_bumps_epoch_and_forces_resync(
+        self, system, small_catalog, filesystem
+    ):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=8)
+        cache = self._mirror(handle)
+        handle.call("reset_for_replay")
+        reply = self._pull(handle, cache)
+        assert reply["resync"]
+        assert cache.sample_ids() == [
+            m.sample_id for m in handle.instance().summary_buffer()
+        ]
+
+    def test_unconsumed_log_is_capped_and_degrades_to_resync(
+        self, system, small_catalog, filesystem
+    ):
+        handle = spawn_loader(system, small_catalog, filesystem, buffer_size=4)
+        cache = self._mirror(handle)
+        loader = handle.instance()
+        # Churn far past the log cap without ever gathering.
+        for _ in range(loader._delta_cap):
+            ids = [m.sample_id for m in loader.summary_buffer()[:2]]
+            handle.call("prepare", ids)
+            handle.call("fetch_prepared", ids)
+        assert len(loader._delta_log) <= loader._delta_cap
+        reply = self._pull(handle, cache)
+        assert reply["resync"]
+        assert cache.sample_ids() == [m.sample_id for m in loader.summary_buffer()]
+
+    def test_declared_source_names_the_deployed_source(
+        self, system, small_catalog, filesystem
+    ):
+        handle = spawn_loader(system, small_catalog, filesystem)
+        assert handle.call("declared_source") == handle.instance().source.name

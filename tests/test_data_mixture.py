@@ -129,3 +129,30 @@ class TestSamplingAndAverages:
         schedule = MixtureSchedule.uniform(["a"])
         with pytest.raises(MixtureError):
             schedule.moving_average(5, window=0)
+
+
+class TestWeightsMemo:
+    def test_weights_at_is_memoized_per_step(self):
+        calls = []
+
+        def weight_fn(step):
+            calls.append(step)
+            return {"a": 0.5, "b": 0.5}
+
+        schedule = MixtureSchedule(weight_fn, ["a", "b"])
+        for _ in range(5):
+            schedule.weights_at(3)
+        schedule.moving_average(3, window=4)  # re-reads steps 0..3
+        assert calls.count(3) == 1
+
+    def test_memoized_weights_are_copies(self):
+        schedule = MixtureSchedule.static({"a": 1.0, "b": 1.0})
+        first = schedule.weights_at(0)
+        first["a"] = 99.0  # mutating the returned dict must not poison the memo
+        assert schedule.weights_at(0)["a"] == pytest.approx(0.5)
+
+    def test_memo_is_bounded(self):
+        schedule = MixtureSchedule.static({"a": 1.0})
+        for step in range(1000):
+            schedule.weights_at(step)
+        assert len(schedule._weights_memo) <= 256

@@ -213,3 +213,92 @@ def test_prefetched_batches_byte_identical_to_synchronous(seed, depth):
     finally:
         sync.shutdown()
         prefetched.shutdown()
+
+
+# -- columnar planning fast path -----------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=15),
+    depth=st.sampled_from([0, 2]),
+    event_step=st.integers(min_value=1, max_value=4),
+    event=st.sampled_from(["none", "flush_mixture", "reshard", "scale_up_down"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_columnar_plans_byte_identical_to_legacy_through_runtime_events(
+    seed, depth, event_step, event
+):
+    """The tentpole contract of the columnar fast path: for any seed and any
+    mid-run event (mixture swap with pipeline flush, trainer reshard, loader
+    fleet scale-up **and** scale-down), every LoadingPlan — demands, mixture
+    weights, fetching ranks, module/subplan assignments — and every delivered
+    batch is byte-identical to a ``planning="legacy"`` run."""
+    from repro.core.resharding import ReshardNotification
+
+    def mixture():
+        from repro.data.mixture import MixturePhase
+
+        return MixtureSchedule.staged(
+            [
+                MixturePhase(0, {"navit_data/src000": 0.6, "navit_data/src001": 0.25,
+                                 "navit_data/src002": 0.15}),
+                MixturePhase(3 + (seed % 3), {"navit_data/src000": 0.1,
+                                              "navit_data/src001": 0.45,
+                                              "navit_data/src002": 0.45}),
+            ]
+        )
+
+    def deploy(planning):
+        return MegaScaleData.deploy(
+            TrainingJobSpec(
+                pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+                samples_per_dp_step=8, num_microbatches=2, num_sources=3,
+                samples_per_source=48, seed=seed, prefetch_depth=depth,
+                mixture=mixture(), planning=planning,
+            )
+        )
+
+    def apply_event(system):
+        if event == "flush_mixture":
+            system.set_mixture(
+                MixtureSchedule.static(
+                    {"navit_data/src000": 0.2, "navit_data/src001": 0.2,
+                     "navit_data/src002": 0.6}
+                ),
+                flush_pending=True,
+            )
+        elif event == "reshard":
+            system.handle_reshard(
+                ReshardNotification(
+                    step=event_step, new_mesh=DeviceMesh(pp=1, dp=4, cp=1, tp=1)
+                )
+            )
+        elif event == "scale_up_down":
+            system.scale_source("navit_data/src000", 2)
+
+    columnar = deploy("columnar")
+    legacy = deploy("legacy")
+    try:
+        for step in range(7):
+            if step == event_step:
+                apply_event(columnar)
+                apply_event(legacy)
+            if event == "scale_up_down" and step == event_step + 2:
+                columnar.scale_source("navit_data/src000", 1)
+                legacy.scale_source("navit_data/src000", 1)
+            a = columnar.run_step()
+            b = legacy.run_step()
+            assert a.step == b.step == step
+            assert a.plan.source_demands == b.plan.source_demands
+            assert a.plan.mixture_weights == b.plan.mixture_weights
+            assert a.plan.fetching_ranks == b.plan.fetching_ranks
+            assert set(a.plan.modules) == set(b.plan.modules)
+            for name, module in a.plan.modules.items():
+                assert module.assignments == b.plan.modules[name].assignments, (step, name)
+            assert _delivery_bytes(a) == _delivery_bytes(b)
+        if event == "scale_up_down":
+            assert columnar.fleet.spawn_count() >= 1
+            assert columnar.fleet.retire_count() >= 1
+    finally:
+        columnar.shutdown()
+        legacy.shutdown()
