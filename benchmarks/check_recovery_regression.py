@@ -1,0 +1,75 @@
+"""CI gate: fail when bounded-replay recovery throughput regresses vs the artifact.
+
+The ``recovery-bench`` CI leg runs ``test_fig23_recovery_latency`` in smoke
+mode (``BENCH_RECOVERY_SMOKE=1``), which merges a fresh ``smoke`` section into
+``BENCH_fig23_recovery.json`` next to the committed full-sweep
+``recovery_latency`` section.  This script compares the fresh smoke bounded
+recoveries/sec against the committed row at the same run length and exits
+non-zero on a regression beyond the threshold (default: 30%).  The same-run
+full-over-bounded speedup is printed as machine-independent context: a slow
+runner depresses both recovery policies equally, so a healthy speedup next to
+a failed absolute check points at the runner — while a collapsed speedup
+means bounded recovery has drifted back toward O(steps) replay even if the
+absolute numbers pass.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _regression import gate_ratio, load_sections, make_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__, "BENCH_fig23_recovery.json").parse_args(argv)
+
+    committed_section, fresh_section = load_sections(args.artifact, "recovery_latency")
+    if not committed_section or not fresh_section:
+        return 1
+    committed = {row["steps"]: row for row in committed_section.get("rows", [])}
+    fresh_rows = fresh_section.get("rows", [])
+    if not committed:
+        print("committed recovery_latency section has no rows — nothing to compare")
+        return 1
+    if not fresh_rows:
+        print("fresh smoke section has no rows — run the benchmark with BENCH_RECOVERY_SMOKE=1")
+        return 1
+
+    failures = 0
+    for row in fresh_rows:
+        steps = row["steps"]
+        baseline = committed.get(steps)
+        if baseline is None:
+            print(f"steps={steps}: no committed baseline row, skipping")
+            continue
+        ok = gate_ratio(
+            f"steps={steps} bounded recoveries/s",
+            row["recoveries_per_s_bounded"],
+            baseline["recoveries_per_s_bounded"],
+            args.threshold,
+        )
+        print(
+            f"steps={steps}: same-run full-over-bounded speedup "
+            f"x{row['speedup']:.2f} (committed sweep x{baseline['speedup']:.2f})"
+        )
+        if not ok:
+            failures += 1
+        if row["speedup"] <= 1.0:
+            print(
+                f"steps={steps}: REGRESSION — bounded recovery is no faster "
+                "than full from-genesis replay in this run"
+            )
+            failures += 1
+        if row["bounded_replay_plans"] > row["checkpoint_interval"]:
+            print(
+                f"steps={steps}: REGRESSION — bounded recovery replayed "
+                f"{row['bounded_replay_plans']} plans, more than the "
+                f"checkpoint interval ({row['checkpoint_interval']})"
+            )
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.actors.actor import Actor, ActorFuture, ActorHandle, ActorState, CallRecord
@@ -53,7 +53,7 @@ from repro.actors.node import (
     ResourceSpec,
 )
 from repro.actors.scheduler import PlacementDecision, PlacementRequest, PlacementScheduler
-from repro.errors import ActorDead, ActorError, ActorTimeout
+from repro.errors import ActorDead, ActorError, ActorTimeout, SchedulingError
 from repro.metrics.memory import MemoryLedger
 from repro.metrics.timeline import Timeline
 from repro.utils.ids import IdAllocator
@@ -344,6 +344,53 @@ class ActorSystem:
         )
         instance.on_start()
         return ActorHandle(self, actor_name)
+
+    def resize_actor_pool(
+        self,
+        name: str,
+        cpu_cores: float | None = None,
+        concurrency: int | None = None,
+    ) -> None:
+        """Re-book a running actor's CPU reservation and execution lanes.
+
+        Applies a worker-pool resize in place (elastic
+        ``target_workers_per_actor`` directives): the node reservation is
+        re-booked at the new core count on the actor's existing node, and the
+        lane heap grows with fresh lanes free at the current instant or
+        shrinks by retiring the idlest lanes (the busiest workers keep their
+        booked windows).  Raises :class:`SchedulingError` when the node
+        cannot fit the grown reservation; the old reservation is restored
+        before raising, so a failed resize leaves the actor untouched.
+        """
+        record = self._record(name)
+        if record.state is not ActorState.RUNNING:
+            raise ActorError(f"cannot resize actor {name!r} in state {record.state}")
+        if concurrency is not None and concurrency < 1:
+            raise ActorError("actor concurrency must be >= 1")
+        if cpu_cores is not None and cpu_cores != record.request.cpu_cores:
+            node = self.scheduler.node(record.placement.node_name)
+            old = record.request
+            # Node.release drops the whole residency entry, so re-book the
+            # full reservation rather than a delta; on failure the old
+            # booking (just released) is guaranteed to fit again.
+            node.release(name, old.cpu_cores, old.memory_bytes)
+            try:
+                node.reserve(name, cpu_cores, old.memory_bytes)
+            except SchedulingError:
+                node.reserve(name, old.cpu_cores, old.memory_bytes)
+                raise
+            record.request = replace(old, cpu_cores=cpu_cores)
+        if concurrency is not None and concurrency != record.concurrency:
+            lanes = sorted(self._lanes_s.get(name, [self.clock.now_s]))
+            if concurrency > len(lanes):
+                lanes.extend([self.clock.now_s] * (concurrency - len(lanes)))
+            else:
+                # Retire the earliest-free (idlest) lanes; the surviving
+                # workers keep their already-booked busy windows.
+                lanes = lanes[len(lanes) - concurrency :]
+            heapq.heapify(lanes)
+            self._lanes_s[name] = lanes
+            record.concurrency = concurrency
 
     def kill_actor(self, name: str) -> None:
         """Mark an actor failed, releasing its memory (its CPU slot stays reserved

@@ -17,8 +17,15 @@ from dataclasses import dataclass, field
 
 from repro.actors.actor import ActorHandle, ActorState
 from repro.actors.runtime import ActorSystem
+from repro.core.checkpoint import CheckpointStore
 from repro.core.source_loader import SourceLoader
 from repro.errors import ActorDead, ActorTimeout, ReproError
+
+#: How many checkpoint entries are retained per loader.  Recovery only ever
+#: needs the newest entry at or below the failed step, but keeping a short
+#: history lets a flush discard entries for never-delivered future steps
+#: without losing the last delivered one.
+CHECKPOINT_HISTORY = 4
 
 
 class FaultToleranceError(ReproError):
@@ -62,11 +69,18 @@ class FaultToleranceManager:
         self,
         system: ActorSystem,
         config: FaultToleranceConfig | None = None,
+        checkpoint_store: CheckpointStore | None = None,
     ) -> None:
         self.system = system
         self.config = config or FaultToleranceConfig()
+        #: Optional durable store mirroring every loader checkpoint under the
+        #: ``loader/<name>`` namespace (bounded-replay recovery survives a
+        #: control-plane restart).
+        self.checkpoint_store = checkpoint_store
         self._shadows: dict[str, ShadowRegistration] = {}
-        self._loader_checkpoints: dict[str, dict] = {}
+        #: Per-loader checkpoint history, newest last, at most
+        #: :data:`CHECKPOINT_HISTORY` entries.
+        self._loader_checkpoints: dict[str, list[dict]] = {}
         self._events: list[RecoveryEvent] = []
 
     # -- shadow loaders ------------------------------------------------------------------------
@@ -94,22 +108,87 @@ class FaultToleranceManager:
 
     # -- checkpointing -------------------------------------------------------------------------------
 
-    def checkpoint_loader(self, handle: ActorHandle, step: int) -> bool:
-        """Snapshot a loader if its differential-checkpoint interval elapsed."""
+    def checkpoint_loader(
+        self,
+        handle: ActorHandle,
+        step: int,
+        consistent: bool = False,
+        force: bool = False,
+    ) -> bool:
+        """Snapshot a loader if its differential-checkpoint interval elapsed.
+
+        Plain checkpoints hold the cursor-and-counters ``state_dict`` only
+        (they shorten the modelled recovery latency).  When the caller can
+        guarantee the loader sits at a step boundary with every delivered
+        plan's demands applied — the fleet sync point — it passes
+        ``consistent=True`` and the entry additionally captures the loader's
+        full replay snapshot (:meth:`SourceLoader.replay_checkpoint`), which
+        recovery restores verbatim so only the post-checkpoint plan suffix is
+        replayed.  ``force=True`` bypasses the interval gate (spawn-time
+        baseline checkpoints, whole-run save).
+        """
         loader = handle.instance()
         if not isinstance(loader, SourceLoader):
             raise FaultToleranceError(f"{handle.name!r} is not a source loader")
-        if step % self.config.loader_checkpoint_interval != 0 and not loader.should_checkpoint():
+        if (
+            not force
+            and step % self.config.loader_checkpoint_interval != 0
+            and not loader.should_checkpoint()
+        ):
             return False
-        self._loader_checkpoints[handle.name] = {
+        entry = {
             "step": step,
             "state": loader.state_dict(),
+            "consistent": bool(consistent),
         }
+        if consistent:
+            entry["replay"] = loader.replay_checkpoint()
+        history = self._loader_checkpoints.setdefault(handle.name, [])
+        history[:] = [e for e in history if e["step"] != step]
+        history.append(entry)
+        history.sort(key=lambda e: e["step"])
+        del history[:-CHECKPOINT_HISTORY]
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(f"loader/{handle.name}", step, entry)
         loader.mark_checkpointed()
         return True
 
-    def last_loader_checkpoint(self, name: str) -> dict | None:
-        return self._loader_checkpoints.get(name)
+    def last_loader_checkpoint(
+        self,
+        name: str,
+        max_step: int | None = None,
+        consistent: bool | None = None,
+    ) -> dict | None:
+        """Newest checkpoint entry for ``name``.
+
+        ``max_step`` restricts to entries at or below that step;
+        ``consistent=True`` restricts to entries carrying a replay snapshot.
+        """
+        history = self._loader_checkpoints.get(name, [])
+        for entry in reversed(history):
+            if max_step is not None and entry["step"] > max_step:
+                continue
+            if consistent and not entry.get("consistent"):
+                continue
+            return entry
+        return None
+
+    def discard_checkpoints_after(self, step: int) -> int:
+        """Drop checkpoint entries for steps ``> step`` (pipeline flush).
+
+        Checkpoints taken at the sync point of a prefetched step whose
+        delivery was later flushed include demands that will never be
+        delivered; restoring one would diverge from the re-planned timeline.
+        Returns how many entries were discarded.
+        """
+        dropped = 0
+        for name, history in self._loader_checkpoints.items():
+            kept = [e for e in history if e["step"] <= step]
+            dropped += len(history) - len(kept)
+            history[:] = kept
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.delete_from(f"loader/{name}", step + 1)
+        return dropped
 
     # -- detection -------------------------------------------------------------------------------------
 
@@ -135,7 +214,7 @@ class FaultToleranceManager:
         history, whose cost is charged to the recovery latency.
         """
         registration = self._shadows.get(failed.name)
-        checkpoint = self._loader_checkpoints.get(failed.name)
+        checkpoint = self.last_loader_checkpoint(failed.name, max_step=step)
         replay_steps = step - checkpoint["step"] if checkpoint else step
         replay_latency = max(0, replay_steps) * self.config.replay_latency_per_step_s
 
@@ -170,6 +249,33 @@ class FaultToleranceManager:
             )
         )
         return restarted
+
+    def promote_standby(
+        self, failed: ActorHandle, standby: ActorHandle, step: int, replay_steps: int = 0
+    ) -> ActorHandle:
+        """Promote a fleet mirror into a failed canonical's slot.
+
+        A mirror is an exact live replica of its group's buffer state (the
+        group-sync pass applies every member's demands to every member), so
+        promotion needs no state restore at all — the hot-standby path the
+        shadow registry provides for deploy-time loaders, extended to
+        elastically spawned fleet members.  ``replay_steps`` charges for any
+        demands the failed member had in flight past the mirror's state.
+        """
+        latency = (
+            self.config.shadow_promotion_latency_s
+            + max(0, replay_steps) * self.config.replay_latency_per_step_s
+        )
+        self._events.append(
+            RecoveryEvent(
+                step=step,
+                component=failed.name,
+                kind="mirror_promotion",
+                detail=f"promoted {standby.name}",
+                recovery_latency_s=latency,
+            )
+        )
+        return standby
 
     def recover_coordinator(self, handle: ActorHandle, step: int) -> ActorHandle:
         """Restart a Planner / Data Constructor from its GCS-backed state."""

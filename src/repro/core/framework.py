@@ -41,6 +41,11 @@ from repro.core.autoscaler import (
     ResourceBudget,
     SourceAutoPartitioner,
 )
+from repro.core.checkpoint import (
+    CheckpointStore,
+    InMemoryCheckpointStore,
+    SqliteCheckpointStore,
+)
 from repro.core.cost_model import LANE_MODELS, DataPlaneLatencyProvider
 from repro.core.data_constructor import DataConstructor, RankDelivery
 from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
@@ -68,6 +73,9 @@ from repro.storage.filesystem import SimulatedFileSystem
 from repro.training.models import MODEL_ZOO, BackboneConfig, EncoderConfig, VLMConfig
 from repro.training.simulator import GpuSpec, IterationResult, TrainerActor, TrainingSimulator
 from repro.utils.units import GIB
+
+#: Checkpoint-store namespace for whole-run control-plane checkpoints.
+RUN_NAMESPACE = "run"
 
 
 @dataclass
@@ -156,6 +164,17 @@ class TrainingJobSpec:
     #: Retained event/call-record window in bounded-telemetry mode.
     telemetry_window: int = 4096
 
+    #: Bounded-replay window: the differential checkpoint interval for loader
+    #: state and the number of plans the Planner keeps in memory.  Recovery
+    #: restores the latest consistent checkpoint and replays at most this
+    #: many plan suffix steps, so restore cost is flat in run length.
+    replay_window: int = 50
+
+    #: Control-plane checkpoint persistence: "memory" (dict-backed, the
+    #: simulation default) or "sqlite" (a real stdlib-sqlite3 database via
+    #: ``storage/kvstore``; payloads round-trip through pickle).
+    checkpoint_backend: str = "memory"
+
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
             raise ConfigurationError(
@@ -181,6 +200,13 @@ class TrainingJobSpec:
             )
         if self.spawn_warmup_s < 0:
             raise ConfigurationError("spawn_warmup_s must be >= 0")
+        if self.replay_window < 1:
+            raise ConfigurationError("replay_window must be >= 1")
+        if self.checkpoint_backend not in ("memory", "sqlite"):
+            raise ConfigurationError(
+                f"unknown checkpoint_backend {self.checkpoint_backend!r}; "
+                "expected 'memory' or 'sqlite'"
+            )
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -277,6 +303,9 @@ class MegaScaleData:
         self.constructor_handles = list(constructor_handles)
         self.tree = tree
         self.fault_manager = fault_manager
+        #: Durable control-plane checkpoint store shared by the Planner, the
+        #: fault-tolerance manager and whole-run save/restore.
+        self.checkpoint_store = fault_manager.checkpoint_store
         self.resharder = ElasticResharder(tree)
         # The data plane and the trainer co-simulate on the actor system's
         # virtual clock: results of deferred calls determine how long each
@@ -346,9 +375,15 @@ class MegaScaleData:
         catalog: SourceCatalog | None = None,
         filesystem: SimulatedFileSystem | None = None,
         cluster: ClusterSpec | None = None,
+        checkpoint_store: CheckpointStore | None = None,
     ) -> "MegaScaleData":
         """Provision storage, actors and the planner for ``job``."""
         filesystem = filesystem or SimulatedFileSystem()
+        if checkpoint_store is None:
+            if job.checkpoint_backend == "sqlite":
+                checkpoint_store = SqliteCheckpointStore(filesystem=filesystem)
+            else:
+                checkpoint_store = InMemoryCheckpointStore()
         if catalog is None:
             catalog = cls._build_catalog(job, filesystem)
         mesh = job.device_mesh()
@@ -372,12 +407,18 @@ class MegaScaleData:
         partition_plan = cls._partition_sources(job, catalog, cluster)
         loader_handles = cls._spawn_loaders(job, catalog, filesystem, system, partition_plan)
         constructor_handles = cls._spawn_constructors(job, mesh, system)
-        planner_handle = cls._spawn_planner(job, tree, system, partition_plan)
+        planner_handle = cls._spawn_planner(
+            job, tree, system, partition_plan, checkpoint_store
+        )
 
         planner: Planner = planner_handle.instance()
         planner.register_loaders(loader_handles)
 
-        fault_manager = FaultToleranceManager(system, FaultToleranceConfig())
+        fault_manager = FaultToleranceManager(
+            system,
+            FaultToleranceConfig(loader_checkpoint_interval=job.replay_window),
+            checkpoint_store=checkpoint_store,
+        )
         if job.enable_shadow_loaders:
             cls._spawn_shadow_loaders(
                 job, catalog, filesystem, system, partition_plan, loader_handles, fault_manager
@@ -497,6 +538,7 @@ class MegaScaleData:
         tree: ClientPlaceTree,
         system: ActorSystem,
         partition_plan: PartitionPlan,
+        checkpoint_store: CheckpointStore | None = None,
     ):
         mixture = job.mixture
         strategy_config = StrategyConfig(
@@ -523,6 +565,8 @@ class MegaScaleData:
                 seed=job.seed,
                 clock=system.clock,
                 planning=job.planning,
+                checkpoint_store=checkpoint_store,
+                replay_window=job.replay_window,
             ),
             name="planner",
             cpu_cores=4.0,
@@ -575,9 +619,19 @@ class MegaScaleData:
         planner: Planner = self.planner_handle.instance()
 
         # Steps 3-4: loaders consult the planner; the planner gathers buffer
-        # metadata and synthesizes the loading plan.
+        # metadata and synthesizes the loading plan.  A canonical that died
+        # since the last boundary surfaces here (the gather RPC), before any
+        # demand was routed: recover every failed member, then re-plan.
         sample_count = self.job.global_samples_per_step()
-        plan = self._generate_sized_plan(planner, step, sample_count)
+        try:
+            plan = self._generate_sized_plan(planner, step, sample_count)
+        except (ActorDead, ActorTimeout) as exc:
+            failed = self.fault_manager.detect_failures(list(self.loader_handles))
+            if not failed:
+                raise exc
+            for handle in failed:
+                self.recover_fleet_member(handle, step)
+            plan = self._generate_sized_plan(planner, step, sample_count)
 
         # Apply any piggybacked scaling directives before routing demands, so
         # an enlarged (or shrunk) fleet serves this very step.
@@ -606,6 +660,9 @@ class MegaScaleData:
         # Shard-group members absorb their peers' demands (one refill each),
         # keeping every mirror byte-identical to a lone loader's buffer.
         self.fleet.sync_after_prepare(demands_by_loader)
+        # Differential-interval checkpoint at the per-step sync point, where
+        # every plan up to and including this step has been applied.
+        self._checkpoint_members(step)
 
         # Step 2: constructors assemble microbatches and parallelism slices.
         backbone_plan = plan.module("backbone")
@@ -738,8 +795,12 @@ class MegaScaleData:
         for constructor_handle in self.constructor_handles:
             constructor_handle.call("release_steps_below", step)
         # Elasticity housekeeping at the step boundary: finalize retirements
-        # whose drain completed and sample live cluster utilization.
+        # whose drain completed, fire queued spawns a freed placement can now
+        # host, and sample live cluster utilization.
         self.fleet.reap_draining()
+        if self.fleet.pending_spawn_count():
+            planner: Planner = self.planner_handle.instance()
+            self.fleet.retry_pending_spawns(step, planner, scaler=planner.scaler)
         self.utilization.observe(step, self.system.scheduler.cluster_utilization())
         self._step = step + 1
         self._history.append(result)
@@ -838,6 +899,106 @@ class MegaScaleData:
         planner.strategy = make_strategy(self.job.strategy, strategy_config)
         if self.job.enable_autoscaler:
             planner.scaler = MixtureDrivenScaler(self.partition_plan)
+
+    # -- whole-run durability -----------------------------------------------------------------------------
+
+    def save_checkpoint(self) -> int:
+        """Persist the whole control plane to the checkpoint store.
+
+        Flushes any in-flight prefetched steps (their plans were never
+        delivered), then writes one ``run`` checkpoint entry holding the
+        Planner position, every canonical loader's replay snapshot (buffer +
+        cursor), the fleet topology (mirror counts, worker sizing) and the
+        active mixture's construction recipe when it has one.  Together with
+        the plan suffix and per-loader differential checkpoints the store
+        already carries, :meth:`restore` resumes the run from the returned
+        step with byte-identical batches — at a cost flat in run length.
+        """
+        if self.pipeline is not None:
+            self.pipeline.flush()
+        step = self._step
+        # Between steps every delivered plan (<= step - 1) is fully applied
+        # and nothing newer has started: the canonical snapshots below and
+        # the forced per-loader baselines are consistent by construction.
+        self._checkpoint_members(step - 1, force=True)
+        planner: Planner = self.planner_handle.instance()
+        # Persist the mixture only when it is user-installed: the sizing
+        # mixture _ensure_sized_strategy auto-installs (recognizable by its
+        # sized-strategy wrapper) is rebuilt identically on redeploy, and
+        # restoring it through set_mixture would replace the sized strategy
+        # with an unbounded one.
+        auto_sized = getattr(planner.strategy, "mixture_names", None) is not None
+        mixture = None if auto_sized else planner.mixture
+        payload = {
+            "step": step,
+            "planner": planner.state_dict(),
+            "loaders": {
+                handle.name: handle.instance().replay_checkpoint()
+                for handle in self.loader_handles
+            },
+            "topology": self.fleet.topology(),
+            "mixture": mixture.descriptor() if mixture is not None else None,
+        }
+        self.checkpoint_store.save(RUN_NAMESPACE, step, payload)
+        return step
+
+    @classmethod
+    def restore(
+        cls,
+        job: TrainingJobSpec,
+        checkpoint_store: CheckpointStore,
+        catalog: SourceCatalog | None = None,
+        filesystem: SimulatedFileSystem | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> "MegaScaleData":
+        """Redeploy ``job`` and resume from the newest whole-run checkpoint.
+
+        The fresh deployment's canonical loaders restore the checkpointed
+        replay snapshots (fresh delta epochs force a full planner-gather
+        resync), the Planner resumes at the saved position, mirrors are
+        respawned to the saved fleet shape by cloning the already-restored
+        canonicals, and every member gets a forced consistent baseline so
+        post-restore failures keep bounded replay.  Continuation is
+        byte-identical to the uninterrupted run: plans are a pure function of
+        (buffer state, step, seed, mixture), all of which round-trip.
+        """
+        found = checkpoint_store.load_latest(RUN_NAMESPACE)
+        if found is None:
+            raise ConfigurationError(
+                "checkpoint store holds no whole-run checkpoint; "
+                "call save_checkpoint() on a deployed instance first"
+            )
+        _, payload = found
+        instance = cls.deploy(
+            job,
+            catalog=catalog,
+            filesystem=filesystem,
+            cluster=cluster,
+            checkpoint_store=checkpoint_store,
+        )
+        for handle in instance.loader_handles:
+            snapshot = payload["loaders"].get(handle.name)
+            if snapshot is None:
+                raise ConfigurationError(
+                    f"whole-run checkpoint holds no snapshot for loader "
+                    f"{handle.name!r}; was it saved under a different job spec?"
+                )
+            handle.instance().restore_replay_checkpoint(snapshot, restore_stats=True)
+        if payload.get("mixture") is not None:
+            instance.set_mixture(MixtureSchedule.from_descriptor(payload["mixture"]))
+        planner: Planner = instance.planner_handle.instance()
+        planner.load_state_dict(payload["planner"])
+        instance._step = payload["step"]
+        if instance.pipeline is not None:
+            instance.pipeline._next_issue_step = instance._step
+        for entry in payload["topology"]:
+            instance.fleet.resize_workers(
+                entry["source"], entry["workers_per_actor"], instance._step
+            )
+            for _ in range(entry["mirrors"]):
+                instance.fleet.spawn_member(entry["source"], instance._step, planner)
+        instance._checkpoint_members(instance._step - 1, force=True)
+        return instance
 
     # -- operational adaptability -------------------------------------------------------------------------
 
@@ -1068,34 +1229,92 @@ class MegaScaleData:
     def recover_fleet_member(self, handle, at_step: int):
         """Promote/restart a failed fleet member and resync its buffer state.
 
-        Shared by the synchronous path and the step pipeline: the replacement
-        (shadow promotion for canonicals, in-place restart otherwise) is reset
-        to pristine state and the Planner's *delivered* plan history (steps
-        before ``at_step``) is replayed against it — Sec. 6.1 differential
-        checkpoint + replay — reproducing the failed member's buffer exactly.
+        Shared by the synchronous path and the step pipeline.  Recovery picks
+        the cheapest sound path, in order:
+
+        1. **Mirror promotion** (hot standby): a failed canonical whose shard
+           group has a live mirror adopts that mirror in place.  Mirrors
+           absorb every member's demands each step, so the mirror *is* the
+           canonical's state — zero replay.
+        2. **Shadow promotion / in-place restart** with **bounded replay**:
+           the replacement restores the latest *consistent* differential
+           checkpoint (buffer + cursor snapshot taken at a past sync point)
+           and replays only the post-checkpoint plan suffix — Sec. 6.1
+           differential checkpoint + replay, now flat in run length.  With no
+           consistent checkpoint (fresh deployments), it falls back to the
+           full from-genesis replay.
+
         Only canonical members sit in the Planner's gather set; a failed
         elastic mirror is swapped inside its shard group without touching it.
         """
         self.system.cancel_pending(handle.name)
+        planner: Planner = self.planner_handle.instance()
+
+        group = self.fleet.group_for(handle.name)
+        is_canonical = (
+            group is not None
+            and group.members
+            and group.members[0].name == handle.name
+        )
+        mirror = self.fleet.standby_mirror(handle.name) if is_canonical else None
+        if mirror is not None and self.fault_manager.shadow_for(handle.name) is None:
+            promoted = self.fault_manager.promote_standby(handle, mirror, at_step)
+            self.fleet.promote_mirror(handle, promoted, at_step)
+            for index, existing in enumerate(self.loader_handles):
+                if existing is handle or existing.name == handle.name:
+                    self.loader_handles[index] = promoted
+                    break
+            planner.register_loaders(self.loader_handles)
+            try:
+                self.system.stop_actor(handle.name)
+            except Exception:  # noqa: BLE001 - the failed actor may be gone
+                pass
+            return promoted
+
         promoted = self.fault_manager.recover_loader(handle, step=at_step)
 
         for index, existing in enumerate(self.loader_handles):
             if existing is handle or existing.name == handle.name:
                 self.loader_handles[index] = promoted
                 break
-        planner: Planner = self.planner_handle.instance()
         planner.register_loaders(self.loader_handles)
         self.fleet.replace_member(handle, promoted)
 
-        promoted.call("reset_for_replay")
+        checkpoint = self.fault_manager.last_loader_checkpoint(
+            handle.name, max_step=at_step - 1, consistent=True
+        )
+        if checkpoint is not None:
+            promoted.call("restore_replay_checkpoint", checkpoint["replay"])
+            suffix_after = checkpoint["step"]
+        else:
+            promoted.call("reset_for_replay")
+            suffix_after = -1
         source_name = promoted.instance().source.name
-        for plan in planner.plan_history():
+        for plan in planner.plans_since(suffix_after):
             if plan.step >= at_step:
                 continue
             demanded = plan.source_demands.get(source_name, [])
             if demanded:
                 promoted.call("replay_demands", list(demanded))
         return promoted
+
+    def _checkpoint_members(self, step: int, force: bool = False) -> None:
+        """Checkpoint every fleet member at a consistent sync point.
+
+        Called once per step right after :meth:`LoaderFleet.sync_after_prepare`
+        — the instant where every plan up to and including ``step`` has been
+        applied to every member and nothing beyond has started — so the
+        snapshots are valid bases for bounded suffix replay.  The differential
+        interval gate inside :meth:`FaultToleranceManager.checkpoint_loader`
+        keeps this O(1) on non-interval steps.
+        """
+        for handle in self.fleet.all_handles():
+            try:
+                self.fault_manager.checkpoint_loader(
+                    handle, step, consistent=True, force=force
+                )
+            except Exception:  # noqa: BLE001 - a dying member is recovered later
+                continue
 
     def _on_fleet_change(self, change) -> None:
         """Mirror fleet mutations onto the timeline and the overlap ledger."""
@@ -1110,6 +1329,21 @@ class MegaScaleData:
             node=change.node,
         )
         self.overlap.add_fleet_event(change)
+        if change.kind == "spawn":
+            # A freshly spawned member clones its canonical's buffer at the
+            # plan-application point *before* step ``change.step``'s demands
+            # land, so a force checkpoint tagged ``step - 1`` gives it a
+            # consistent bounded-replay baseline from birth.
+            for handle in self.fleet.all_handles():
+                if handle.name != change.actor:
+                    continue
+                try:
+                    self.fault_manager.checkpoint_loader(
+                        handle, change.step - 1, consistent=True, force=True
+                    )
+                except Exception:  # noqa: BLE001 - best-effort baseline
+                    pass
+                break
 
     def _assignments_from_plan(
         self, plan: LoadingPlan, module: str

@@ -13,10 +13,13 @@ many loader actors serve each source.  This module makes those directives
   source.  The new actor goes through
   :meth:`~repro.actors.scheduler.PlacementScheduler.place` (node CPU/memory
   budgets gate the scale-up; a rejection is reported back to the scaler via
-  :meth:`~repro.core.autoscaler.MixtureDrivenScaler.reconcile_actors`), and
-  its buffer is bootstrapped by deterministically replaying the Planner's
-  delivered plan history — the same machinery PR-1's shadow promotion uses —
-  so it is an exact replica of the canonical's state.
+  :meth:`~repro.core.autoscaler.MixtureDrivenScaler.reconcile_actors` *and*
+  queued for retry as soon as a drain-retire frees capacity), and its buffer
+  is bootstrapped by cloning the canonical's live replay snapshot
+  (:meth:`~repro.core.source_loader.SourceLoader.replay_checkpoint`) — O(buffer)
+  regardless of run length, yet byte-identical to replaying the Planner's
+  full delivered plan history, because spawns happen at the strict-order
+  plan-application point where the canonical's state *is* the replay result.
 - Per step, the group's demanded ids are split round-robin across members;
   each member transforms only its slice (cutting the group's wall clock by
   the member count) and afterwards *absorbs* its peers' ids via
@@ -34,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.actors.actor import ActorHandle
+from repro.actors.actor import ActorHandle, ActorState
 from repro.actors.node import NodeKind
 from repro.core.plans import LoadingPlan, ScalingPlan
 from repro.core.source_loader import SourceLoader
@@ -76,6 +79,11 @@ class LoaderFleet:
         self._group_of: dict[str, ShardGroup] = {}
         #: Members whose drain-mode retirement is still pending.
         self._draining: dict[str, FleetEvent] = {}
+        #: Reservation queue: sources whose directed spawns were rejected for
+        #: lack of node capacity, with the number of members still owed.
+        #: Retried at step boundaries (after drain-retires release their
+        #: placements) without needing a fresh scale-up directive.
+        self._pending_spawns: dict[str, int] = {}
         self._spawn_serial = 0
         #: Applied (or rejected) fleet mutations, as the same
         #: :class:`~repro.metrics.timeline.FleetEvent` records the overlap
@@ -135,6 +143,28 @@ class LoaderFleet:
 
     def group_for(self, handle_name: str) -> ShardGroup | None:
         return self._group_of.get(handle_name)
+
+    def topology(self) -> list[dict]:
+        """Per-source fleet shape (mirror count, worker sizing) for checkpoints.
+
+        Plain data only — a whole-run checkpoint stores it and restore
+        re-creates the same fleet size by spawning that many mirrors per
+        source (exact group assignment is immaterial: mirrors are byte clones
+        of their canonical).
+        """
+        by_source: dict[str, dict] = {}
+        for group in self._groups:
+            entry = by_source.setdefault(
+                group.source,
+                {
+                    "source": group.source,
+                    "mirrors": 0,
+                    "workers_per_actor": group.workers_per_actor,
+                },
+            )
+            entry["mirrors"] += max(0, len(group.members) - 1)
+            entry["workers_per_actor"] = group.workers_per_actor
+        return list(by_source.values())
 
     def spawn_count(self) -> int:
         return sum(1 for change in self.changes if change.kind == "spawn")
@@ -213,7 +243,10 @@ class LoaderFleet:
             for member in group.members:
                 mine = set(slices.get(member.name, []))
                 others = [sample_id for sample_id in all_ids if sample_id not in mine]
-                member.call("replay_demands", others)
+                # refill=True: in deferred mode the member's own prepare
+                # skipped its refill; this call performs the step's single
+                # top-up even when it absorbed nothing.
+                member.call("replay_demands", others, True)
 
     # -- scaling ----------------------------------------------------------------------
 
@@ -230,13 +263,21 @@ class LoaderFleet:
             groups = self._by_source.get(source)
             if not groups:
                 continue
+            workers = int(getattr(directive, "target_workers_per_actor", 0) or 0)
+            if workers > 0:
+                self.resize_workers(source, workers, step)
             floor = len(groups)  # canonicals are never retired
             target = max(floor, directive.target_actors)
             current = self.member_count(source)
             while current < target:
                 if self.spawn_member(source, step, planner) is None:
-                    break  # placement rejected: stop trying this boundary
+                    # Placement rejected: stop trying this boundary, but keep
+                    # the unmet demand queued so it fires once capacity frees.
+                    self._pending_spawns[source] = target - current
+                    break
                 current += 1
+            else:
+                self._pending_spawns.pop(source, None)
             while current > target:
                 if not self.retire_member(source, step):
                     break
@@ -244,11 +285,91 @@ class LoaderFleet:
             if scaler is not None and current != directive.target_actors:
                 scaler.reconcile_actors(source, current)
 
-    def spawn_member(self, source: str, step: int, planner) -> ActorHandle | None:
+    def resize_workers(self, source: str, workers_per_actor: int, step: int) -> bool:
+        """Apply a ``target_workers_per_actor`` directive to every member.
+
+        Re-books each member's CPU reservation and execution lanes at the new
+        pool size (:meth:`ActorSystem.resize_actor_pool`) and resizes the
+        loader's transform worker pool in place; future mirrors inherit the
+        new size via the shard group.  Returns ``True`` when every member was
+        resized; a member whose node cannot fit the grown reservation keeps
+        its old pool (recorded as a rejected resize) without blocking peers.
+        """
+        if workers_per_actor < 1:
+            raise PlanError("target_workers_per_actor must be positive")
+        ok = True
+        for group in self._by_source.get(source, []):
+            if group.workers_per_actor == workers_per_actor:
+                continue
+            for member in group.members:
+                try:
+                    self.system.resize_actor_pool(
+                        member.name, cpu_cores=workers_per_actor * 1.0
+                    )
+                except SchedulingError as exc:
+                    ok = False
+                    self._record(
+                        FleetEvent(
+                            kind="resize",
+                            step=step,
+                            at_s=self.system.clock.now_s,
+                            source=source,
+                            actor=member.name,
+                            detail=f"rejected: {exc}",
+                        )
+                    )
+                    continue
+                member.call("resize_worker_pool", workers_per_actor)
+                self._record(
+                    FleetEvent(
+                        kind="resize",
+                        step=step,
+                        at_s=self.system.clock.now_s,
+                        source=source,
+                        actor=member.name,
+                        node=self.system.actor_node(member.name),
+                        detail=f"workers {group.workers_per_actor} -> {workers_per_actor}",
+                    )
+                )
+            group.workers_per_actor = workers_per_actor
+        return ok
+
+    def pending_spawn_count(self, source: str | None = None) -> int:
+        """Queued spawns awaiting capacity (for one source, or in total)."""
+        if source is not None:
+            return self._pending_spawns.get(source, 0)
+        return sum(self._pending_spawns.values())
+
+    def retry_pending_spawns(self, step: int, planner, scaler=None) -> int:
+        """Fire queued spawns that a freed placement can now host.
+
+        Called at step boundaries after drain-retires are reaped; each
+        success reconciles the scaler so its fleet view tracks the deployed
+        count without waiting for a fresh directive.  Returns how many
+        members were spawned.
+        """
+        spawned = 0
+        for source in list(self._pending_spawns):
+            while self._pending_spawns.get(source, 0) > 0:
+                if self.spawn_member(source, step, planner, record_reject=False) is None:
+                    break  # still no capacity; keep the reservation queued
+                self._pending_spawns[source] -= 1
+                spawned += 1
+                if scaler is not None:
+                    scaler.reconcile_actors(source, self.member_count(source))
+            if self._pending_spawns.get(source, 0) <= 0:
+                self._pending_spawns.pop(source, None)
+        return spawned
+
+    def spawn_member(
+        self, source: str, step: int, planner, record_reject: bool = True
+    ) -> ActorHandle | None:
         """Place and bootstrap one mirror member for ``source``.
 
         Returns the new handle, or ``None`` when no node could host it (the
-        rejection is recorded and surfaced through :attr:`changes`).
+        rejection is recorded and surfaced through :attr:`changes`, unless
+        ``record_reject=False`` — capacity probes from the reservation-queue
+        retry path, whose original rejection was already recorded).
         """
         groups = self._by_source.get(source)
         if not groups:
@@ -294,27 +415,27 @@ class LoaderFleet:
                 warmup_s=getattr(job, "spawn_warmup_s", 0.0),
             )
         except SchedulingError as exc:
-            self._record(
-                FleetEvent(
-                    kind="reject",
-                    step=step,
-                    at_s=self.system.clock.now_s,
-                    source=source,
-                    actor=name,
-                    detail=str(exc),
+            if record_reject:
+                self._record(
+                    FleetEvent(
+                        kind="reject",
+                        step=step,
+                        at_s=self.system.clock.now_s,
+                        source=source,
+                        actor=name,
+                        detail=str(exc),
+                    )
                 )
-            )
             return None
 
-        # Deterministic bootstrap: replay every *delivered* plan's demands for
-        # this source against the pristine buffer, reproducing the canonical's
-        # state exactly (ids of other shards are ignored by replay_demands).
-        for plan in planner.plan_history():
-            if plan.step >= step:
-                continue
-            demanded = plan.source_demands.get(source, [])
-            if demanded:
-                handle.call("replay_demands", list(demanded))
+        # Bounded bootstrap: clone the canonical's live replay snapshot.
+        # Spawns happen at the strict-order plan-application point, where the
+        # canonical's buffer/cursor state equals exactly what replaying every
+        # delivered plan against a pristine loader would produce — so the
+        # clone is byte-identical to the old full-history replay, at O(buffer)
+        # cost instead of O(steps).
+        snapshot = group.canonical.call("replay_checkpoint")
+        handle.call("restore_replay_checkpoint", snapshot)
 
         group.members.append(handle)
         self._group_of[handle.name] = group
@@ -419,6 +540,51 @@ class LoaderFleet:
                 break
         self._group_of[new.name] = group
         self._apply_group_mode(group)
+
+    def standby_mirror(self, name: str) -> ActorHandle | None:
+        """The youngest healthy mirror in ``name``'s shard group, if any.
+
+        Mirrors absorb every member's demands each step, so any mirror is an
+        exact live replica of the canonical's buffer — a hot standby that can
+        take over the canonical slot with zero replay.
+        """
+        group = self._group_of.get(name)
+        if group is None or len(group.members) < 2:
+            return None
+        for member in reversed(group.members[1:]):
+            if member.name == name or self.system.retiring(member.name):
+                continue
+            try:
+                if member.state is ActorState.RUNNING:
+                    return member
+            except ActorError:
+                continue
+        return None
+
+    def promote_mirror(self, failed: ActorHandle, mirror: ActorHandle, step: int) -> None:
+        """Move ``mirror`` into ``failed``'s canonical slot (hot standby)."""
+        group = self._group_of.pop(failed.name, None)
+        if group is None:
+            raise PlanError(f"loader {failed.name!r} is not a fleet member")
+        if mirror not in group.members:
+            raise PlanError(f"{mirror.name!r} is not a mirror of {failed.name!r}'s group")
+        group.members.remove(mirror)
+        for index, member in enumerate(group.members):
+            if member is failed or member.name == failed.name:
+                group.members[index] = mirror
+                break
+        self._apply_group_mode(group)
+        self._record(
+            FleetEvent(
+                kind="promote",
+                step=step,
+                at_s=self.system.clock.now_s,
+                source=group.source,
+                actor=mirror.name,
+                node=self.system.actor_node(mirror.name),
+                detail=f"hot-standby for {failed.name}",
+            )
+        )
 
     # -- internals --------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.actors.actor import Actor, ActorHandle
 from repro.actors.gcs import GlobalControlStore
 from repro.core.autoscaler import MixtureDrivenScaler
+from repro.core.checkpoint import CheckpointStore
 from repro.core.columns import ColumnarBufferCache, SampleColumns
 from repro.core.place_tree import ClientPlaceTree
 from repro.core.plans import LoadingPlan, ScalingPlan
@@ -39,6 +40,9 @@ BROADCAST_PER_BYTE_SECONDS = 1.0 / 4.0e9
 #: DGraph, the default) or "legacy" (full-buffer copy + eager row path, kept
 #: for A/B runs and equivalence tests — both emit byte-identical plans).
 PLANNING_MODES = ("columnar", "legacy")
+
+#: Checkpoint-store namespace holding one entry per generated plan.
+PLAN_NAMESPACE = "planner/plans"
 
 
 @dataclass
@@ -81,12 +85,16 @@ class Planner(Actor):
         checkpoint_every: int = 1,
         clock: object | None = None,
         planning: str = "columnar",
+        checkpoint_store: CheckpointStore | None = None,
+        replay_window: int = 50,
     ) -> None:
         super().__init__()
         if planning not in PLANNING_MODES:
             raise PlanError(
                 f"unknown planning mode {planning!r}; expected one of {PLANNING_MODES}"
             )
+        if replay_window < 1:
+            raise PlanError("replay_window must be positive")
         self.planning = planning
         self.strategy = strategy
         self.tree = tree
@@ -94,6 +102,11 @@ class Planner(Actor):
         self.scaler = scaler
         self.gcs = gcs
         self.seed = seed
+        #: Durable store for generated plans.  In-memory history is bounded
+        #: to ``replay_window`` entries once a store is attached; older plans
+        #: stay durable in the store and are served via :meth:`plans_since`.
+        self.checkpoint_store = checkpoint_store
+        self.replay_window = replay_window
         #: Shared :class:`~repro.actors.runtime.VirtualClock` (when deployed on
         #: an actor system) so AutoScaler decisions are stamped with the
         #: simulated instant they landed.
@@ -268,6 +281,14 @@ class Planner(Actor):
         self.stats.plans_generated += 1
         self.stats.samples_planned += plan.total_samples()
         self._plan_history.append(plan)
+        if self.checkpoint_store is not None:
+            # Persist the plan before trimming: in-memory history keeps only
+            # the bounded replay window, the store keeps everything, so
+            # replay consumers restore a checkpoint and fetch just the
+            # suffix instead of rebuilding from genesis.
+            self.checkpoint_store.save(PLAN_NAMESPACE, plan.step, plan)
+            if len(self._plan_history) > self.replay_window:
+                del self._plan_history[: len(self._plan_history) - self.replay_window]
         self._step = step + 1
         self._maybe_checkpoint(plan)
         self.ledger.charge("plan_metadata", plan.metadata_bytes())
@@ -312,11 +333,24 @@ class Planner(Actor):
         self.stats.plans_generated = int(state.get("plans_generated", 0))
 
     def replay_from_gcs(self) -> int:
-        """Recover the planning position from GCS after a restart.
+        """Recover the planning position after a restart.
 
-        Returns the step to resume from; plan history itself is rebuilt by
-        deterministic replay (same strategy + same seed ⇒ same plans).
+        Prefers the durable :class:`CheckpointStore`: the bounded suffix of
+        persisted plans is restored into memory directly and the planner
+        resumes after the newest one — no from-genesis regeneration.  Falls
+        back to the GCS position marker (plan history then rebuilt by
+        deterministic replay: same strategy + same seed ⇒ same plans).
+        Returns the step to resume from.
         """
+        if self.checkpoint_store is not None:
+            steps = self.checkpoint_store.steps(PLAN_NAMESPACE)
+            if steps:
+                suffix = steps[-self.replay_window :]
+                self._plan_history = [
+                    self.checkpoint_store.load(PLAN_NAMESPACE, s) for s in suffix
+                ]
+                self._step = steps[-1] + 1
+                return self._step
         if self.gcs is None:
             return self._step
         last = self.gcs.get("planner/last_step")
@@ -328,19 +362,46 @@ class Planner(Actor):
     # -- introspection -----------------------------------------------------------------------------------
 
     def plan_history(self) -> list[LoadingPlan]:
-        return list(self._plan_history)
+        """Every generated plan, oldest first (store-backed beyond the window)."""
+        return self.plans_since(-1)
+
+    def plans_since(self, step: int) -> list[LoadingPlan]:
+        """All plans with ``plan.step > step``, oldest first.
+
+        Served from the bounded in-memory window when possible; plans pruned
+        from memory are fetched back from the durable store.  Replay
+        consumers pass the restored checkpoint's step so only the suffix is
+        ever materialised.
+        """
+        plans = [plan for plan in self._plan_history if plan.step > step]
+        if self.checkpoint_store is not None:
+            in_memory = {plan.step for plan in plans}
+            missing = [
+                s
+                for s in self.checkpoint_store.steps(PLAN_NAMESPACE)
+                if s > step and s not in in_memory
+            ]
+            if missing:
+                fetched = [
+                    self.checkpoint_store.load(PLAN_NAMESPACE, s) for s in missing
+                ]
+                plans = sorted(fetched + plans, key=lambda plan: plan.step)
+        return plans
 
     def truncate_history(self, step: int) -> int:
         """Drop plans for steps ``>= step``; returns how many were dropped.
 
         Called when the prefetching pipeline flushes in-flight future steps
         (e.g. on a reshard): their plans were never delivered, so keeping
-        them would corrupt later deterministic replay and duplicate step
-        entries once the steps are re-planned.
+        them (in memory *or* in the durable store) would corrupt later
+        deterministic replay and duplicate step entries once the steps are
+        re-planned.
         """
         kept = [plan for plan in self._plan_history if plan.step < step]
         dropped = len(self._plan_history) - len(kept)
         self._plan_history = kept
+        if self.checkpoint_store is not None:
+            dropped = max(dropped, self.checkpoint_store.delete_from(PLAN_NAMESPACE, step))
         self._step = min(self._step, step)
         return dropped
 

@@ -340,7 +340,9 @@ class SourceLoader(Actor):
         and replays the Planner's plan history via :meth:`replay_demands`.
         Restored cursor checkpoints are deliberately discarded here — they
         shorten the *modelled* recovery latency (differential checkpointing)
-        but cannot reproduce the buffer contents on their own.
+        but cannot reproduce the buffer contents on their own.  Bounded
+        replay instead restores a consistent buffer snapshot via
+        :meth:`restore_replay_checkpoint` and replays only the suffix.
         """
         self._drop_staged()
         self._drop_buffer()
@@ -357,14 +359,24 @@ class SourceLoader(Actor):
         )
         self.refill()
 
-    def replay_demands(self, sample_ids: list[int]) -> int:
+    def replay_demands(self, sample_ids: list[int], refill: bool | None = None) -> int:
         """Replay one historical plan's demands against this loader's buffer.
 
-        Used after failover or a pipeline flush: starting from the pristine
-        state (:meth:`reset_for_replay`), replaying the Planner's plan
+        Used after failover or a pipeline flush: replaying the Planner's plan
         history — consuming the demanded ids from the buffer without staging
         payloads — reproduces the failed primary's buffer state.  Returns how
         many ids were consumed; ids served by other shards are ignored.
+
+        ``refill`` controls the step's buffer top-up.  The default (``None``)
+        refills only when this loader consumed something — matching the live
+        path, where a member whose demand slice is empty never enters its
+        prepare epilogue.  This matters beyond occupancy: a refill *probe*
+        advances the wrap-around cursor even when the buffer is already
+        complete, so an unconditional refill would drift the cursor of any
+        member replaying peers'/other-shards' demands.  The group-sync pass
+        passes ``refill=True`` (in live deferred mode the member prepared its
+        slice without refilling, and this call performs the step's single
+        refill even when it absorbed nothing).
         """
         replayed = 0
         for sample_id in sample_ids:
@@ -372,8 +384,100 @@ class SourceLoader(Actor):
                 self._remove_from_buffer(sample_id)
                 replayed += 1
         self.stats.samples_replayed += replayed
-        self.refill()
+        if refill is True or (refill is None and replayed):
+            self.refill()
         return replayed
+
+    def replay_checkpoint(self) -> dict:
+        """Snapshot the full replay state: cursor + buffer contents.
+
+        Unlike :meth:`state_dict` (cursor + counters only), this snapshot is
+        sufficient to reconstruct the buffer without replaying the plan
+        history from genesis: restoring it and replaying only the plans
+        *after* the snapshot step reproduces the exact state a full-history
+        replay would — recovery cost becomes bounded by the checkpoint
+        interval instead of O(steps).  Only valid at a step boundary where
+        every delivered plan's demands have been applied (the fleet sync
+        point); the fault-tolerance manager tags such snapshots consistent.
+        """
+        return {
+            "source": self.source.name,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "cursor": self._cursor.state_dict() if self._cursor is not None else {},
+            "buffer": list(self._buffer.values()),
+            "stats": {
+                "samples_buffered": self.stats.samples_buffered,
+                "samples_prepared": self.stats.samples_prepared,
+                "samples_delivered": self.stats.samples_delivered,
+                "samples_replayed": self.stats.samples_replayed,
+            },
+        }
+
+    def restore_replay_checkpoint(self, snapshot: dict, restore_stats: bool = False) -> None:
+        """Adopt a :meth:`replay_checkpoint` snapshot as this loader's state.
+
+        Drops any staged/buffered state, installs the snapshot's cursor and
+        buffer verbatim, and starts a fresh delta epoch so planner-side
+        mirrors resync rather than splice events across incarnations.  Used
+        by bounded failover recovery, mirror bootstrap (cloning the
+        canonical's live state) and whole-run restore.
+        """
+        if snapshot.get("source") != self.source.name:
+            raise PlanError(
+                f"replay checkpoint for source {snapshot.get('source')!r} "
+                f"does not match {self.source.name!r}"
+            )
+        if (
+            int(snapshot.get("shard_index", self.shard_index)) != self.shard_index
+            or int(snapshot.get("shard_count", self.shard_count)) != self.shard_count
+        ):
+            raise PlanError(
+                f"replay checkpoint shard {snapshot.get('shard_index')}/"
+                f"{snapshot.get('shard_count')} does not match loader "
+                f"{self.shard_index}/{self.shard_count}"
+            )
+        self._drop_staged()
+        self._drop_buffer()
+        self._delta_epoch = next(_DELTA_EPOCHS)
+        self._metadata_by_id.clear()
+        self._tickets.clear()
+        self._cursor = SourceCursor(
+            self.source,
+            self.filesystem,
+            shard_index=self.shard_index,
+            shard_count=self.shard_count,
+        )
+        if snapshot.get("cursor"):
+            self._cursor.load_state_dict(snapshot["cursor"])
+        for metadata in snapshot.get("buffer", ()):
+            self._buffer[metadata.sample_id] = metadata
+            self._metadata_by_id[metadata.sample_id] = metadata
+            self.ledger.charge("prefetch_buffer", BUFFERED_METADATA_BYTES)
+        if restore_stats:
+            stats = snapshot.get("stats", {})
+            self.stats.samples_buffered = int(stats.get("samples_buffered", 0))
+            self.stats.samples_prepared = int(stats.get("samples_prepared", 0))
+            self.stats.samples_delivered = int(stats.get("samples_delivered", 0))
+            self.stats.samples_replayed = int(stats.get("samples_replayed", 0))
+
+    def resize_worker_pool(self, num_workers: int) -> int:
+        """Grow or shrink the transform worker pool in place.
+
+        Re-books the worker execution contexts on the memory ledger and
+        updates the latency amortisation divisor; the actor system re-books
+        the matching CPU reservation and execution lanes separately
+        (:meth:`repro.actors.runtime.ActorSystem.resize_actor_pool`).
+        """
+        if num_workers < 1:
+            raise PlanError("a source loader needs at least one worker")
+        delta = num_workers - self.num_workers
+        if delta > 0:
+            self.ledger.charge("worker_context", WORKER_CONTEXT_BYTES * delta)
+        elif delta < 0:
+            self.ledger.release("worker_context", WORKER_CONTEXT_BYTES * -delta)
+        self.num_workers = num_workers
+        return self.num_workers
 
     def _prepare_one(self, sample_id: int) -> tuple[float, int]:
         """Transform and stage one sample; returns (latency_s, staged_bytes)."""

@@ -211,8 +211,8 @@ class StepPipeline:
         delivered plans against it, and (4) releases the staging the flushed
         steps occupied on the constructors.
 
-        Each reset starts a fresh buffer-delta epoch on its loader, so the
-        Planner's columnar gather mirrors (``planning="columnar"``) resync
+        Each restore/reset starts a fresh buffer-delta epoch on its loader, so
+        the Planner's columnar gather mirrors (``planning="columnar"``) resync
         from a full snapshot on the next plan instead of splicing events from
         the pre-flush incarnation — the flush costs one O(buffer) gather,
         after which delta gathering resumes.
@@ -223,15 +223,31 @@ class StepPipeline:
                 future.cancel()
         planner = fw.planner_handle.instance()
         planner.truncate_history(fw._step)
-        delivered_plans = planner.plan_history()
-        # Reset the *whole* fleet (canonicals and elastic mirrors alike):
-        # every shard-group member is a byte-exact replica of its canonical,
-        # so the same delivered-history replay reconstructs each of them.
+        # Checkpoints taken at the sync points of flushed (never-delivered)
+        # steps would replay demands that no longer exist post-flush.
+        fw.fault_manager.discard_checkpoints_after(fw._step - 1)
+        # Rewind the *whole* fleet (canonicals and elastic mirrors alike) to
+        # the delivered prefix: restore the newest consistent differential
+        # checkpoint and replay only the plan suffix past it — bounded in run
+        # length.  Members without one (fresh deployments, manual-checkpoint
+        # tests) fall back to pristine reset + full delivered-history replay;
+        # either way every shard-group member is a byte-exact replica of the
+        # state a lone loader would hold after the delivered prefix.
         for handle in fw.fleet.all_handles():
             try:
-                handle.call("reset_for_replay")
+                checkpoint = fw.fault_manager.last_loader_checkpoint(
+                    handle.name, max_step=fw._step - 1, consistent=True
+                )
+                if checkpoint is not None:
+                    handle.call("restore_replay_checkpoint", checkpoint["replay"])
+                    suffix_after = checkpoint["step"]
+                else:
+                    handle.call("reset_for_replay")
+                    suffix_after = -1
                 source_name = handle.instance().source.name
-                for plan in delivered_plans:
+                for plan in planner.plans_since(suffix_after):
+                    if plan.step >= fw._step:
+                        continue
                     demanded = plan.source_demands.get(source_name, [])
                     if demanded:
                         handle.call("replay_demands", list(demanded))
@@ -391,6 +407,10 @@ class StepPipeline:
             # shard-group mirrors absorb their peers' demands now (one refill
             # per member), before any later step's plan gathers buffers.
             fw.fleet.sync_after_prepare(item.demands)
+            # Differential-interval checkpoint at the per-step sync point —
+            # the strict-order pump guarantees every plan <= item.step is
+            # fully applied here and nothing beyond has started.
+            fw._checkpoint_members(item.step)
             item.state = "fetching"
         return True
 
@@ -471,12 +491,12 @@ class StepPipeline:
         """Promote/restart a failed loader and resync its buffer state.
 
         Delegates to :meth:`MegaScaleData.recover_fleet_member` — the one
-        recovery implementation shared with the synchronous path: reset the
-        replacement to pristine post-start state (discarding any restored
-        cursor checkpoint, which shortens the *modelled* recovery latency but
-        cannot reproduce buffer contents) and replay the Planner's completed
-        plan history before ``at_step`` (Sec. 6.1 differential checkpoint +
-        replay), reproducing the failed primary's buffer exactly.
+        recovery implementation shared with the synchronous path: promote a
+        hot-standby mirror when the group has one (zero replay), otherwise
+        restore the replacement from its newest consistent differential
+        checkpoint and replay only the post-checkpoint plan suffix before
+        ``at_step`` (Sec. 6.1 differential checkpoint + replay, bounded in
+        run length), reproducing the failed primary's buffer exactly.
         """
         return self.framework.recover_fleet_member(handle, at_step)
 

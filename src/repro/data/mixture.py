@@ -63,6 +63,11 @@ class MixtureSchedule:
         self._weight_fn = weight_fn
         self._source_names = list(source_names)
         self.description = description
+        #: Construction recipe set by the serializable classmethod builders
+        #: (static/uniform/staged/warmup); lets a durable checkpoint rebuild
+        #: the schedule without pickling the weight closure.  ``None`` for
+        #: custom or callback-driven (adaptive) schedules.
+        self._recipe: tuple | None = None
         # Per-step memo: the Planner evaluates weights_at(step) several times
         # per step (DGraph.mix, the AutoScaler's moving average window), and
         # staged/warmup weight functions re-normalise on every call.  Weights
@@ -76,7 +81,9 @@ class MixtureSchedule:
     @classmethod
     def static(cls, weights: dict[str, float]) -> "MixtureSchedule":
         normalized = _normalize(weights)
-        return cls(lambda step: normalized, list(normalized), description="static")
+        schedule = cls(lambda step: normalized, list(normalized), description="static")
+        schedule._recipe = ("static", dict(weights))
+        return schedule
 
     @classmethod
     def uniform(cls, source_names: list[str]) -> "MixtureSchedule":
@@ -84,7 +91,9 @@ class MixtureSchedule:
             raise MixtureError("uniform mixture needs at least one source")
         weight = 1.0 / len(source_names)
         weights = {name: weight for name in source_names}
-        return cls(lambda step: weights, list(source_names), description="uniform")
+        schedule = cls(lambda step: weights, list(source_names), description="uniform")
+        schedule._recipe = ("uniform", list(source_names))
+        return schedule
 
     @classmethod
     def staged(cls, phases: list[MixturePhase]) -> "MixtureSchedule":
@@ -104,7 +113,12 @@ class MixtureSchedule:
                     break
             return {name: active.weights.get(name, 0.0) for name in names}
 
-        return cls(weight_fn, names, description=f"staged[{len(ordered)} phases]")
+        schedule = cls(weight_fn, names, description=f"staged[{len(ordered)} phases]")
+        schedule._recipe = (
+            "staged",
+            [(phase.start_step, dict(phase.weights)) for phase in ordered],
+        )
+        return schedule
 
     @classmethod
     def warmup(
@@ -124,7 +138,9 @@ class MixtureSchedule:
             }
             return _normalize(blended)
 
-        return cls(weight_fn, names, description=f"warmup[{warmup_steps} steps]")
+        schedule = cls(weight_fn, names, description=f"warmup[{warmup_steps} steps]")
+        schedule._recipe = ("warmup", dict(initial), dict(final), warmup_steps)
+        return schedule
 
     @classmethod
     def adaptive(
@@ -159,6 +175,37 @@ class MixtureSchedule:
             return cache[bucket]
 
         return cls(weight_fn, list(source_names), description="adaptive")
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def descriptor(self) -> dict | None:
+        """Plain-data construction recipe, or ``None`` when not serializable.
+
+        Schedules built via :meth:`static` / :meth:`uniform` / :meth:`staged` /
+        :meth:`warmup` are pure functions of plain data and round-trip through
+        a durable checkpoint; adaptive and custom schedules close over user
+        callbacks and cannot (callers keep the job-spec schedule instead).
+        """
+        if self._recipe is None:
+            return None
+        return {"recipe": self._recipe, "description": self.description}
+
+    @classmethod
+    def from_descriptor(cls, descriptor: dict) -> "MixtureSchedule":
+        """Rebuild a schedule saved by :meth:`descriptor`."""
+        recipe = descriptor["recipe"]
+        kind = recipe[0]
+        if kind == "static":
+            return cls.static(recipe[1])
+        if kind == "uniform":
+            return cls.uniform(recipe[1])
+        if kind == "staged":
+            return cls.staged(
+                [MixturePhase(start_step=start, weights=weights) for start, weights in recipe[1]]
+            )
+        if kind == "warmup":
+            return cls.warmup(recipe[1], recipe[2], recipe[3])
+        raise MixtureError(f"unknown mixture descriptor kind {kind!r}")
 
     # -- queries ---------------------------------------------------------------
 

@@ -195,18 +195,21 @@ class FetchOverlap:
 DATA_PLANE_ROLES = frozenset({"planner", "source_loader", "data_constructor"})
 
 #: Role tag for fleet-lifecycle timeline events (spawn / retire / placement
-#: rejection).  Deliberately outside :data:`DATA_PLANE_ROLES` and distinct
-#: from the trainer component, so elasticity markers never perturb
-#: hidden/exposed reconciliation: they are neither busy data time nor compute
-#: windows work could hide behind.
+#: rejection / worker resize / mirror promotion).  Deliberately outside
+#: :data:`DATA_PLANE_ROLES` and distinct from the trainer component, so
+#: elasticity markers never perturb hidden/exposed reconciliation: they are
+#: neither busy data time nor compute windows work could hide behind.
 FLEET_ROLE = "fleet"
+
+#: Every fleet mutation kind the ledger accepts.
+FLEET_EVENT_KINDS = frozenset({"spawn", "retire", "reject", "resize", "promote"})
 
 
 @dataclass(frozen=True)
 class FleetEvent:
     """One loader-fleet mutation, recorded in the ledger's elasticity section."""
 
-    kind: str  # "spawn" | "retire" | "reject"
+    kind: str  # one of FLEET_EVENT_KINDS
     step: int
     at_s: float
     source: str
@@ -474,12 +477,12 @@ class OverlapLedger:
         return ledger
 
     def add_fleet_event(self, event: FleetEvent) -> FleetEvent:
-        """Append one elasticity event (spawn / retire / reject) as-is.
+        """Append one elasticity event as-is.
 
         The loader fleet emits :class:`FleetEvent` records directly, so the
         ledger stores the same objects — one dataclass, no field copying.
         """
-        if event.kind not in ("spawn", "retire", "reject"):
+        if event.kind not in FLEET_EVENT_KINDS:
             raise ValueError(f"unknown fleet event kind {event.kind!r}")
         self._fleet_events.append(event)
         return event
@@ -513,15 +516,17 @@ class OverlapLedger:
         return [event for event in self._fleet_events if event.kind == kind]
 
     def elasticity_summary(self) -> dict[str, float]:
-        """Spawn/retire/reject counts plus the net fleet delta."""
-        spawns = sum(1 for event in self._fleet_events if event.kind == "spawn")
-        retires = sum(1 for event in self._fleet_events if event.kind == "retire")
-        rejects = sum(1 for event in self._fleet_events if event.kind == "reject")
+        """Per-kind fleet mutation counts plus the net fleet delta."""
+        counts = {kind: 0 for kind in FLEET_EVENT_KINDS}
+        for event in self._fleet_events:
+            counts[event.kind] += 1
         return {
-            "fleet_spawns": float(spawns),
-            "fleet_retires": float(retires),
-            "fleet_rejections": float(rejects),
-            "fleet_net_delta": float(spawns - retires),
+            "fleet_spawns": float(counts["spawn"]),
+            "fleet_retires": float(counts["retire"]),
+            "fleet_rejections": float(counts["reject"]),
+            "fleet_resizes": float(counts["resize"]),
+            "fleet_promotions": float(counts["promote"]),
+            "fleet_net_delta": float(counts["spawn"] - counts["retire"]),
         }
 
     def records(self) -> list[FetchOverlap]:

@@ -1,0 +1,126 @@
+"""A small durable key-value table on stdlib :mod:`sqlite3`.
+
+The control plane persists checkpoints through
+:class:`repro.core.checkpoint.SqliteCheckpointStore`, which delegates the
+actual storage to this helper.  Keeping the SQL in ``storage/`` mirrors the
+real system's layering: the core never talks to a database directly, it goes
+through the storage package, and the byte footprint of every write can be
+mirrored into a :class:`~repro.storage.filesystem.SimulatedFileSystem` so the
+simulated storage accounting sees checkpoint traffic too.
+
+The schema is a single table::
+
+    checkpoints(namespace TEXT, step INTEGER, payload BLOB,
+                PRIMARY KEY (namespace, step))
+
+Payloads are opaque byte strings; serialization policy belongs to the caller.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.storage.filesystem import SimulatedFileSystem
+
+
+class SqliteKVStore:
+    """Namespaced, step-indexed blob storage backed by SQLite.
+
+    Parameters
+    ----------
+    path:
+        Database location.  Defaults to ``":memory:"`` which is still a real
+        SQLite database (WAL, SQL, constraints), just not persisted to disk —
+        the right default for simulation runs.
+    filesystem:
+        Optional simulated filesystem; when given, every ``put`` mirrors the
+        payload size under ``/checkpoints/<namespace>/<step>`` so storage
+        dashboards and byte accounting include checkpoint traffic.
+    """
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        filesystem: SimulatedFileSystem | None = None,
+    ) -> None:
+        self.path = path
+        self.filesystem = filesystem
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS checkpoints ("
+            " namespace TEXT NOT NULL,"
+            " step INTEGER NOT NULL,"
+            " payload BLOB NOT NULL,"
+            " PRIMARY KEY (namespace, step))"
+        )
+        self._conn.commit()
+
+    # -- primitives ------------------------------------------------------------
+
+    def put(self, namespace: str, step: int, payload: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO checkpoints (namespace, step, payload) VALUES (?, ?, ?)",
+            (namespace, int(step), payload),
+        )
+        self._conn.commit()
+        if self.filesystem is not None:
+            self.filesystem.write(
+                f"/checkpoints/{namespace}/{int(step)}",
+                None,
+                size_bytes=len(payload),
+                kind="checkpoint",
+            )
+
+    def get(self, namespace: str, step: int) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT payload FROM checkpoints WHERE namespace = ? AND step = ?",
+            (namespace, int(step)),
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def latest(self, namespace: str, max_step: int | None = None) -> tuple[int, bytes] | None:
+        if max_step is None:
+            row = self._conn.execute(
+                "SELECT step, payload FROM checkpoints WHERE namespace = ?"
+                " ORDER BY step DESC LIMIT 1",
+                (namespace,),
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT step, payload FROM checkpoints WHERE namespace = ? AND step <= ?"
+                " ORDER BY step DESC LIMIT 1",
+                (namespace, int(max_step)),
+            ).fetchone()
+        return None if row is None else (int(row[0]), row[1])
+
+    def steps(self, namespace: str) -> list[int]:
+        rows = self._conn.execute(
+            "SELECT step FROM checkpoints WHERE namespace = ? ORDER BY step",
+            (namespace,),
+        ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def delete_from(self, namespace: str, step: int) -> int:
+        """Drop every entry in ``namespace`` with step >= ``step``."""
+        cursor = self._conn.execute(
+            "DELETE FROM checkpoints WHERE namespace = ? AND step >= ?",
+            (namespace, int(step)),
+        )
+        self._conn.commit()
+        return cursor.rowcount
+
+    def delete_below(self, namespace: str, step: int) -> int:
+        """Drop every entry in ``namespace`` with step < ``step``."""
+        cursor = self._conn.execute(
+            "DELETE FROM checkpoints WHERE namespace = ? AND step < ?",
+            (namespace, int(step)),
+        )
+        self._conn.commit()
+        return cursor.rowcount
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM checkpoints")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()

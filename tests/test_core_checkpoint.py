@@ -1,0 +1,688 @@
+"""Durable control-plane checkpoints and bounded-replay recovery.
+
+Covers the PR's tentpole — pluggable :class:`CheckpointStore` backends, the
+Planner's bounded plan window, and whole-run ``save_checkpoint``/``restore``
+with byte-identical continuation — plus the elasticity bug backlog that rides
+along: ``target_workers_per_actor`` application, the reservation queue for
+rejected placements, and hot-standby promotion of fleet mirrors.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    InMemoryCheckpointStore,
+    SqliteCheckpointStore,
+)
+from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
+from repro.core.framework import RUN_NAMESPACE, MegaScaleData, TrainingJobSpec
+from repro.core.planner import PLAN_NAMESPACE
+from repro.core.plans import LoaderScalingDirective, ScalingPlan
+from repro.core.source_loader import SourceLoader
+from repro.data.mixture import MixturePhase, MixtureSchedule
+from repro.errors import ConfigurationError
+from repro.utils.units import GIB
+
+
+def make_job(prefetch_depth: int = 0, seed: int = 11, **overrides) -> TrainingJobSpec:
+    spec = dict(
+        pp=1, dp=2, cp=1, tp=1, encoder=None, strategy="backbone_balance",
+        samples_per_dp_step=4, num_microbatches=2, num_sources=3,
+        samples_per_source=64, seed=seed, prefetch_depth=prefetch_depth,
+    )
+    spec.update(overrides)
+    return TrainingJobSpec(**spec)
+
+
+def delivery_signature(result):
+    """Byte-level signature of a step's per-rank deliveries."""
+    return {
+        rank: [
+            (piece.rank, piece.microbatch_index, piece.token_count,
+             piece.payload_bytes, piece.metadata_only, piece.replicated_from)
+            for piece in delivery.slices
+        ]
+        for rank, delivery in sorted(result.deliveries.items())
+    }
+
+
+def run_signature(system, steps):
+    """Demands + delivery signatures for the next ``steps`` steps."""
+    trace = []
+    for _ in range(steps):
+        result = system.run_step()
+        trace.append((result.step, result.plan.source_demands, delivery_signature(result)))
+    return trace
+
+
+# -- checkpoint store backends ------------------------------------------------------
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        yield InMemoryCheckpointStore()
+    else:
+        backend = SqliteCheckpointStore()
+        yield backend
+        backend.close()
+
+
+class TestCheckpointStores:
+    def test_save_load_latest_roundtrip(self, store):
+        assert store.load_latest("ns") is None
+        assert store.load("ns", 0) is None
+        for step in (0, 5, 10):
+            store.save("ns", step, {"step": step})
+        assert store.steps("ns") == [0, 5, 10]
+        assert store.load("ns", 5) == {"step": 5}
+        assert store.load_latest("ns") == (10, {"step": 10})
+        assert store.load_latest("ns", max_step=9) == (5, {"step": 5})
+        assert store.load_latest("ns", max_step=4) == (0, {"step": 0})
+        assert store.load_latest("other") is None
+
+    def test_overwrite_replaces_payload(self, store):
+        store.save("ns", 3, "old")
+        store.save("ns", 3, "new")
+        assert store.steps("ns") == [3]
+        assert store.load("ns", 3) == "new"
+
+    def test_delete_from_and_prune_below(self, store):
+        for step in range(6):
+            store.save("ns", step, step)
+        assert store.delete_from("ns", 4) == 2
+        assert store.steps("ns") == [0, 1, 2, 3]
+        assert store.prune_below("ns", 2) == 2
+        assert store.steps("ns") == [2, 3]
+        store.clear()
+        assert store.steps("ns") == []
+
+    def test_namespaces_are_isolated(self, store):
+        store.save("a", 0, "a0")
+        store.save("b", 0, "b0")
+        store.delete_from("a", 0)
+        assert store.load("b", 0) == "b0"
+        assert store.load("a", 0) is None
+
+    def test_sqlite_pickles_real_control_plane_payloads(self, filesystem, small_catalog):
+        """Loader replay snapshots and generated plans survive the durable
+        medium byte-for-byte — the contract the in-memory backend skips."""
+        backend = SqliteCheckpointStore()
+        loader = SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8)
+        loader.on_start()
+        snapshot = loader.replay_checkpoint()
+        backend.save("loader/test", 0, snapshot)
+        restored = backend.load("loader/test", 0)
+        assert restored is not snapshot
+        assert restored["cursor"] == snapshot["cursor"]
+        assert [m.sample_id for m in restored["buffer"]] == [
+            m.sample_id for m in snapshot["buffer"]
+        ]
+        fresh = SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8)
+        fresh.on_start()
+        fresh.restore_replay_checkpoint(restored)
+        assert [m.sample_id for m in fresh.summary_buffer()] == [
+            m.sample_id for m in loader.summary_buffer()
+        ]
+        backend.close()
+
+    def test_sqlite_rejects_unpicklable_payload(self):
+        backend = SqliteCheckpointStore()
+        with pytest.raises(CheckpointError):
+            backend.save("ns", 0, {"callback": lambda: None})
+        backend.close()
+
+    def test_sqlite_mirrors_bytes_into_filesystem(self, filesystem):
+        backend = SqliteCheckpointStore(filesystem=filesystem)
+        backend.save("planner/plans", 7, {"step": 7})
+        objects = [
+            path for path in filesystem.listdir("/checkpoints") if "checkpoints" in path
+        ]
+        assert objects
+        assert filesystem.stat(objects[0]).size_bytes > 0
+        backend.close()
+
+
+# -- planner bounded plan window ----------------------------------------------------
+
+
+class TestPlannerBoundedWindow:
+    def test_memory_window_trims_but_store_keeps_everything(self):
+        system = MegaScaleData.deploy(make_job(replay_window=4, checkpoint_backend="sqlite"))
+        try:
+            for _ in range(10):
+                system.run_step()
+            planner = system.planner_handle.instance()
+            # In-memory history is bounded by the replay window...
+            assert len(planner._plan_history) <= 4
+            # ...but the durable store holds the full run,
+            assert system.checkpoint_store.steps(PLAN_NAMESPACE) == list(range(10))
+            # and history queries transparently merge the persisted prefix.
+            assert [p.step for p in planner.plan_history()] == list(range(10))
+            assert [p.step for p in planner.plans_since(6)] == [7, 8, 9]
+        finally:
+            system.shutdown()
+
+    def test_replay_from_gcs_restores_bounded_suffix(self):
+        system = MegaScaleData.deploy(make_job(replay_window=4, checkpoint_backend="memory"))
+        try:
+            for _ in range(10):
+                system.run_step()
+            planner = system.planner_handle.instance()
+            planner._plan_history = []
+            resume_at = planner.replay_from_gcs()
+            assert resume_at == 10
+            # Bounded: the restart rehydrates at most the window, not the run.
+            assert [p.step for p in planner._plan_history] == [6, 7, 8, 9]
+        finally:
+            system.shutdown()
+
+    def test_truncate_history_drops_store_suffix_too(self):
+        system = MegaScaleData.deploy(make_job(replay_window=4, checkpoint_backend="memory"))
+        try:
+            for _ in range(6):
+                system.run_step()
+            planner = system.planner_handle.instance()
+            planner.truncate_history(3)
+            assert system.checkpoint_store.steps(PLAN_NAMESPACE) == [0, 1, 2]
+            assert [p.step for p in planner.plan_history()] == [0, 1, 2]
+        finally:
+            system.shutdown()
+
+
+# -- satellite: target_workers_per_actor is applied ---------------------------------
+
+
+class TestWorkerResizeDirective:
+    def test_worker_directive_resizes_pool_and_reservation(self):
+        """Regression: a directive whose only change is
+        ``target_workers_per_actor`` used to be silently ignored."""
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            planner = system.planner_handle.instance()
+            group = system.fleet._by_source[source][0]
+            old_workers = group.workers_per_actor
+            node_free = {n.name: n.available_cpu for n in system.system.nodes}
+            plan = ScalingPlan(
+                step=1,
+                directives=[
+                    LoaderScalingDirective(
+                        source=source,
+                        target_actors=system.fleet.member_count(source),
+                        target_workers_per_actor=old_workers + 2,
+                    )
+                ],
+            )
+            system.fleet.apply_scaling(plan, step=1, planner=planner)
+            # The loader's transform pool actually grew...
+            assert group.canonical.instance().num_workers == old_workers + 2
+            assert group.workers_per_actor == old_workers + 2
+            # ...and the node re-booked two more cores for it.
+            node = system.system.actor_node(group.canonical.name)
+            booked = {
+                n.name: node_free[n.name] - n.available_cpu for n in system.system.nodes
+            }
+            assert booked[node] == pytest.approx(2.0)
+            resizes = [c for c in system.fleet.changes if c.kind == "resize"]
+            assert resizes and f"{old_workers} -> {old_workers + 2}" in resizes[-1].detail
+            # Shrinking back releases the reservation again.
+            system.fleet.resize_workers(source, old_workers, step=2)
+            assert group.canonical.instance().num_workers == old_workers
+            assert all(
+                n.available_cpu == pytest.approx(node_free[n.name])
+                for n in system.system.nodes
+            )
+        finally:
+            system.shutdown()
+
+    def test_resize_rejection_keeps_old_pool(self):
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            group = system.fleet._by_source[source][0]
+            old_workers = group.workers_per_actor
+            for node in system.system.nodes:
+                node.reserve("filler", node.available_cpu - 0.25, 0)
+            assert not system.fleet.resize_workers(source, old_workers + 8, step=1)
+            assert group.canonical.instance().num_workers == old_workers
+            rejected = [
+                c for c in system.fleet.changes
+                if c.kind == "resize" and "rejected" in c.detail
+            ]
+            assert rejected
+        finally:
+            system.shutdown()
+
+    def test_new_mirrors_inherit_resized_pool(self):
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            planner = system.planner_handle.instance()
+            group = system.fleet._by_source[source][0]
+            target = group.workers_per_actor + 1
+            system.fleet.resize_workers(source, target, step=0)
+            mirror = system.fleet.spawn_member(source, step=1, planner=planner)
+            assert mirror is not None
+            assert mirror.instance().num_workers == target
+        finally:
+            system.shutdown()
+
+
+# -- satellite: reservation queue for rejected placements ---------------------------
+
+
+class TestReservationQueue:
+    def test_rejected_spawn_queues_and_fires_when_capacity_frees(self):
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            planner = system.planner_handle.instance()
+            before = system.fleet.member_count(source)
+            filler = {n.name: n.available_cpu - 0.25 for n in system.system.nodes}
+            for node in system.system.nodes:
+                node.reserve("filler", filler[node.name], 0)
+            plan = ScalingPlan(
+                step=1,
+                directives=[
+                    LoaderScalingDirective(
+                        source=source, target_actors=before + 1,
+                        target_workers_per_actor=0,
+                    )
+                ],
+            )
+            system.fleet.apply_scaling(plan, step=1, planner=planner)
+            assert system.fleet.member_count(source) == before
+            assert system.fleet.rejection_count() >= 1
+            assert system.fleet.pending_spawn_count(source) == 1
+            # Still no capacity: the retry is a quiet probe, not a new reject.
+            rejects_before = system.fleet.rejection_count()
+            assert system.fleet.retry_pending_spawns(2, planner) == 0
+            assert system.fleet.rejection_count() == rejects_before
+            # A drain-retire elsewhere frees the node: the queued reservation
+            # fires with no fresh directive.
+            for node in system.system.nodes:
+                node.release("filler", filler[node.name], 0)
+            assert system.fleet.retry_pending_spawns(3, planner) == 1
+            assert system.fleet.member_count(source) == before + 1
+            assert system.fleet.pending_spawn_count() == 0
+        finally:
+            system.shutdown()
+
+    def test_run_step_retries_pending_spawns_after_capacity_frees(self):
+        """The integrated path: the step boundary drains the queue once a
+        blocked node frees up, without the scaler re-issuing anything."""
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src001"
+            planner = system.planner_handle.instance()
+            before = system.fleet.member_count(source)
+            filler = {n.name: n.available_cpu - 0.25 for n in system.system.nodes}
+            for node in system.system.nodes:
+                node.reserve("filler", filler[node.name], 0)
+            system.fleet.apply_scaling(
+                ScalingPlan(
+                    step=0,
+                    directives=[
+                        LoaderScalingDirective(
+                            source=source, target_actors=before + 1,
+                            target_workers_per_actor=0,
+                        )
+                    ],
+                ),
+                step=0,
+                planner=planner,
+            )
+            assert system.fleet.pending_spawn_count(source) == 1
+            system.run_step()  # saturated: queue survives the boundary
+            assert system.fleet.pending_spawn_count(source) == 1
+            for node in system.system.nodes:
+                node.release("filler", filler[node.name], 0)
+            system.run_step()  # freed: boundary fires the queued spawn
+            assert system.fleet.pending_spawn_count() == 0
+            assert system.fleet.member_count(source) == before + 1
+        finally:
+            system.shutdown()
+
+
+# -- satellite: hot-standby promotion of fleet mirrors ------------------------------
+
+
+class TestHotStandbyPromotion:
+    def test_canonical_failure_promotes_mirror_with_zero_replay(self):
+        """A failed canonical whose group holds a live mirror adopts it in
+        place — no restart, no replay — and the delivered batches stay
+        byte-identical to an undisturbed run."""
+        reference = MegaScaleData.deploy(make_job())
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            for peer in (reference, system):
+                peer.run_step()
+                peer.scale_source(source, 2)
+            canonical = system.fleet._by_source[source][0].canonical
+            mirror = system.fleet.standby_mirror(canonical.name)
+            assert mirror is not None
+            reference.scale_source(source, 1)  # keep fleets same-shaped logically
+            reference.run_step()
+            system.system.failures.fail(canonical.name)
+            result = system.run_step()
+            # Recovery chose promotion, not restart-and-replay.
+            events = system.fault_manager.events()
+            assert events and events[-1].kind == "mirror_promotion"
+            promotions = [c for c in system.fleet.changes if c.kind == "promote"]
+            assert promotions and promotions[-1].actor == mirror.name
+            # The promoted mirror is now the planner-visible canonical.
+            assert system.fleet._by_source[source][0].canonical.name == mirror.name
+            assert any(h.name == mirror.name for h in system.loader_handles)
+            assert all(h.name != canonical.name for h in system.loader_handles)
+            # Behaviour-invisible: same batches as the undisturbed twin.
+            expected = reference.history()[-1]
+            assert result.plan.source_demands == expected.plan.source_demands
+            assert delivery_signature(result) == delivery_signature(expected)
+            for _ in range(3):
+                a = reference.run_step()
+                b = system.run_step()
+                assert delivery_signature(a) == delivery_signature(b)
+        finally:
+            reference.shutdown()
+            system.shutdown()
+
+    def test_failed_mirror_still_restarts_without_promotion(self):
+        """Promotion is canonical-only: a dead mirror is replaced inside its
+        group via bounded replay, leaving the canonical untouched."""
+        system = MegaScaleData.deploy(make_job())
+        try:
+            source = "navit_data/src000"
+            system.run_step()
+            system.scale_source(source, 2)
+            canonical = system.fleet._by_source[source][0].canonical
+            mirror = system.fleet.standby_mirror(canonical.name)
+            system.system.failures.fail(mirror.name)
+            system.run_step()
+            assert system.fleet._by_source[source][0].canonical.name == canonical.name
+            assert not any(c.kind == "promote" for c in system.fleet.changes)
+        finally:
+            system.shutdown()
+
+
+# -- tentpole: whole-run save/restore with bounded replay ---------------------------
+
+
+class TestWholeRunRestore:
+    @pytest.mark.parametrize("planning", ["columnar", "legacy"])
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_continuation_byte_identical(self, planning, backend):
+        job = make_job(prefetch_depth=2, planning=planning, checkpoint_backend=backend)
+        reference = MegaScaleData.deploy(make_job(prefetch_depth=2, planning=planning))
+        system = MegaScaleData.deploy(job)
+        store = system.checkpoint_store
+        try:
+            expected = run_signature(reference, 10)
+            prefix = run_signature(system, 6)
+            saved_at = system.save_checkpoint()
+            assert saved_at == 6
+            system.shutdown()
+            system = MegaScaleData.restore(job, store)
+            suffix = run_signature(system, 4)
+            assert prefix + suffix == expected
+        finally:
+            reference.shutdown()
+            system.shutdown()
+
+    def test_restore_requires_a_saved_checkpoint(self):
+        with pytest.raises(ConfigurationError):
+            MegaScaleData.restore(make_job(), InMemoryCheckpointStore())
+
+    def test_restore_rebuilds_fleet_topology(self):
+        """Mirrors and worker sizing survive the round trip: the restored
+        fleet has the saved shape without replaying any scaling directive."""
+        job = make_job()
+        system = MegaScaleData.deploy(job)
+        store = system.checkpoint_store
+        source = "navit_data/src000"
+        try:
+            system.run_step()
+            system.scale_source(source, 2)
+            group = system.fleet._by_source[source][0]
+            system.fleet.resize_workers(source, group.workers_per_actor + 1, step=1)
+            workers = group.workers_per_actor
+            system.run_step()
+            system.save_checkpoint()
+            system.shutdown()
+            system = MegaScaleData.restore(job, store)
+            assert system.fleet.member_count(source) == 2
+            restored_group = system.fleet._by_source[source][0]
+            assert restored_group.workers_per_actor == workers
+            assert restored_group.canonical.instance().num_workers == workers
+            # And the restored members carry a consistent replay baseline, so
+            # a post-restore crash keeps bounded replay.
+            for handle in system.fleet.all_handles():
+                entry = system.fault_manager.last_loader_checkpoint(
+                    handle.name, consistent=True
+                )
+                assert entry is not None and "replay" in entry
+        finally:
+            system.shutdown()
+
+    def test_restore_preserves_user_mixture(self):
+        mixture = MixtureSchedule.staged(
+            [
+                MixturePhase(0, {"navit_data/src000": 0.7, "navit_data/src001": 0.2,
+                                 "navit_data/src002": 0.1}),
+                MixturePhase(4, {"navit_data/src000": 0.1, "navit_data/src001": 0.3,
+                                 "navit_data/src002": 0.6}),
+            ]
+        )
+        job = make_job(mixture=mixture)
+        reference = MegaScaleData.deploy(make_job(mixture=mixture))
+        system = MegaScaleData.deploy(job)
+        store = system.checkpoint_store
+        try:
+            expected = run_signature(reference, 8)
+            prefix = run_signature(system, 3)
+            system.save_checkpoint()
+            system.shutdown()
+            system = MegaScaleData.restore(job, store)
+            planner = system.planner_handle.instance()
+            assert planner.mixture.description == mixture.description
+            assert planner.mixture.weights_at(5) == mixture.weights_at(5)
+            suffix = run_signature(system, 5)
+            assert prefix + suffix == expected
+        finally:
+            reference.shutdown()
+            system.shutdown()
+
+    def test_post_restore_crash_uses_bounded_replay(self):
+        """After a restore, a loader crash recovers from the forced baseline
+        checkpoint — it never replays the pre-restore plan history."""
+        job = make_job(replay_window=3)
+        system = MegaScaleData.deploy(job)
+        store = system.checkpoint_store
+        try:
+            for _ in range(6):
+                system.run_step()
+            system.save_checkpoint()
+            system.shutdown()
+            system = MegaScaleData.restore(job, store)
+            reference = MegaScaleData.deploy(make_job(replay_window=3))
+            for _ in range(7):
+                reference.run_step()
+            system.run_step()
+            victim = system.loader_handles[0]
+            system.system.failures.fail(victim.name)
+            a = system.run_step()
+            b = reference.run_step()
+            assert delivery_signature(a) == delivery_signature(b)
+            event = system.fault_manager.events()[-1]
+            assert event.kind in ("restart", "shadow_promotion")
+            # Bounded: the replay charge covers a suffix, not the whole run.
+            assert event.recovery_latency_s < (
+                system.fault_manager.config.coordinator_restart_latency_s
+                + 8 * system.fault_manager.config.replay_latency_per_step_s
+            )
+            reference.shutdown()
+        finally:
+            system.shutdown()
+
+
+# -- property: crash + restore is invisible, under any planning/elastic mix ---------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=15),
+    planning=st.sampled_from(["columnar", "legacy"]),
+    depth=st.sampled_from([0, 2]),
+    crash_step=st.integers(min_value=4, max_value=6),
+    elastic_event=st.sampled_from(["none", "up", "up_down"]),
+)
+@settings(max_examples=6, deadline=None)
+def test_crash_restore_continuation_byte_identical(
+    seed, planning, depth, crash_step, elastic_event
+):
+    """The durability contract: for any seed, planning mode, prefetch depth
+    and mid-run fleet churn, killing the whole deployment after
+    ``save_checkpoint`` and restoring from the store continues the run with
+    batches byte-identical to the uninterrupted twin."""
+
+    def deploy(job):
+        return MegaScaleData.deploy(job)
+
+    def drive(system, start, stop):
+        trace = []
+        for step in range(start, stop):
+            if elastic_event != "none" and step == 1:
+                system.scale_source("navit_data/src000", 2)
+            if elastic_event == "up_down" and step == 3:
+                system.scale_source("navit_data/src000", 1)
+            result = system.run_step()
+            trace.append((result.step, result.plan.source_demands,
+                          delivery_signature(result)))
+        return trace
+
+    job = make_job(prefetch_depth=depth, seed=seed, planning=planning)
+    reference = deploy(make_job(prefetch_depth=depth, seed=seed, planning=planning))
+    system = deploy(job)
+    store = system.checkpoint_store
+    try:
+        expected = drive(reference, 0, 10)
+        prefix = drive(system, 0, crash_step)
+        system.save_checkpoint()
+        system.shutdown()
+        system = MegaScaleData.restore(job, store)
+        suffix = drive(system, crash_step, 10)
+        assert prefix + suffix == expected
+    finally:
+        reference.shutdown()
+        system.shutdown()
+
+
+# -- satellite: delta-log epoch resync after restore --------------------------------
+
+
+class TestDeltaEpochResync:
+    def test_restored_loader_forces_gather_resync(self, filesystem, small_catalog):
+        """A consumer holding a pre-restore (epoch, seq) position must get a
+        full snapshot, never a splice of stale events across incarnations."""
+        loader = SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8)
+        loader.on_start()
+        first = loader.buffer_delta(0, 0)
+        assert first["resync"] is True
+        epoch, seq = first["epoch"], first["seq"]
+        ids = [m.sample_id for m in loader.summary_buffer()[:2]]
+        loader.prepare(ids)
+        delta = loader.buffer_delta(epoch, seq)
+        assert delta["resync"] is False
+        assert [op for op, _ in delta["events"]].count("del") >= 2
+        snapshot = loader.replay_checkpoint()
+        loader.restore_replay_checkpoint(snapshot)
+        resync = loader.buffer_delta(epoch, delta["seq"])
+        assert resync["resync"] is True
+        assert [m.sample_id for m in resync["buffer"]] == [
+            m.sample_id for m in loader.summary_buffer()
+        ]
+
+    def test_stale_seq_past_capped_log_resyncs(self, filesystem, small_catalog):
+        """When the retained delta log was truncated past the consumer's
+        position (cap overflow drops the log), the gather degenerates to a
+        snapshot instead of silently losing mutations."""
+        loader = SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8)
+        loader.on_start()
+        first = loader.buffer_delta(0, 0)
+        epoch, stale_seq = first["epoch"], first["seq"]
+        # Overflow the capped log without ever gathering: the loader drops
+        # the backlog and advances its base past the consumer's position.
+        for _ in range(loader._delta_cap + 8):
+            loader._log_delta("add", None)
+        assert loader._delta_base > stale_seq
+        delta = loader.buffer_delta(epoch, stale_seq)
+        assert delta["resync"] is True
+        assert [m.sample_id for m in delta["buffer"]] == [
+            m.sample_id for m in loader.summary_buffer()
+        ]
+
+    def test_since_seq_predating_base_resyncs(self, filesystem, small_catalog):
+        """A restored consumer whose ``since_seq`` predates the log base (the
+        capped-delta-log case after an epoch bump) resyncs cleanly."""
+        loader = SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8)
+        loader.on_start()
+        loader.buffer_delta(0, 0)
+        ids = [m.sample_id for m in loader.summary_buffer()[:1]]
+        loader.prepare(ids)
+        current = loader.buffer_delta(loader._delta_epoch, loader._delta_seq - 1)
+        # since_seq below the served base → snapshot, not a partial splice.
+        old = loader.buffer_delta(loader._delta_epoch, 0)
+        assert current["resync"] or old["resync"]
+        assert old["resync"] is True
+
+
+# -- whole-run checkpoints land in the run namespace --------------------------------
+
+
+def test_save_checkpoint_writes_run_namespace():
+    system = MegaScaleData.deploy(make_job())
+    try:
+        for _ in range(3):
+            system.run_step()
+        saved_at = system.save_checkpoint()
+        found = system.checkpoint_store.load_latest(RUN_NAMESPACE)
+        assert found is not None
+        step, payload = found
+        assert step == saved_at == 3
+        assert set(payload["loaders"]) == {h.name for h in system.loader_handles}
+        assert payload["planner"]["step"] >= 2
+        assert {entry["source"] for entry in payload["topology"]} == {
+            h.instance().source.name for h in system.loader_handles
+        }
+    finally:
+        system.shutdown()
+
+
+def test_fault_manager_mirrors_loader_checkpoints_to_store(
+    filesystem, small_catalog
+):
+    from repro.actors.runtime import ActorSystem, ClusterSpec
+
+    store = InMemoryCheckpointStore()
+    system = ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+    manager = FaultToleranceManager(
+        system,
+        FaultToleranceConfig(loader_checkpoint_interval=5),
+        checkpoint_store=store,
+    )
+    handle = system.create_actor(
+        lambda: SourceLoader(small_catalog.sources()[0], filesystem, buffer_size=8),
+        name="durable-loader",
+        memory_bytes=GIB,
+    )
+    assert manager.checkpoint_loader(handle, step=0, consistent=True)
+    assert manager.checkpoint_loader(handle, step=5, consistent=True)
+    assert store.steps("loader/durable-loader") == [0, 5]
+    manager.discard_checkpoints_after(0)
+    assert store.steps("loader/durable-loader") == [0]
+    entry = store.load("loader/durable-loader", 0)
+    assert entry["consistent"] and "replay" in entry

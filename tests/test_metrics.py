@@ -408,11 +408,16 @@ class TestFleetEvents:
         assert [e.actor for e in ledger.fleet_events("spawn")] == [
             "loader/src-a/0m1", "loader/src-b/0m2",
         ]
+        ledger.record_fleet_event("resize", 12, 6.5, "src-a", "loader/src-a/0",
+                                  detail="workers 2 -> 4")
+        ledger.record_fleet_event("promote", 13, 7.0, "src-b", "loader/src-b/0m4")
         summary = ledger.elasticity_summary()
         assert summary == {
             "fleet_spawns": 2.0,
             "fleet_retires": 1.0,
             "fleet_rejections": 1.0,
+            "fleet_resizes": 1.0,
+            "fleet_promotions": 1.0,
             "fleet_net_delta": 1.0,
         }
 
