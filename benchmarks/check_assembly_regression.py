@@ -1,0 +1,71 @@
+"""CI gate: fail when columnar collation throughput regresses vs the artifact.
+
+The ``assembly-bench`` CI leg runs ``test_fig24_batch_assembly`` in smoke
+mode (``BENCH_ASSEMBLY_SMOKE=1``), which merges a fresh ``smoke`` section
+into ``BENCH_fig24_assembly.json`` next to the committed full-sweep
+``assembly_sweep`` section.  This script compares the fresh smoke samples/sec
+of the columnar fast path against the committed row at the same
+(batch, source count) point and exits non-zero on a regression beyond the
+threshold (default: 30%).  The same-run columnar-vs-legacy speedup is printed
+as machine-independent context: a slow runner depresses both paths equally,
+so a healthy speedup alongside a failed absolute check points at the runner,
+not the code — while a collapsed speedup is a real regression even if
+absolute numbers pass.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _regression import gate_ratio, load_sections, make_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__, "BENCH_fig24_assembly.json").parse_args(argv)
+
+    committed_section, fresh_section = load_sections(args.artifact, "assembly_sweep")
+    if not committed_section or not fresh_section:
+        return 1
+    committed = {
+        (row["batch"], row["sources"]): row
+        for row in committed_section.get("rows", [])
+    }
+    fresh_rows = fresh_section.get("rows", [])
+    if not committed:
+        print("committed assembly_sweep section has no rows — nothing to compare")
+        return 1
+    if not fresh_rows:
+        print("fresh smoke section has no rows — run the benchmark with BENCH_ASSEMBLY_SMOKE=1")
+        return 1
+
+    failures = 0
+    for row in fresh_rows:
+        point = (row["batch"], row["sources"])
+        baseline = committed.get(point)
+        if baseline is None:
+            print(f"batch×sources={point}: no committed baseline row, skipping")
+            continue
+        ok = gate_ratio(
+            f"batch={point[0]} sources={point[1]} columnar samples/s",
+            row["columnar_samples_per_s"],
+            baseline["columnar_samples_per_s"],
+            args.threshold,
+        )
+        print(
+            f"batch={point[0]} sources={point[1]}: same-run speedup "
+            f"x{row['speedup']:.2f} (committed sweep x{baseline['speedup']:.2f})"
+        )
+        if not ok:
+            failures += 1
+        if row["speedup"] <= 1.0:
+            print(
+                f"batch={point[0]} sources={point[1]}: REGRESSION — the fast "
+                "path is no faster than legacy in this run"
+            )
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,10 @@ class Actor:
         self.actor_name: str = ""
         self.ledger: MemoryLedger = MemoryLedger()
         self.node_name: str = ""
+        # Injected by the runtime at creation; lets actors publish
+        # by-reference payloads (GCS freeze-on-put) without plumbing the
+        # store through every constructor.
+        self.gcs = None
 
     def on_start(self) -> None:
         """Hook invoked once the actor is placed and registered."""

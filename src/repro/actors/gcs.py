@@ -90,6 +90,20 @@ class GlobalControlStore:
     def delete(self, key: str) -> None:
         self._store.pop(key, None)
 
+    def take(self, key: str, default: object = None) -> object:
+        """Get and delete in one call — the hand-off primitive.
+
+        Frozen payloads come back by reference (zero-copy); the key is
+        removed either way, so one-shot transfers like the loader →
+        constructor prepared-column hand-off don't accumulate entries.
+        """
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return default
+        if entry.frozen:
+            return entry.value
+        return copy.deepcopy(entry.value)
+
     def keys(self, prefix: str = "") -> list[str]:
         return sorted(key for key in self._store if key.startswith(prefix))
 

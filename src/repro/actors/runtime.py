@@ -325,6 +325,7 @@ class ActorSystem:
         instance.actor_name = actor_name
         instance.ledger = MemoryLedger(name=f"actor:{actor_name}")
         instance.node_name = node.name
+        instance.gcs = self.gcs
         node.ledger.adopt(instance.ledger)
 
         record = _ActorRecord(
@@ -514,6 +515,7 @@ class ActorSystem:
         fresh.actor_name = name
         fresh.ledger = MemoryLedger(name=f"actor:{name}")
         fresh.node_name = node.name
+        fresh.gcs = self.gcs
         node.ledger.adopt(fresh.ledger)
         record.instance = fresh
         record.state = ActorState.RUNNING

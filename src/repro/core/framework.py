@@ -41,6 +41,7 @@ from repro.core.autoscaler import (
     ResourceBudget,
     SourceAutoPartitioner,
 )
+from repro.core.assembly import ASSEMBLY_MODES, PreparedColumns
 from repro.core.checkpoint import (
     CheckpointStore,
     InMemoryCheckpointStore,
@@ -76,6 +77,10 @@ from repro.utils.units import GIB
 
 #: Checkpoint-store namespace for whole-run control-plane checkpoints.
 RUN_NAMESPACE = "run"
+
+#: Checkpoint-store namespace for per-step delivered-batch manifests
+#: (step, constructor, sample ids) — the exactly-once delivery audit trail.
+MANIFEST_NAMESPACE = "delivery/manifests"
 
 
 @dataclass
@@ -155,6 +160,14 @@ class TrainingJobSpec:
     #: equivalence tests — both emit byte-identical loading plans).
     planning: str = "columnar"
 
+    #: Batch-assembly implementation: "columnar" (loaders stage prepared
+    #: samples as struct-of-arrays columns served by reference through the
+    #: GCS freeze-on-put path, constructors collate with vectorized numpy
+    #: kernels — the default) or "legacy" (per-sample PreparedSample objects
+    #: and Python-loop collators, kept for A/B runs and equivalence tests —
+    #: both deliver byte-identical RankDelivery payloads).
+    assembly: str = "columnar"
+
     #: Opt-in bounded telemetry for long runs: caps the actor call log and
     #: switches the system timeline to the bounded/aggregating mode, so
     #: per-event bookkeeping stops growing O(E) with executed events while
@@ -197,6 +210,11 @@ class TrainingJobSpec:
         if self.lane_model not in LANE_MODELS:
             raise ConfigurationError(
                 f"unknown lane_model {self.lane_model!r}; expected one of {LANE_MODELS}"
+            )
+        if self.assembly not in ASSEMBLY_MODES:
+            raise ConfigurationError(
+                f"unknown assembly mode {self.assembly!r}; "
+                f"expected one of {ASSEMBLY_MODES}"
             )
         if self.spawn_warmup_s < 0:
             raise ConfigurationError("spawn_warmup_s must be >= 0")
@@ -492,6 +510,7 @@ class MegaScaleData:
                         shard_index=idx,
                         shard_count=cfg.num_actors,
                         deferred_transforms=set(job.deferred_transforms) or None,
+                        assembly=job.assembly,
                     ),
                     name=name,
                     cpu_cores=config.workers_per_actor * 1.0,
@@ -523,6 +542,7 @@ class MegaScaleData:
                     # The sync workflow keeps legacy random step access;
                     # prefetching requires strict in-order consumption.
                     enforce_delivery_order=job.prefetch_depth > 0,
+                    assembly=job.assembly,
                 ),
                 name=name,
                 cpu_cores=2.0,
@@ -592,6 +612,7 @@ class MegaScaleData:
                     buffer_size=ldr.buffer_size,
                     shard_index=ldr.shard_index,
                     shard_count=ldr.shard_count,
+                    assembly=ldr.assembly,
                 ),
                 name=shadow_name,
                 cpu_cores=1.0,
@@ -643,7 +664,9 @@ class MegaScaleData:
         # slice on the replacement neither drops nor duplicates a sample.
         loader_wall_clock = 0.0
         loader_transform = 0.0
-        prepared: dict[int, object] = {}
+        columnar = self.job.assembly == "columnar"
+        prepared: dict[int, object] | PreparedColumns = {}
+        prepared_parts: list[PreparedColumns] = []
         demands_by_loader: dict[object, list[int]] = {}
         for handle, sample_ids in self._split_demands(plan).items():
             if sample_ids:
@@ -654,9 +677,14 @@ class MegaScaleData:
                     result, fetched = self._prepare_and_fetch(handle, sample_ids)
                 loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
                 loader_transform += result["transform_latency_s"]
-                for item in fetched:
-                    prepared[item.sample.sample_id] = item
+                if columnar:
+                    prepared_parts.append(fetched)
+                else:
+                    for item in fetched:
+                        prepared[item.sample.sample_id] = item
             demands_by_loader[handle] = sample_ids
+        if columnar:
+            prepared = PreparedColumns.concat(prepared_parts)
         # Shard-group members absorb their peers' demands (one refill each),
         # keeping every mirror byte-identical to a lone loader's buffer.
         self.fleet.sync_after_prepare(demands_by_loader)
@@ -685,10 +713,17 @@ class MegaScaleData:
             simulate=simulate,
         )
 
-    @staticmethod
-    def _prepare_and_fetch(handle, sample_ids: list[int]):
-        """One member's synchronous prepare + hand-off (retried on recovery)."""
+    def _prepare_and_fetch(self, handle, sample_ids: list[int]):
+        """One member's synchronous prepare + hand-off (retried on recovery).
+
+        Legacy assembly fetches :class:`PreparedSample` objects; columnar
+        assembly fetches a GCS *reference* and resolves it with ``take`` —
+        the column slice travels by reference end to end, never copied.
+        """
         result = handle.call("prepare", sample_ids)
+        if self.job.assembly == "columnar":
+            ref = handle.call("fetch_prepared_ref", sample_ids)
+            return result, self.system.gcs.take(ref["key"])
         return result, handle.call("fetch_prepared", sample_ids)
 
     def _finalize_step(
@@ -743,6 +778,7 @@ class MegaScaleData:
             for rank in constructor.ranks_served(step):
                 if rank in fetching:
                     deliveries[rank] = constructor_handle.call("get_batch", step, rank)
+        self._spill_delivery_manifest(step, plan, deliveries)
 
         backbone_assignments = self._assignments_from_plan(plan, "backbone")
         encoder_assignments = (
@@ -902,6 +938,80 @@ class MegaScaleData:
 
     # -- whole-run durability -----------------------------------------------------------------------------
 
+    def _spill_delivery_manifest(
+        self, step: int, plan: LoadingPlan, deliveries: dict[int, RankDelivery]
+    ) -> None:
+        """Persist the step's delivered-batch manifest to the checkpoint store.
+
+        One entry per delivered step: which constructor consumed which sample
+        ids, and which ranks pulled slices.  Manifests survive a restore (they
+        live in the same durable store as the run checkpoints), so
+        :meth:`delivery_audit` can prove exactly-once delivery across a
+        crash/recovery boundary instead of only within one process lifetime.
+        """
+        if self.checkpoint_store is None:
+            return
+        backbone = plan.module("backbone")
+        buckets: dict[str, list[int]] = {}
+        for constructor_handle in self.constructor_handles:
+            constructor: DataConstructor = constructor_handle.instance()
+            ids: list[int] = []
+            for assignment in backbone.bucket_assignments(constructor.bucket_index):
+                ids.extend(assignment.sample_ids())
+            if ids:
+                buckets[constructor_handle.name] = sorted(ids)
+        self.checkpoint_store.save(
+            MANIFEST_NAMESPACE,
+            step,
+            {"step": step, "buckets": buckets, "ranks": sorted(deliveries)},
+        )
+
+    def delivery_manifest(self, step: int) -> dict | None:
+        """The persisted delivered-batch manifest for ``step`` (or None)."""
+        if self.checkpoint_store is None:
+            return None
+        return self.checkpoint_store.load(MANIFEST_NAMESPACE, step)
+
+    def delivery_audit(self) -> dict:
+        """Exactly-once delivery audit over every persisted manifest.
+
+        Returns ``{"steps", "first_step", "last_step", "gaps",
+        "duplicate_steps", "exactly_once"}``: ``gaps`` lists step numbers
+        missing from the contiguous range (a delivered step whose manifest
+        vanished), ``duplicate_steps`` lists steps where one sample id was
+        assigned to more than one constructor (a within-step double
+        delivery).  ``exactly_once`` is true when both lists are empty.
+        """
+        if self.checkpoint_store is None:
+            return {"steps": 0, "gaps": [], "duplicate_steps": [], "exactly_once": True}
+        steps = self.checkpoint_store.steps(MANIFEST_NAMESPACE)
+        duplicate_steps: list[int] = []
+        for step in steps:
+            manifest = self.checkpoint_store.load(MANIFEST_NAMESPACE, step) or {}
+            seen: set[int] = set()
+            duplicated = False
+            for ids in manifest.get("buckets", {}).values():
+                for sample_id in ids:
+                    if sample_id in seen:
+                        duplicated = True
+                        break
+                    seen.add(sample_id)
+                if duplicated:
+                    break
+            if duplicated:
+                duplicate_steps.append(step)
+        gaps = (
+            sorted(set(range(steps[0], steps[-1] + 1)) - set(steps)) if steps else []
+        )
+        return {
+            "steps": len(steps),
+            "first_step": steps[0] if steps else None,
+            "last_step": steps[-1] if steps else None,
+            "gaps": gaps,
+            "duplicate_steps": duplicate_steps,
+            "exactly_once": not gaps and not duplicate_steps,
+        }
+
     def save_checkpoint(self) -> int:
         """Persist the whole control plane to the checkpoint store.
 
@@ -1038,6 +1148,7 @@ class MegaScaleData:
                     broadcast_cp=self.job.broadcast_cp,
                     staging_capacity=max(2, self.job.prefetch_depth + 2),
                     enforce_delivery_order=self.job.prefetch_depth > 0,
+                    assembly=self.job.assembly,
                 ),
                 name=f"constructor/dp{dp_index}",
                 cpu_cores=2.0,

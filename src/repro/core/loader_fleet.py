@@ -392,6 +392,7 @@ class LoaderFleet:
             shard=group.shard_index,
             shards=group.shard_count,
             transforms=deferred_transforms,
+            assembly=canonical.assembly,
         ):
             return SourceLoader(
                 source=src,
@@ -402,6 +403,7 @@ class LoaderFleet:
                 shard_count=shards,
                 deferred_transforms=transforms,
                 deferred_refill=True,
+                assembly=assembly,
             )
 
         try:

@@ -44,9 +44,9 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.actors.actor import ActorFuture, ActorHandle
+from repro.core.assembly import PreparedColumns
 from repro.core.planner import PlanTimings
 from repro.core.plans import LoadingPlan
-from repro.core.source_loader import PreparedSample
 from repro.errors import (
     ActorDead,
     ActorTimeout,
@@ -92,7 +92,10 @@ class _InflightStep:
 
     unfetched: set[ActorHandle] = field(default_factory=set)
     fetch_futures: dict[ActorHandle, ActorFuture] = field(default_factory=dict)
-    prepared: dict[int, PreparedSample] = field(default_factory=dict)
+    prepared: object = field(default_factory=dict)
+    #: Columnar assembly: per-loader PreparedColumns parts resolved from GCS
+    #: references, concatenated into ``prepared`` when the last fetch lands.
+    prepared_parts: list = field(default_factory=list)
     #: Virtual instant the last fetch handed its samples over.
     fetch_ready_s: float = 0.0
 
@@ -219,6 +222,13 @@ class StepPipeline:
         """
         fw = self.framework
         for item in self._queue:
+            for future in item.fetch_futures.values():
+                # Columnar assembly: a hand-off reference published but never
+                # resolved would leak its frozen columns in the GCS.
+                if future.done() and future.exception() is None:
+                    ref = future.result()
+                    if isinstance(ref, dict) and "key" in ref:
+                        fw.system.gcs.delete(ref["key"])
             for future in item.all_futures():
                 future.cancel()
         planner = fw.planner_handle.instance()
@@ -416,12 +426,14 @@ class StepPipeline:
 
     def _advance_fetching(self, item: _InflightStep) -> bool:
         fw = self.framework
+        columnar = fw.job.assembly == "columnar"
+        fetch_method = "fetch_prepared_ref" if columnar else "fetch_prepared"
         for handle in list(item.unfetched):
             if handle not in item.fetch_futures:
                 # Causal floor: the hand-off cannot precede the ticket's
                 # final poll (nor the plan broadcast).
                 item.fetch_futures[handle] = handle.submit_timed(
-                    "fetch_prepared", list(item.demands[handle]),
+                    fetch_method, list(item.demands[handle]),
                     step_tag=item.step,
                     earliest_start_s=max(
                         item.plan_ready_s, item.loader_cursor_s.get(handle, 0.0)
@@ -437,12 +449,21 @@ class StepPipeline:
                 return True
             if exc is not None:
                 raise exc
-            for prepared in future.result():
-                item.prepared[prepared.sample.sample_id] = prepared
+            if columnar:
+                # Resolve the GCS reference: the very column slice the loader
+                # froze travels to the constructor without a copy.
+                ref = future.result()
+                item.prepared_parts.append(fw.system.gcs.take(ref["key"]))
+            else:
+                for prepared in future.result():
+                    item.prepared[prepared.sample.sample_id] = prepared
             item.fetch_ready_s = max(item.fetch_ready_s, future.available_at_s or 0.0)
             del item.fetch_futures[handle]
             item.unfetched.discard(handle)
         if not item.unfetched:
+            if columnar:
+                item.prepared = PreparedColumns.concat(item.prepared_parts)
+                item.prepared_parts = []
             item.unconstructed = list(fw.constructor_handles)
             item.state = "constructing"
         return True

@@ -5,6 +5,17 @@ collates them into fixed-shape inputs: *packing* merges fragmented
 subsequences into complete sequences with segment masks, *padding* aligns
 variable-length sequences with dummy tokens, and RoPE position ids provide the
 positional context the backbone expects.
+
+Two collation implementations live here.  The legacy object path
+(:class:`PackingCollator` / :class:`PaddingCollator` / per-sequence RoPE
+loops) walks Python objects one sample at a time; the columnar path
+(:func:`collate_columns_with_positions`) runs the same transformations as
+numpy kernels over token-length arrays — first-fit packing via a max-residual
+tournament tree over open-bin residuals (O(samples · log bins) instead of the
+O(samples · bins) linear scan), padding and RoPE position ids via
+``cumsum``/``repeat`` broadcasts, and segment tables built from int arrays.
+Both paths emit byte-identical :class:`CollatedMicrobatch` objects; the
+hypothesis equivalence tests in ``tests/test_core_assembly.py`` pin that.
 """
 
 from __future__ import annotations
@@ -23,19 +34,36 @@ class Microbatch:
 
     The orchestration layer operates on metadata-only microbatches; payloads
     are attached later by the Data Constructor when it materialises the batch.
+
+    Token totals are computed once and cached against the sample count, so
+    repeated accounting reads don't re-walk the sample list; the cache
+    invalidates itself when samples are appended (the only mutation the
+    batching helpers perform).
     """
 
     index: int
     samples: list[SampleMetadata] = field(default_factory=list)
+    _token_cache: tuple[int, int, int, int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _totals(self) -> tuple[int, int, int, int]:
+        cache = self._token_cache
+        if cache is None or cache[0] != len(self.samples):
+            text = sum(sample.text_tokens for sample in self.samples)
+            image = sum(sample.image_tokens for sample in self.samples)
+            cache = (len(self.samples), text + image, text, image)
+            self._token_cache = cache
+        return cache
 
     def total_tokens(self) -> int:
-        return sum(sample.total_tokens for sample in self.samples)
+        return self._totals()[1]
 
     def text_tokens(self) -> int:
-        return sum(sample.text_tokens for sample in self.samples)
+        return self._totals()[2]
 
     def image_tokens(self) -> int:
-        return sum(sample.image_tokens for sample in self.samples)
+        return self._totals()[3]
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -56,7 +84,14 @@ class PackedSequence:
 
 @dataclass
 class CollatedMicrobatch:
-    """A collated microbatch ready for parallelism transformations."""
+    """A collated microbatch ready for parallelism transformations.
+
+    ``sequence_lengths`` is the columnar twin of ``sequences``: per-sequence
+    token counts as an ``int64`` array, populated by the columnar collation
+    kernels so downstream parallelism slicing can stay vectorized.  Token
+    totals are computed once at collation time and cached; the lazy fallback
+    keeps hand-built instances working.
+    """
 
     index: int
     sequences: list[PackedSequence]
@@ -64,12 +99,19 @@ class CollatedMicrobatch:
     sample_ids: list[int]
     position_ids: np.ndarray | None = None
     collation: str = "packed"
+    sequence_lengths: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _total_tokens: int | None = field(default=None, repr=False, compare=False)
+    _padding_tokens: int | None = field(default=None, repr=False, compare=False)
 
     def total_tokens(self) -> int:
-        return sum(sequence.tokens for sequence in self.sequences)
+        if self._total_tokens is None:
+            self._total_tokens = sum(sequence.tokens for sequence in self.sequences)
+        return self._total_tokens
 
     def padding_tokens(self) -> int:
-        return sum(sequence.padding for sequence in self.sequences)
+        if self._padding_tokens is None:
+            self._padding_tokens = sum(sequence.padding for sequence in self.sequences)
+        return self._padding_tokens
 
     def padding_fraction(self) -> float:
         total = self.total_tokens()
@@ -114,6 +156,7 @@ class PackingCollator:
     def collate(self, microbatch: Microbatch) -> CollatedMicrobatch:
         sequences: list[PackedSequence] = []
         open_bins: list[PackedSequence] = []
+        total_tokens = 0
         for sample in microbatch.samples:
             length = sample.total_tokens
             if length > self.max_sequence_length:
@@ -123,6 +166,7 @@ class PackingCollator:
                         f"{self.max_sequence_length}-token sequence limit"
                     )
                 length = self.max_sequence_length
+            total_tokens += length
             placed = False
             for bin_ in open_bins:
                 if bin_.tokens + length <= self.max_sequence_length:
@@ -134,14 +178,14 @@ class PackingCollator:
                 new_bin = PackedSequence(tokens=length, segments=[(sample.sample_id, length)])
                 open_bins.append(new_bin)
                 sequences.append(new_bin)
-        for sequence in sequences:
-            sequence.padding = 0
         return CollatedMicrobatch(
             index=microbatch.index,
             sequences=sequences,
             max_sequence_length=self.max_sequence_length,
             sample_ids=[sample.sample_id for sample in microbatch.samples],
             collation="packed",
+            _total_tokens=total_tokens,
+            _padding_tokens=0,
         )
 
 
@@ -159,14 +203,18 @@ class PaddingCollator:
                 max_sequence_length=self.max_sequence_length or 0,
                 sample_ids=[],
                 collation="padded",
+                _total_tokens=0,
+                _padding_tokens=0,
             )
         lengths = [sample.total_tokens for sample in microbatch.samples]
         target = max(lengths)
         if self.max_sequence_length is not None:
             target = min(max(target, 1), self.max_sequence_length)
         sequences = []
+        padding_tokens = 0
         for sample, length in zip(microbatch.samples, lengths):
             clipped = min(length, target)
+            padding_tokens += target - clipped
             sequences.append(
                 PackedSequence(
                     tokens=target,
@@ -180,6 +228,8 @@ class PaddingCollator:
             max_sequence_length=target,
             sample_ids=[sample.sample_id for sample in microbatch.samples],
             collation="padded",
+            _total_tokens=target * len(sequences),
+            _padding_tokens=padding_tokens,
         )
 
 
@@ -215,6 +265,205 @@ def collate_with_positions(
         PackingCollator(max_sequence_length) if packing else PaddingCollator(max_sequence_length)
     )
     return apply_rope_positions(collator.collate(microbatch))
+
+
+# -- columnar collation kernels -----------------------------------------------------------------
+
+
+def first_fit_bin_indices(
+    lengths: np.ndarray, capacity: int, allow_overflow: bool = True
+) -> np.ndarray:
+    """First-fit bin index per sample, in arrival order.
+
+    Exactly the assignment :class:`PackingCollator` computes — each sample
+    goes to the *lowest-numbered* open bin whose residual capacity fits it,
+    opening a new bin otherwise — but the leftmost-fitting-bin query runs on
+    a max tournament tree over open-bin residuals (a heap-shaped segment
+    tree), so a microbatch packs in O(samples · log bins) instead of the
+    linear scan's O(samples · bins).  Over-capacity samples are clipped to
+    ``capacity`` (or rejected when ``allow_overflow`` is false), mirroring
+    the object path's overflow rule.
+    """
+    if capacity <= 0:
+        raise TransformError("max_sequence_length must be positive")
+    count = len(lengths)
+    if count == 0:
+        return np.empty(0, dtype=np.intp)
+    bins = [0] * count
+    size = 1
+    while size < count:
+        size *= 2
+    # tree[size + i] = residual capacity of bin i (0 = not yet opened);
+    # internal nodes hold subtree maxima, so descending left-first finds the
+    # leftmost bin with residual >= length in O(log bins).
+    tree = [0] * (2 * size)
+    num_bins = 0
+    lengths_list = lengths.tolist()
+    for index, length in enumerate(lengths_list):
+        if length > capacity:
+            length = capacity
+        if tree[1] >= length and length > 0:
+            node = 1
+            while node < size:
+                node *= 2
+                if tree[node] < length:
+                    node += 1
+            leaf = node - size
+        elif length == 0 and num_bins > 0:
+            # A zero-length sample fits the first open bin unconditionally
+            # (the object path's ``tokens + 0 <= capacity`` check).
+            leaf = 0
+            node = size
+        else:
+            leaf = num_bins
+            node = size + leaf
+            tree[node] = capacity
+            num_bins += 1
+        bins[index] = leaf
+        tree[node] -= length
+        node //= 2
+        while node:
+            left = tree[2 * node]
+            right = tree[2 * node + 1]
+            best = left if left >= right else right
+            if tree[node] == best:
+                # The subtree maximum is unchanged, so every ancestor's is too.
+                break
+            tree[node] = best
+            node //= 2
+    return np.asarray(bins, dtype=np.intp)
+
+
+def _positions_from_blocks(block_lengths: np.ndarray, block_is_padding: np.ndarray) -> np.ndarray:
+    """Position ids for concatenated blocks: 0..len-1 per block, 0 on padding."""
+    total = int(block_lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int32)
+    if not block_is_padding.any():
+        # Fast path (packed mode): one int32 cumsum over a delta array — a 1
+        # per token, with a negative jump at each block start resetting the
+        # running position to 0.  No O(total)-sized repeat()s.
+        lens = block_lengths[block_lengths > 0]
+        deltas = np.ones(total, dtype=np.int32)
+        deltas[0] = 0
+        if len(lens) > 1:
+            starts = np.cumsum(lens[:-1])
+            deltas[starts] = 1 - lens[:-1]
+        return np.cumsum(deltas, dtype=np.int32)
+    starts = np.concatenate([[0], np.cumsum(block_lengths)[:-1]])
+    positions = np.arange(total, dtype=np.int64) - np.repeat(starts, block_lengths)
+    positions[np.repeat(block_is_padding, block_lengths)] = 0
+    return positions.astype(np.int32)
+
+
+def collate_columns_with_positions(
+    index: int,
+    sample_ids: list[int],
+    lengths: np.ndarray,
+    max_sequence_length: int,
+    packing: bool = True,
+    allow_overflow: bool = True,
+) -> CollatedMicrobatch:
+    """Columnar twin of :func:`collate_with_positions`.
+
+    Collates a microbatch straight from its token-length array: packing runs
+    :func:`first_fit_bin_indices`, padding is a clip/subtract, and RoPE
+    position ids come from one global ``arange`` minus repeated block starts.
+    The returned :class:`CollatedMicrobatch` is byte-identical to the object
+    path's output (sequences, segment tables, sample ids, position ids) and
+    additionally carries ``sequence_lengths`` so parallelism slicing can stay
+    on int arrays.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if not allow_overflow and len(lengths) and int(lengths.max()) > max_sequence_length:
+        worst = int(np.argmax(lengths > max_sequence_length))
+        raise TransformError(
+            f"sample {sample_ids[worst]} has {int(lengths[worst])} tokens, exceeding "
+            f"the {max_sequence_length}-token sequence limit"
+        )
+    if len(lengths) == 0:
+        collated = CollatedMicrobatch(
+            index=index,
+            sequences=[],
+            max_sequence_length=max_sequence_length if packing else (max_sequence_length or 0),
+            sample_ids=[],
+            position_ids=np.empty(0, dtype=np.int32),
+            collation="packed" if packing else "padded",
+            sequence_lengths=np.empty(0, dtype=np.int64),
+            _total_tokens=0,
+            _padding_tokens=0,
+        )
+        return collated
+    clipped = np.minimum(lengths, max_sequence_length)
+    if packing:
+        bins = first_fit_bin_indices(lengths, max_sequence_length)
+        num_bins = int(bins.max()) + 1
+        order = np.argsort(bins, kind="stable")
+        ordered_lengths = clipped[order]
+        seq_tokens = np.bincount(bins, weights=None, minlength=num_bins)
+        packed_tokens = np.bincount(bins, weights=clipped, minlength=num_bins).astype(np.int64)
+        boundaries = np.concatenate([[0], np.cumsum(seq_tokens)]).astype(np.intp)
+        ordered_ids = [sample_ids[i] for i in order.tolist()]
+        ordered_lengths_list = ordered_lengths.tolist()
+        sequences = [
+            PackedSequence(
+                tokens=int(packed_tokens[bin_index]),
+                segments=list(
+                    zip(
+                        ordered_ids[boundaries[bin_index] : boundaries[bin_index + 1]],
+                        ordered_lengths_list[boundaries[bin_index] : boundaries[bin_index + 1]],
+                    )
+                ),
+            )
+            for bin_index in range(num_bins)
+        ]
+        position_ids = _positions_from_blocks(
+            ordered_lengths, np.zeros(len(ordered_lengths), dtype=bool)
+        )
+        return CollatedMicrobatch(
+            index=index,
+            sequences=sequences,
+            max_sequence_length=max_sequence_length,
+            sample_ids=list(sample_ids),
+            position_ids=position_ids,
+            collation="packed",
+            sequence_lengths=packed_tokens,
+            _total_tokens=int(packed_tokens.sum()),
+            _padding_tokens=0,
+        )
+    target = int(lengths.max())
+    if max_sequence_length is not None:
+        target = min(max(target, 1), max_sequence_length)
+    clipped = np.minimum(lengths, target)
+    paddings = target - clipped
+    clipped_list = clipped.tolist()
+    padding_list = paddings.tolist()
+    sequences = [
+        PackedSequence(
+            tokens=target,
+            segments=[(sample_id, seg)],
+            padding=pad,
+        )
+        for sample_id, seg, pad in zip(sample_ids, clipped_list, padding_list)
+    ]
+    # Interleave (segment, padding) blocks per sequence for the position kernel.
+    block_lengths = np.empty(2 * len(clipped), dtype=np.int64)
+    block_lengths[0::2] = clipped
+    block_lengths[1::2] = paddings
+    block_is_padding = np.zeros(2 * len(clipped), dtype=bool)
+    block_is_padding[1::2] = True
+    position_ids = _positions_from_blocks(block_lengths, block_is_padding)
+    return CollatedMicrobatch(
+        index=index,
+        sequences=sequences,
+        max_sequence_length=target,
+        sample_ids=list(sample_ids),
+        position_ids=position_ids,
+        collation="padded",
+        sequence_lengths=np.full(len(clipped), target, dtype=np.int64),
+        _total_tokens=target * len(sequences),
+        _padding_tokens=int(paddings.sum()),
+    )
 
 
 def materialize_payload(collated: CollatedMicrobatch, samples: list[Sample]) -> dict[str, object]:

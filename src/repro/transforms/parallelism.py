@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import TransformError
 from repro.parallelism.mesh import DeviceMesh
 from repro.transforms.microbatch import CollatedMicrobatch
@@ -57,6 +59,25 @@ def context_parallel_slices(
     """
     if cp_size <= 0:
         raise TransformError("cp_size must be positive")
+    lengths = collated.sequence_lengths
+    if lengths is not None:
+        # Columnar fast path: per-rank token counts come from one bincount of
+        # the sequence-length remainders instead of a rank × sequence loop.
+        # CP rank r gets floor(len/cp) from every sequence plus one extra
+        # token from each sequence whose remainder exceeds r.
+        base = int((lengths // cp_size).sum())
+        remainder_counts = np.bincount(lengths % cp_size, minlength=cp_size)
+        extras = remainder_counts[::-1].cumsum()[::-1]
+        tokens_by_rank = [base + int(extras[rank + 1]) if rank + 1 < cp_size else base
+                          for rank in range(cp_size)]
+        return [
+            {
+                "cp_rank": cp_rank,
+                "token_count": tokens,
+                "payload_bytes": tokens * bytes_per_token,
+            }
+            for cp_rank, tokens in enumerate(tokens_by_rank)
+        ]
     slices = []
     for cp_rank in range(cp_size):
         tokens = 0

@@ -1,0 +1,542 @@
+"""Columnar batch assembly: byte-identity vs the legacy path, staging, hand-off.
+
+The ``assembly="columnar"`` twin must be indistinguishable from the legacy
+object path everywhere it can be observed: collated microbatches, bin
+assignments, RoPE positions, per-rank deliveries, end-to-end runs across
+prefetch depths and mid-run elasticity.  These tests pin that, plus the
+zero-copy mechanics (GCS reference identity) and the delivered-batch
+manifest audit trail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actors.gcs import GlobalControlStore
+from repro.actors.runtime import ActorSystem, ClusterSpec
+from repro.core.assembly import PreparedColumns, StagedColumns
+from repro.core.checkpoint import InMemoryCheckpointStore, SqliteCheckpointStore
+from repro.core.data_constructor import DataConstructor
+from repro.core.framework import MANIFEST_NAMESPACE, MegaScaleData, TrainingJobSpec
+from repro.core.plans import MicrobatchAssignment, ModulePlan
+from repro.core.source_loader import SourceLoader
+from repro.data.samples import Modality, SampleMetadata
+from repro.errors import ConfigurationError, PlanError, TransformError
+from repro.parallelism.mesh import DeviceMesh
+from repro.transforms.microbatch import (
+    Microbatch,
+    PackingCollator,
+    collate_columns_with_positions,
+    collate_with_positions,
+    first_fit_bin_indices,
+)
+from repro.utils.units import GIB
+
+
+def meta(sample_id: int, text_tokens: int, image_tokens: int = 0) -> SampleMetadata:
+    return SampleMetadata(
+        sample_id=sample_id,
+        source="src",
+        modality=Modality.TEXT,
+        text_tokens=text_tokens,
+        image_tokens=image_tokens,
+        raw_bytes=4 * (text_tokens + image_tokens),
+    )
+
+
+def assert_collated_equal(a, b) -> None:
+    assert a.index == b.index
+    assert a.collation == b.collation
+    assert a.max_sequence_length == b.max_sequence_length
+    assert a.sample_ids == b.sample_ids
+    assert len(a.sequences) == len(b.sequences)
+    for sa, sb in zip(a.sequences, b.sequences):
+        assert sa.tokens == sb.tokens
+        assert sa.padding == sb.padding
+        assert sa.segments == sb.segments
+        # Byte-identity includes the *types*: numpy ints sneaking into
+        # segment tuples would change pickled payloads.
+        assert all(type(x) is int for seg in sb.segments for x in seg)
+    assert a.position_ids.dtype == b.position_ids.dtype == np.int32
+    assert np.array_equal(a.position_ids, b.position_ids)
+    assert a.total_tokens() == b.total_tokens()
+    assert a.padding_tokens() == b.padding_tokens()
+
+
+# -- collation kernels ------------------------------------------------------------------
+
+
+lengths_lists = st.lists(st.integers(min_value=0, max_value=1200), max_size=48)
+
+
+class TestCollationEquivalence:
+    @given(lengths=lengths_lists, max_len=st.sampled_from([1, 8, 96, 640]))
+    @settings(max_examples=120, deadline=None)
+    def test_packed_collation_byte_identical(self, lengths, max_len):
+        metas = [meta(3 * i + 1, n) for i, n in enumerate(lengths)]
+        legacy = collate_with_positions(
+            Microbatch(index=2, samples=list(metas)), max_len, packing=True
+        )
+        columnar = collate_columns_with_positions(
+            2,
+            [m.sample_id for m in metas],
+            np.array([m.total_tokens for m in metas], dtype=np.int64),
+            max_len,
+            packing=True,
+        )
+        assert_collated_equal(legacy, columnar)
+
+    @given(lengths=lengths_lists, max_len=st.sampled_from([1, 8, 96, 640]))
+    @settings(max_examples=120, deadline=None)
+    def test_padded_collation_byte_identical(self, lengths, max_len):
+        metas = [meta(3 * i + 1, n) for i, n in enumerate(lengths)]
+        legacy = collate_with_positions(
+            Microbatch(index=0, samples=list(metas)), max_len, packing=False
+        )
+        columnar = collate_columns_with_positions(
+            0,
+            [m.sample_id for m in metas],
+            np.array([m.total_tokens for m in metas], dtype=np.int64),
+            max_len,
+            packing=False,
+        )
+        assert_collated_equal(legacy, columnar)
+
+    @given(lengths=lengths_lists, capacity=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=120, deadline=None)
+    def test_first_fit_matches_reference_scan(self, lengths, capacity):
+        arr = np.array(lengths, dtype=np.int64)
+        fast = first_fit_bin_indices(arr, capacity)
+        residuals: list[int] = []
+        expected = []
+        for length in lengths:
+            length = min(length, capacity)
+            for index, residual in enumerate(residuals):
+                if residual >= length:
+                    residuals[index] -= length
+                    expected.append(index)
+                    break
+            else:
+                residuals.append(capacity - length)
+                expected.append(len(residuals) - 1)
+        assert fast.tolist() == expected
+
+    # The degenerate corners the sweep never hits: empty microbatches,
+    # all-overflow samples, single-sample batches.
+    @given(
+        packing=st.booleans(),
+        corner=st.sampled_from(["empty", "all_overflow", "single"]),
+        max_len=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_degenerate_corners_invariant_across_modes(self, packing, corner, max_len, seed):
+        if corner == "empty":
+            metas = []
+        elif corner == "all_overflow":
+            metas = [meta(i + 1, max_len + 1 + (seed + i) % 7) for i in range(4)]
+        else:
+            metas = [meta(seed + 1, seed % (2 * max_len + 1))]
+        legacy = collate_with_positions(
+            Microbatch(index=1, samples=list(metas)), max_len, packing=packing
+        )
+        columnar = collate_columns_with_positions(
+            1,
+            [m.sample_id for m in metas],
+            np.array([m.total_tokens for m in metas], dtype=np.int64),
+            max_len,
+            packing=packing,
+        )
+        assert_collated_equal(legacy, columnar)
+        if packing and corner == "all_overflow":
+            # Every clipped sample fills a whole bin: assignments are 0..n-1.
+            assert [len(seq.segments) for seq in columnar.sequences] == [1] * len(metas)
+
+    def test_columnar_strict_overflow_matches_legacy_error(self):
+        metas = [meta(9, 100)]
+        with pytest.raises(TransformError) as legacy_err:
+            PackingCollator(64, allow_overflow=False).collate(
+                Microbatch(index=0, samples=metas)
+            )
+        with pytest.raises(TransformError) as columnar_err:
+            collate_columns_with_positions(
+                0, [9], np.array([100]), 64, packing=True, allow_overflow=False
+            )
+        assert str(legacy_err.value) == str(columnar_err.value)
+
+
+# -- staging store ----------------------------------------------------------------------
+
+
+class TestStagedColumns:
+    def test_take_returns_rows_in_requested_order(self):
+        staged = StagedColumns()
+        for sample_id in (5, 3, 9, 7):
+            staged.append(meta(sample_id, 10 * sample_id), 40 * sample_id, 0.5, [])
+        columns, released = staged.take([9, 5])
+        assert columns.sample_ids.tolist() == [9, 5]
+        assert columns.total_tokens.tolist() == [90, 50]
+        assert released == 40 * 9 + 40 * 5
+        assert len(staged) == 2
+        assert 9 not in staged and 3 in staged
+
+    def test_take_missing_raises(self):
+        staged = StagedColumns()
+        staged.append(meta(1, 8), 32, 0.1, [])
+        with pytest.raises(PlanError, match="no staged sample 2"):
+            staged.take([2])
+
+    def test_drop_and_drop_all_release_bytes(self):
+        staged = StagedColumns()
+        for sample_id in range(1, 6):
+            staged.append(meta(sample_id, 4), 100, 0.1, [])
+        dropped, released = staged.drop([2, 4, 99])
+        assert (dropped, released) == (2, 200)
+        assert staged.drop_all() == 300
+        assert len(staged) == 0
+
+    def test_compaction_preserves_contents(self):
+        staged = StagedColumns()
+        for sample_id in range(200):
+            staged.append(meta(sample_id, sample_id + 1), 8, 0.1, [])
+        staged.take(list(range(0, 200, 2)))  # tombstone half -> compaction
+        columns, _ = staged.take([151, 3])
+        assert columns.sample_ids.tolist() == [151, 3]
+        assert columns.total_tokens.tolist() == [152, 4]
+
+    def test_prepared_columns_lookup_reports_missing(self):
+        staged = StagedColumns()
+        for sample_id in (4, 8, 2):
+            staged.append(meta(sample_id, 16), 64, 0.1, [])
+        columns, _ = staged.take([4, 8, 2])
+        rows, missing = columns.lookup([8, 6, 2])
+        assert missing == [6]
+        assert columns.sample_ids[rows].tolist() == [8, 2]
+
+
+# -- loader staging + GCS hand-off ------------------------------------------------------
+
+
+@pytest.fixture()
+def system():
+    return ActorSystem(ClusterSpec(accelerator_nodes=1, cpu_pods=1))
+
+
+def spawn_loader(system, catalog, filesystem, **kwargs):
+    source = catalog.sources()[0]
+    unique = len(system.list_actor_names())
+    return system.create_actor(
+        lambda: SourceLoader(source, filesystem, **kwargs),
+        name=f"loader-col-{unique}",
+        memory_bytes=GIB,
+    )
+
+
+class TestColumnarLoader:
+    def test_fetch_prepared_ref_is_zero_copy(self, system, small_catalog, filesystem):
+        handle = spawn_loader(
+            system, small_catalog, filesystem, buffer_size=16, assembly="columnar"
+        )
+        loader = handle.instance()
+        sample_ids = [m.sample_id for m in loader.summary_buffer()[:4]]
+        handle.call("prepare", sample_ids)
+        assert loader.staged_count() == 4
+        ref = handle.call("fetch_prepared_ref", sample_ids)
+        assert ref["count"] == 4
+        # The GCS serves the frozen columns BY REFERENCE: the exact object
+        # the loader published, not a copy — and take() removes the key.
+        resolved = system.gcs.take(ref["key"])
+        assert isinstance(resolved, PreparedColumns)
+        assert resolved.sample_ids.tolist() == sample_ids
+        assert system.gcs.get(ref["key"]) is None
+        assert loader.staged_count() == 0
+        assert loader.ledger.live_bytes("sample_payload") == 0
+
+    def test_ref_payload_reference_identity(self, system, small_catalog, filesystem):
+        handle = spawn_loader(
+            system, small_catalog, filesystem, buffer_size=8, assembly="columnar"
+        )
+        loader = handle.instance()
+        sample_ids = [m.sample_id for m in loader.summary_buffer()[:2]]
+        handle.call("prepare", sample_ids)
+        # Reach into the staging store to grab the metadata objects, then
+        # verify the object identity survives the whole hand-off.
+        ref = handle.call("fetch_prepared_ref", sample_ids)
+        columns = system.gcs.take(ref["key"])
+        assert columns.metas[0] is loader._metadata_by_id[sample_ids[0]]
+
+    def test_columnar_fetch_prepared_compat_materializes(
+        self, system, small_catalog, filesystem
+    ):
+        legacy = spawn_loader(
+            system, small_catalog, filesystem, buffer_size=16, assembly="legacy"
+        )
+        columnar = spawn_loader(
+            system, small_catalog, filesystem, buffer_size=16, assembly="columnar"
+        )
+        ids_a = [m.sample_id for m in legacy.instance().summary_buffer()[:3]]
+        ids_b = [m.sample_id for m in columnar.instance().summary_buffer()[:3]]
+        assert ids_a == ids_b
+        legacy.call("prepare", ids_a)
+        columnar.call("prepare", ids_b)
+        got_a = legacy.call("fetch_prepared", ids_a)
+        got_b = columnar.call("fetch_prepared", ids_b)
+        for a, b in zip(got_a, got_b):
+            assert a.sample.metadata == b.sample.metadata
+            assert a.transform_latency_s == b.transform_latency_s
+            assert a.transferred_bytes == b.transferred_bytes
+            assert a.deferred_transforms == b.deferred_transforms
+
+    def test_legacy_loader_rejects_ref_fetch(self, system, small_catalog, filesystem):
+        handle = spawn_loader(system, small_catalog, filesystem, assembly="legacy")
+        with pytest.raises(PlanError, match="legacy assembly"):
+            handle.call("fetch_prepared_ref", [1])
+
+    def test_missing_staged_sample_error_matches_legacy(
+        self, system, small_catalog, filesystem
+    ):
+        handle = spawn_loader(system, small_catalog, filesystem, assembly="columnar")
+        with pytest.raises(PlanError, match="has no staged sample 12345"):
+            handle.call("fetch_prepared", [12345])
+
+    def test_invalid_assembly_configuration(self, small_catalog, filesystem):
+        source = small_catalog.sources()[0]
+        with pytest.raises(PlanError, match="unknown assembly"):
+            SourceLoader(source, filesystem, assembly="vectorized")
+        with pytest.raises(PlanError, match="keep_payloads"):
+            SourceLoader(source, filesystem, assembly="columnar", keep_payloads=True)
+
+
+# -- constructor equivalence ------------------------------------------------------------
+
+
+def make_plan(tokens_by_microbatch, bucket=0):
+    plan = ModulePlan(
+        module="backbone",
+        axis="DP",
+        num_buckets=bucket + 1,
+        num_microbatches=len(tokens_by_microbatch),
+    )
+    sid = 1
+    for mb, token_list in enumerate(tokens_by_microbatch):
+        samples = tuple(meta(sid + k, tokens) for k, tokens in enumerate(token_list))
+        sid += len(token_list)
+        plan.assignments.append(
+            MicrobatchAssignment(bucket_index=bucket, microbatch_index=mb, samples=samples)
+        )
+    return plan
+
+
+def columns_for(plan):
+    staged = StagedColumns()
+    ids = []
+    for assignment in plan.assignments:
+        for metadata in assignment.samples:
+            staged.append(metadata, metadata.raw_bytes, 0.001, [])
+            ids.append(metadata.sample_id)
+    columns, _ = staged.take(ids)
+    return columns
+
+
+def prepared_for(plan):
+    from repro.core.source_loader import PreparedSample
+    from repro.data.samples import Sample
+
+    prepared = {}
+    for assignment in plan.assignments:
+        for metadata in assignment.samples:
+            prepared[metadata.sample_id] = PreparedSample(
+                sample=Sample(metadata=metadata),
+                transform_latency_s=0.001,
+                transferred_bytes=metadata.raw_bytes,
+            )
+    return prepared
+
+
+class TestConstructorEquivalence:
+    @given(
+        tokens=st.lists(
+            st.lists(st.integers(min_value=0, max_value=900), min_size=1, max_size=10),
+            min_size=1,
+            max_size=4,
+        ),
+        packing=st.booleans(),
+        mesh_dims=st.sampled_from([(1, 1, 1, 1), (2, 1, 2, 2), (1, 2, 2, 1), (2, 2, 1, 2)]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_deliveries_byte_identical(self, tokens, packing, mesh_dims):
+        pp, dp, cp, tp = mesh_dims
+        mesh = DeviceMesh(pp=pp, dp=dp, cp=cp, tp=tp, gpus_per_node=8)
+        plan = make_plan(tokens)
+        deliveries = {}
+        for assembly in ("legacy", "columnar"):
+            constructor = DataConstructor(
+                bucket_index=0,
+                mesh=mesh,
+                dp_index=0,
+                max_sequence_length=512,
+                packing=packing,
+                assembly=assembly,
+            )
+            payload = columns_for(plan) if assembly == "columnar" else prepared_for(plan)
+            stats = constructor.construct(0, plan, payload)
+            deliveries[assembly] = {
+                rank: constructor.get_batch(0, rank) for rank in constructor.ranks_served(0)
+            }
+            deliveries[f"{assembly}_stats"] = stats
+        assert deliveries["legacy"].keys() == deliveries["columnar"].keys()
+        for rank in deliveries["legacy"]:
+            legacy, columnar = deliveries["legacy"][rank], deliveries["columnar"][rank]
+            assert legacy == columnar
+            assert legacy.total_tokens() == columnar.total_tokens()
+            assert legacy.total_payload_bytes() == columnar.total_payload_bytes()
+        # The virtual-clock charge must be identical too, or the twins would
+        # diverge on the simulated timeline.
+        assert (
+            deliveries["legacy_stats"]["collate_seconds"]
+            == deliveries["columnar_stats"]["collate_seconds"]
+        )
+
+    def test_missing_sample_error_matches_legacy(self):
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=1, gpus_per_node=8)
+        plan = make_plan([[64, 64]])
+        constructor = DataConstructor(
+            bucket_index=0, mesh=mesh, dp_index=0, assembly="columnar"
+        )
+        with pytest.raises(PlanError, match=r"missing prepared samples \[1, 2\]"):
+            constructor.construct(0, plan, PreparedColumns.empty())
+
+    def test_legacy_constructor_rejects_columns(self):
+        mesh = DeviceMesh(pp=1, dp=1, cp=1, tp=1, gpus_per_node=8)
+        plan = make_plan([[64]])
+        constructor = DataConstructor(
+            bucket_index=0, mesh=mesh, dp_index=0, assembly="legacy"
+        )
+        with pytest.raises(PlanError, match="cannot"):
+            constructor.construct(0, plan, columns_for(plan))
+
+
+# -- end-to-end -------------------------------------------------------------------------
+
+
+def run_job(
+    assembly, prefetch_depth=0, steps=3, scale_at=None, checkpoint_store=None, **overrides
+):
+    job = TrainingJobSpec(
+        pp=2,
+        dp=2,
+        cp=2,
+        tp=2,
+        backbone="Llama-12B",
+        samples_per_dp_step=8,
+        num_microbatches=2,
+        num_sources=3,
+        samples_per_source=64,
+        seed=13,
+        prefetch_depth=prefetch_depth,
+        assembly=assembly,
+        **overrides,
+    )
+    framework = MegaScaleData.deploy(job, checkpoint_store=checkpoint_store)
+    results = []
+    for index in range(steps):
+        if scale_at is not None and index == scale_at:
+            framework.scale_source(framework.catalog.sources()[0].name, 2)
+        results.append(framework.run_step(simulate=False))
+    return framework, results
+
+
+def assert_same_deliveries(legacy_results, columnar_results):
+    for a, b in zip(legacy_results, columnar_results):
+        assert a.step == b.step
+        assert sorted(a.deliveries) == sorted(b.deliveries)
+        for rank in a.deliveries:
+            assert a.deliveries[rank] == b.deliveries[rank]
+        assert a.data_fetch_latency_s == pytest.approx(b.data_fetch_latency_s, abs=1e-12)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("prefetch_depth", [0, 1, 3])
+    def test_modes_identical_across_prefetch_depths(self, prefetch_depth):
+        _, legacy = run_job("legacy", prefetch_depth=prefetch_depth)
+        _, columnar = run_job("columnar", prefetch_depth=prefetch_depth)
+        assert_same_deliveries(legacy, columnar)
+
+    def test_modes_identical_across_midrun_elasticity(self):
+        _, legacy = run_job("legacy", steps=4, scale_at=2)
+        _, columnar = run_job("columnar", steps=4, scale_at=2)
+        assert_same_deliveries(legacy, columnar)
+
+    def test_unknown_assembly_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown assembly"):
+            TrainingJobSpec(assembly="zero_copy")
+
+    def test_columnar_leaves_no_gcs_handoff_keys(self):
+        framework, _ = run_job("columnar", prefetch_depth=2, steps=3)
+        assert framework.system.gcs.keys(prefix="prepared/") == []
+
+
+# -- delivered-batch manifests ----------------------------------------------------------
+
+
+class TestDeliveryManifests:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_manifest_round_trip(self, backend):
+        framework, results = run_job(
+            "columnar", steps=3, checkpoint_backend=backend
+        )
+        for result in results:
+            manifest = framework.delivery_manifest(result.step)
+            assert manifest is not None
+            assert manifest["step"] == result.step
+            assert manifest["ranks"] == sorted(result.deliveries)
+            delivered_ids = sorted(
+                sid
+                for ids in manifest["buckets"].values()
+                for sid in ids
+            )
+            planned_ids = sorted(
+                metadata.sample_id
+                for bucket in result.backbone_assignments
+                for microbatch in bucket
+                for metadata in microbatch
+            )
+            assert delivered_ids == planned_ids
+        audit = framework.delivery_audit()
+        assert audit["steps"] == 3
+        assert audit["exactly_once"] is True
+        assert audit["gaps"] == []
+
+    def test_audit_detects_gaps_and_duplicates(self):
+        framework, _ = run_job("columnar", steps=3)
+        store = framework.checkpoint_store
+        # Simulate a lost manifest and a double delivery.
+        steps = store.steps(MANIFEST_NAMESPACE)
+        middle = steps[1]
+        broken = store.load(MANIFEST_NAMESPACE, steps[2])
+        first_bucket = next(iter(broken["buckets"]))
+        broken["buckets"]["constructor/ghost"] = broken["buckets"][first_bucket][:1]
+        store.save(MANIFEST_NAMESPACE, steps[2], broken)
+        store.delete_from(MANIFEST_NAMESPACE, middle)
+        store.save(MANIFEST_NAMESPACE, steps[2], broken)
+        audit = framework.delivery_audit()
+        assert audit["exactly_once"] is False
+        assert middle in audit["gaps"]
+        assert steps[2] in audit["duplicate_steps"]
+
+    def test_manifests_survive_restore(self):
+        store = InMemoryCheckpointStore()
+        framework, _ = run_job("columnar", steps=3, checkpoint_store=store)
+        framework.save_checkpoint()
+        restored = MegaScaleData.restore(framework.job, store)
+        audit = restored.delivery_audit()
+        assert audit["steps"] == 3
+        assert audit["exactly_once"] is True
+
+
+def test_sqlite_store_importable():
+    # Guard: the sqlite manifest backend used above must exist.
+    assert SqliteCheckpointStore is not None

@@ -58,6 +58,24 @@ class TestPackingCollator:
         with pytest.raises(TransformError):
             PackingCollator(max_sequence_length=512, allow_overflow=False).collate(mb)
 
+    def test_strict_mode_keeps_packing_and_zero_padding(self, sample_factory):
+        # Regression for the removed per-sequence padding reset: strict mode
+        # must still pack fitting samples normally, with padding untouched (0)
+        # and token totals exact.
+        mb = Microbatch(
+            index=0,
+            samples=[sample_factory(i, text_tokens=tokens) for i, tokens in enumerate([300, 200, 400])],
+        )
+        collated = PackingCollator(max_sequence_length=512, allow_overflow=False).collate(mb)
+        assert [seq.padding for seq in collated.sequences] == [0] * len(collated.sequences)
+        assert collated.total_tokens() == 900
+        assert collated.padding_tokens() == 0
+        assert sorted(seg for seq in collated.sequences for seg in seq.segments) == [
+            (0, 300),
+            (1, 200),
+            (2, 400),
+        ]
+
     def test_invalid_sequence_length(self):
         with pytest.raises(TransformError):
             PackingCollator(max_sequence_length=0)
