@@ -1,0 +1,81 @@
+"""CI gate: fail when the wallclock backend's prefetch overlap regresses.
+
+The ``wallclock-bench`` CI leg runs ``test_fig25_wallclock`` in smoke mode
+(``BENCH_WALLCLOCK_SMOKE=1``), which merges a fresh ``smoke`` section into
+``BENCH_fig25_wallclock.json`` next to the committed full-sweep
+``wallclock`` section.  This script compares the fresh smoke run against the
+committed numbers and exits non-zero on a regression beyond the threshold
+(default: 30%).
+
+All gated quantities are noise-tolerant by construction:
+
+- ``hidden_fraction`` (hidden / fetched time of the deepest measured run)
+  is the same-run overlap ratio: both sides are measured inside one run on
+  one machine, so a slow CI runner stretches them together — the gate
+  tracks how much of the fetch real prefetching hides, not absolute runner
+  speed;
+- ``stall_reduction`` (measured depth-0 stall / deepest-depth stall) is
+  gated only on *having a gain at all* — its denominator is a small number
+  with real thread-scheduling noise, so its magnitude is not compared;
+- ``byte_identical`` and ``reconciliation.within_tolerance`` are booleans
+  computed inside the run (cross-backend data identity; calibrated replay
+  agreeing with measurement within the benchmark's stated tolerance).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _regression import gate_ratio, load_sections, make_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__, "BENCH_fig25_wallclock.json").parse_args(argv)
+
+    committed, fresh = load_sections(args.artifact, "wallclock")
+    if not committed or not fresh:
+        return 1
+
+    failures = 0
+
+    # Machine-independent same-run overlap ratio: how much of the deepest
+    # run's measured fetch time prefetching hid.
+    if not gate_ratio(
+        "hidden_fraction",
+        float(fresh["hidden_fraction"]),
+        float(committed["hidden_fraction"]),
+        args.threshold,
+    ):
+        failures += 1
+
+    # The stall quotient's denominator is small and thread-noise sensitive;
+    # gate only on the qualitative claim (depth>0 strictly beats depth 0).
+    stall_reduction = float(fresh["stall_reduction"])
+    print(f"stall_reduction: x{stall_reduction:.3f}")
+    if stall_reduction <= 1.0:
+        print("REGRESSION: depth>0 no longer beats depth 0 on measured stall")
+        failures += 1
+
+    for row in fresh.get("rows", []):
+        if not row.get("byte_identical", False):
+            print(
+                f"depth {row.get('prefetch_depth')}: REGRESSION "
+                "(wallclock batches diverged from virtual)"
+            )
+            failures += 1
+    reconciliation = fresh.get("reconciliation", {})
+    within = reconciliation.get("within_tolerance", False)
+    print(f"calibration reconciliation within tolerance: {within}")
+    if not within:
+        for name, entry in reconciliation.get("metrics", {}).items():
+            print(
+                f"  {name}: measured {entry['measured_s']:.3f}s vs simulated "
+                f"{entry['simulated_s']:.3f}s (rel {entry['rel_error']:.2f})"
+            )
+        failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Aggregate every ``BENCH_*.json`` artifact into one trajectory table.
+
+The repo commits one JSON artifact per benchmarked figure; each PR that
+re-runs a benchmark refreshes its section, so the artifacts *are* the perf
+trajectory of the codebase.  This script flattens them into a single table —
+one row per (artifact, section, headline metric) — so CI prints the whole
+trajectory at a glance and a reviewer can spot a suspicious number without
+opening eight JSON files.
+
+Pure stdlib; runs standalone: ``python benchmarks/summarize_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Headline metrics, in display priority order.  A section contributes every
+#: key it has from this list, then (up to the per-section cap) its remaining
+#: scalar keys alphabetically — so known quantities line up across sections
+#: while novel artifacts still surface something.
+PRIORITY = (
+    "throughput_tokens_per_s",
+    "stall_reduction",
+    "wall_speedup",
+    "hidden_fraction",
+    "hidden_data_fraction",
+    "data_stall_time_s",
+    "virtual_wall_time_s",
+    "events_per_actor",
+    "steps",
+)
+
+MAX_METRICS_PER_SECTION = 6
+
+
+def scalar_metrics(payload: dict) -> dict[str, float]:
+    """Top-level numeric (non-bool) values of one section, priority-ordered."""
+    scalars = {
+        key: float(value)
+        for key, value in payload.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    ordered: dict[str, float] = {}
+    for key in PRIORITY:
+        if key in scalars:
+            ordered[key] = scalars.pop(key)
+    for key in sorted(scalars):
+        if len(ordered) >= MAX_METRICS_PER_SECTION:
+            break
+        ordered[key] = scalars[key]
+    return ordered
+
+
+def section_note(payload: dict) -> str:
+    """A compact shape hint for the non-scalar payload parts."""
+    notes = []
+    rows = payload.get("rows")
+    if isinstance(rows, list):
+        notes.append(f"{len(rows)} rows")
+    reconciliation = payload.get("reconciliation")
+    if isinstance(reconciliation, dict):
+        state = "ok" if reconciliation.get("within_tolerance") else "OFF"
+        notes.append(f"reconcile:{state}")
+    return ", ".join(notes)
+
+
+def format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+def summarize(root: Path) -> list[tuple[str, str, str, str]]:
+    rows: list[tuple[str, str, str, str]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            rows.append((path.name, "-", "unreadable", str(exc)))
+            continue
+        for section in sorted(document):
+            payload = document[section]
+            if not isinstance(payload, dict):
+                rows.append((path.name, section, "entries", str(len(payload))))
+                continue
+            metrics = scalar_metrics(payload)
+            note = section_note(payload)
+            if not metrics:
+                rows.append((path.name, section, "-", note or "-"))
+                continue
+            first = True
+            for key, value in metrics.items():
+                rows.append(
+                    (
+                        path.name if first else "",
+                        section if first else "",
+                        key,
+                        format_value(value) + (f"  [{note}]" if first and note else ""),
+                    )
+                )
+                first = False
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = summarize(args.root)
+    if not rows:
+        print(f"no BENCH_*.json artifacts under {args.root}")
+        return 1
+
+    headers = ("artifact", "section", "metric", "value")
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows)) for i in range(4)
+    ]
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    print(line)
+    print("  ".join("-" * width for width in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Ray's remote-call semantics for the control flow the paper exercises
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 
 from repro.errors import ActorDead, ActorError, ActorTimeout
@@ -78,10 +79,13 @@ class FutureState(str, enum.Enum):
 class ActorFuture:
     """Deferred result of an asynchronous actor call.
 
-    Futures are completed cooperatively: the owning
+    Under the virtual backend futures are completed cooperatively: the owning
     :class:`~repro.actors.runtime.ActorSystem` executes pending calls when its
     event loop is ticked, so completion order is deterministic (FIFO submit
-    order) rather than wall-clock dependent.
+    order) rather than wall-clock dependent.  Under the wallclock backend the
+    same futures bridge to *real* completions signalled from actor lane
+    threads, so every state transition is guarded by a shared lock and
+    waiters/done-callbacks are thread-safe.
     """
 
     __slots__ = (
@@ -92,7 +96,16 @@ class ActorFuture:
         "_exception",
         "available_at_s",
         "_owner",
+        "_event",
+        "_callbacks",
+        "_running",
     )
+
+    #: Shared transition lock.  One lock for all futures keeps the per-future
+    #: footprint flat (no lock allocation on the virtual hot path) while
+    #: making complete/fail/cancel linearizable against wallclock lane
+    #: threads; the critical sections are a handful of attribute writes.
+    _transitions = threading.Lock()
 
     def __init__(self, actor: str, method: str) -> None:
         self.actor = actor
@@ -105,8 +118,17 @@ class ActorFuture:
         self.available_at_s: float | None = None
         #: Owning system (set by ``submit_call``): cancellation must notify
         #: the dispatcher, because cancelling a queue *head* can lower its
-        #: actor's dispatch key (the next call may be ready earlier).
+        #: actor's dispatch key (the next call may be ready earlier), and
+        #: ``result(timeout=)`` delegates its wait strategy to the owner.
         self._owner: object | None = None
+        #: Completion event, created lazily (wallclock submits pre-create it;
+        #: virtual futures never pay for one unless a waiter asks).
+        self._event: threading.Event | None = None
+        #: Thread-safe done callbacks (lazily created list).
+        self._callbacks: list | None = None
+        #: True once an execution lane picked the call up — the point past
+        #: which cancellation must fail (the body may be mutating state).
+        self._running = False
 
     # -- inspection -----------------------------------------------------------------
 
@@ -119,8 +141,29 @@ class ActorFuture:
     def exception(self) -> BaseException | None:
         return self._exception
 
-    def result(self):
-        """The call's return value; raises if pending, failed or cancelled."""
+    def result(self, timeout: float | None = None):
+        """The call's return value; raises if pending, failed or cancelled.
+
+        ``timeout`` (clock seconds — virtual seconds under the virtual
+        backend, scaled wall seconds under wallclock) bounds how long the
+        call may take to complete instead of hanging: the owning system
+        drives/awaits completion and a still-pending future raises
+        :class:`TimeoutError`.  ``timeout=None`` keeps the historical
+        semantics: an un-completed future raises :class:`ActorError`
+        immediately (tick the system first).
+        """
+        if self.state is FutureState.PENDING and timeout is not None:
+            if self._owner is not None:
+                self._owner._wait_future(self, timeout)
+            else:
+                # Detached future (no owning system): wait for a completion
+                # signalled from another thread, timeout in wall seconds.
+                self._completion_event().wait(timeout)
+            if self.state is FutureState.PENDING:
+                raise TimeoutError(
+                    f"future for {self.actor}.{self.method} did not complete "
+                    f"within {timeout}s"
+                )
         if self.state is FutureState.PENDING:
             raise ActorError(
                 f"future for {self.actor}.{self.method} is still pending; tick the system"
@@ -131,27 +174,81 @@ class ActorFuture:
             raise self._exception
         return self._result
 
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(self)`` on completion (immediately if already done).
+
+        Thread-safe: a callback registered concurrently with completion runs
+        exactly once, on whichever thread loses the race.
+        """
+        with ActorFuture._transitions:
+            if self.state is FutureState.PENDING:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
     # -- completion (runtime-internal) ---------------------------------------------
 
+    def _completion_event(self) -> threading.Event:
+        """The future's completion event, created (and back-filled) on demand."""
+        with ActorFuture._transitions:
+            if self._event is None:
+                self._event = threading.Event()
+                if self.state is not FutureState.PENDING:
+                    self._event.set()
+            return self._event
+
+    def _mark_running(self) -> bool:
+        """Claim the call for execution; False if it was cancelled first."""
+        with ActorFuture._transitions:
+            if self.state is not FutureState.PENDING:
+                return False
+            self._running = True
+            return True
+
     def cancel(self) -> bool:
-        """Cancel the call if it has not executed yet; returns success."""
-        if self.state is not FutureState.PENDING:
-            return False
-        self.state = FutureState.CANCELLED
+        """Cancel the call if it has not started executing; returns success."""
+        with ActorFuture._transitions:
+            if self.state is not FutureState.PENDING or self._running:
+                return False
+            self.state = FutureState.CANCELLED
+            event = self._event
+            callbacks, self._callbacks = self._callbacks, None
+        if event is not None:
+            event.set()
         if self._owner is not None:
             self._owner._on_future_cancelled(self.actor, self)
+        for callback in callbacks or ():
+            callback(self)
         return True
 
     def _complete(self, result: object, available_at_s: float | None = None) -> None:
-        if self.state is FutureState.PENDING:
+        with ActorFuture._transitions:
+            if self.state is not FutureState.PENDING:
+                return
             self._result = result
             self.available_at_s = available_at_s
             self.state = FutureState.DONE
+            event = self._event
+            callbacks, self._callbacks = self._callbacks, None
+        if event is not None:
+            event.set()
+        for callback in callbacks or ():
+            callback(self)
 
     def _fail(self, exc: BaseException) -> None:
-        if self.state is FutureState.PENDING:
+        with ActorFuture._transitions:
+            if self.state is not FutureState.PENDING:
+                return
             self._exception = exc
             self.state = FutureState.FAILED
+            event = self._event
+            callbacks, self._callbacks = self._callbacks, None
+        if event is not None:
+            event.set()
+        for callback in callbacks or ():
+            callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ActorFuture({self.actor!r}.{self.method}, {self.state})"

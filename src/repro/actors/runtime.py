@@ -186,6 +186,10 @@ class ActorSystem:
 
     #: Dispatcher implementations accepted by ``dispatcher=``.
     DISPATCHERS = ("indexed", "linear")
+    #: Execution backends accepted by ``backend=``: the discrete-event
+    #: virtual-clock engine (deterministic reference) or real thread-parallel
+    #: lanes behind the same API (:mod:`repro.actors.wallclock`).
+    BACKENDS = ("virtual", "wallclock")
 
     def __init__(
         self,
@@ -193,10 +197,16 @@ class ActorSystem:
         rpc_latency_s: float = 0.0002,
         dispatcher: str = "indexed",
         call_log_limit: int | None = None,
+        backend: str = "virtual",
+        time_scale: float = 1.0,
     ) -> None:
         if dispatcher not in self.DISPATCHERS:
             raise ActorError(
                 f"unknown dispatcher {dispatcher!r}; expected one of {self.DISPATCHERS}"
+            )
+        if backend not in self.BACKENDS:
+            raise ActorError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
             )
         self.cluster = cluster or ClusterSpec()
         self.nodes = self.cluster.build_nodes()
@@ -238,7 +248,18 @@ class ActorSystem:
         #: Optional execution-trace sink for equivalence tests: when set to a
         #: list, every dispatched event appends ``(start, seq, actor, method)``.
         self.dispatch_trace: list[tuple[float, int, str, str]] | None = None
-        self.clock = VirtualClock()
+        self.backend = backend
+        if backend == "wallclock":
+            # Local import: the wallclock engine pulls in the latency
+            # recorder from the cost-model layer, which virtual-only users
+            # never need at import time.
+            from repro.actors.wallclock import WallClock, WallclockEngine
+
+            self.clock = WallClock(time_scale)
+            self.engine: WallclockEngine | None = WallclockEngine(self)
+        else:
+            self.clock = VirtualClock()
+            self.engine = None
         #: Executed deferred calls as timed intervals (one event per call),
         #: tagged with the actor's role and, when provided, the pipeline step.
         self.timeline = Timeline()
@@ -269,10 +290,25 @@ class ActorSystem:
         """Virtual instant the actor can start another call (earliest lane).
 
         Lane lists are maintained as min-heaps, so this is O(1) rather than a
-        min-scan over every lane.
+        min-scan over every lane.  Under the wallclock backend this is the
+        actor's latest *real* completion instant instead (there is no booked
+        future window to report — lanes finish when they finish).
         """
+        if self.engine is not None:
+            return self.engine.free_at_s(name)
         lanes = self._lanes_s.get(name)
         return lanes[0] if lanes else 0.0
+
+    def quiesce(self, actor_names=None) -> None:
+        """Barrier: wait until the named actors (all, if None) are idle.
+
+        The virtual engine executes nothing between ticks, so this is a
+        no-op there; under the wallclock backend it blocks until the actors
+        have no queued or in-flight call — the invariant recovery code needs
+        before rewinding actor state.
+        """
+        if self.engine is not None:
+            self.engine.quiesce(actor_names)
 
     # -- actor lifecycle --------------------------------------------------------------
 
@@ -340,6 +376,8 @@ class ActorSystem:
         self._generation[actor_name] = self._generation.get(actor_name, 0) + 1
         self._retiring.discard(actor_name)
         self._lanes_s[actor_name] = [self.clock.now_s + warmup_s] * concurrency
+        if self.engine is not None:
+            self.engine.register_actor(actor_name, concurrency, warmup_s)
         self.gcs.register_actor(
             actor_name, {"role": role, "node": node.name, "spilled": placement.spilled}
         )
@@ -382,6 +420,10 @@ class ActorSystem:
                 raise
             record.request = replace(old, cpu_cores=cpu_cores)
         if concurrency is not None and concurrency != record.concurrency:
+            if self.engine is not None:
+                self.engine.resize_lanes(name, concurrency)
+                record.concurrency = concurrency
+                return
             lanes = sorted(self._lanes_s.get(name, [self.clock.now_s]))
             if concurrency > len(lanes):
                 lanes.extend([self.clock.now_s] * (concurrency - len(lanes)))
@@ -415,6 +457,9 @@ class ActorSystem:
             self._actors.pop(name, None)
             self._lanes_s.pop(name, None)
             self._retiring.discard(name)
+            if self.engine is not None:
+                # Close the mailbox: fails queued calls, lane threads exit.
+                self.engine.stop_actor(name)
             # Fail (don't leak) any still-queued deferred calls: a removed
             # actor's queue would otherwise be scanned forever and its lane
             # lookup would backdate the call's start to 0.
@@ -467,9 +512,18 @@ class ActorSystem:
             target = self._record(successor)
             if target.state is not ActorState.RUNNING or successor in self._retiring:
                 raise ActorError(f"successor {successor!r} cannot accept handed-off calls")
-            self._handoff_queue(name, successor)
+            if self.engine is not None:
+                self.engine.handoff_queue(name, successor)
+            else:
+                self._handoff_queue(name, successor)
             self.stop_actor(name)
             return True
+        if self.engine is not None:
+            if self.engine.is_idle(name):
+                self.stop_actor(name)
+                return True
+            self._retiring.add(name)
+            return False
         queue = self._queues.get(name)
         if queue:
             _purge_cancelled_heads(queue)
@@ -536,6 +590,8 @@ class ActorSystem:
         kwargs: dict,
         timeout_s: float | None = None,
     ):
+        if self.engine is not None:
+            return self.engine.direct_call(name, method, args, kwargs, timeout_s)
         result = self._invoke(name, method, args, kwargs, timeout_s, advance_rpc=True)
         return result
 
@@ -622,10 +678,16 @@ class ActorSystem:
             step=step_tag,
             seq=self._seq,
         )
+        future._owner = self
+        if self.engine is not None:
+            # Wallclock waiters block on a real Event; create it on the
+            # driver thread so lane-side completion only has to set it.
+            future._completion_event()
+            self.engine.submit(call)
+            return future
         was_empty = not queue
         queue.append(call)
         if self.dispatcher == "indexed":
-            future._owner = self
             if was_empty:
                 # The call became its actor's queue head: index it in the
                 # global dispatch heap.  Non-head calls are indexed lazily
@@ -685,6 +747,14 @@ class ActorSystem:
         dispatched first, diverging from the linear-scan reference.
         Non-head cancellations leave the head (and its key) untouched.
         """
+        if self.engine is not None:
+            self.engine.on_future_cancelled(name, future)
+            return
+        if self.dispatcher != "indexed":
+            # The linear dispatcher never consumes the heap, so it must not
+            # feed it (owners are now set on every backend for
+            # ``result(timeout=)`` support, not just the indexed one).
+            return
         queue = self._queues.get(name)
         if queue and queue[0].future is future:
             self._push_head(name)
@@ -757,7 +827,15 @@ class ActorSystem:
         Returns the number of calls actually executed.  Exceptions raised by
         the callee (including injected :class:`ActorDead` / :class:`ActorTimeout`)
         are captured on the future rather than propagated.
+
+        Under the wallclock backend the same signature acknowledges *real*
+        completions instead: it returns immediately while unacknowledged
+        completions exist, blocks for at least one when work is in flight,
+        and returns 0 only when the engine is idle — so virtual-engine
+        driver loops terminate unmodified.
         """
+        if self.engine is not None:
+            return self.engine.tick(max_calls)
         indexed = self.dispatcher == "indexed"
         executed = 0
         while max_calls is None or executed < max_calls:
@@ -863,22 +941,63 @@ class ActorSystem:
             **metadata,
         )
 
-    def drain(self) -> int:
+    def drain(self, deadline_s: float | None = None) -> int:
         """Run the event engine until no pending calls remain.
 
         One unbounded tick per pass: the dispatch loop keeps popping until
         the index is empty (nested submits included), so draining no longer
         pays a pending-count scan per batch.
+
+        ``deadline_s`` bounds the drain in clock units (virtual seconds on
+        either backend): if pending calls remain once the clock has advanced
+        that far past the drain's start, :class:`TimeoutError` is raised
+        instead of hanging — API parity with the wallclock backend, where a
+        wedged lane would otherwise block forever.
         """
+        if self.engine is not None:
+            return self.engine.drain(deadline_s)
         executed = 0
+        start_s = self.clock.now_s
+        if deadline_s is None:
+            while True:
+                ran = self.tick(max_calls=None)
+                executed += ran
+                if ran == 0:
+                    break
+            return executed
         while True:
-            ran = self.tick(max_calls=None)
+            ran = self.tick(max_calls=1)
             executed += ran
             if ran == 0:
                 break
+            if self.clock.now_s - start_s >= deadline_s and self.pending_count() > 0:
+                raise TimeoutError(
+                    f"drain deadline of {deadline_s}s (virtual) expired with "
+                    f"{self.pending_count()} calls still pending"
+                )
         return executed
 
+    def _wait_future(self, future: ActorFuture, timeout_s: float) -> None:
+        """Drive the engine until ``future`` completes or the deadline passes.
+
+        Backing strategy for ``ActorFuture.result(timeout=...)``: the virtual
+        engine ticks events forward (the clock *is* the progress meter) until
+        the future resolves, the virtual deadline passes, or the engine runs
+        dry; the wallclock engine blocks on the future's completion event for
+        the scaled real duration.  The caller (the future) raises
+        :class:`TimeoutError` if still pending afterwards.
+        """
+        if self.engine is not None:
+            self.engine.wait_future(future, timeout_s)
+            return
+        deadline = self.clock.now_s + timeout_s
+        while not future.done() and self.clock.now_s < deadline:
+            if self.tick() == 0:
+                break
+
     def pending_count(self, actor_name: str | None = None) -> int:
+        if self.engine is not None:
+            return self.engine.pending_count(actor_name)
         queues = (
             self._queues.values()
             if actor_name is None
@@ -892,7 +1011,14 @@ class ActorSystem:
         )
 
     def cancel_pending(self, actor_name: str | None = None) -> int:
-        """Cancel queued calls (for one actor, or all); returns how many."""
+        """Cancel queued calls (for one actor, or all); returns how many.
+
+        Under the wallclock backend this additionally *waits* for the
+        affected actors' in-flight calls to drain, preserving the virtual
+        engine's contract that nothing pending is mid-execution afterwards.
+        """
+        if self.engine is not None:
+            return self.engine.cancel_pending(actor_name)
         cancelled = 0
         names = list(self._queues) if actor_name is None else [actor_name]
         for name in names:

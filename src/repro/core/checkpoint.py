@@ -46,6 +46,16 @@ class CheckpointStore:
     def save(self, namespace: str, step: int, payload: Any) -> None:
         raise NotImplementedError
 
+    def save_many(self, entries: list[tuple[str, int, Any]]) -> None:
+        """Persist ``(namespace, step, payload)`` triples as one batch.
+
+        Backends with transactional writes override this to commit the whole
+        batch atomically (one fsync per sync point instead of one per
+        member); the default falls back to sequential :meth:`save` calls.
+        """
+        for namespace, step, payload in entries:
+            self.save(namespace, step, payload)
+
     def load(self, namespace: str, step: int) -> Any | None:
         raise NotImplementedError
 
@@ -140,6 +150,17 @@ class SqliteCheckpointStore(CheckpointStore):
                 f"checkpoint payload for {namespace!r} step {step} is not picklable: {exc}"
             ) from exc
         self._kv.put(namespace, step, blob)
+
+    def save_many(self, entries: list[tuple[str, int, Any]]) -> None:
+        blobs = []
+        for namespace, step, payload in entries:
+            try:
+                blobs.append((namespace, step, pickle.dumps(payload)))
+            except Exception as exc:  # pragma: no cover - defensive
+                raise CheckpointError(
+                    f"checkpoint payload for {namespace!r} step {step} is not picklable: {exc}"
+                ) from exc
+        self._kv.put_many(blobs)
 
     def load(self, namespace: str, step: int) -> Any | None:
         blob = self._kv.get(namespace, step)

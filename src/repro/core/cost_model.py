@@ -34,6 +34,7 @@ Two families of models live here:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -167,6 +168,134 @@ class DataPlaneLatencyProvider:
         if role == "trainer" and isinstance(result, IterationResult):
             return max(0.0, result.iteration_time_s - result.exposed_fetch_time_s)
         return 0.0
+
+
+class LatencyRecorder:
+    """Per-(role, method) record of measured call latencies.
+
+    The wallclock engine appends one sample per completed submitted call —
+    the call's full occupancy in clock units: real body time plus the
+    modelled (slept) latency — from concurrent lane threads, hence the lock.
+    The samples feed :class:`CalibratedLatencyProvider`, closing the
+    measure → calibrate → simulate loop (the fig19 cost-model extension).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: dict[tuple[str, str], list[float]] = {}
+
+    def record(self, role: str, method: str, duration_s: float) -> None:
+        with self._lock:
+            self._samples.setdefault((role, method), []).append(
+                max(0.0, float(duration_s))
+            )
+
+    def samples(self) -> dict[tuple[str, str], list[float]]:
+        """A snapshot copy of every recorded sample list."""
+        with self._lock:
+            return {key: list(values) for key, values in self._samples.items()}
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-key count/mean/total (keys rendered ``role.method``)."""
+        out: dict[str, dict[str, float]] = {}
+        for (role, method), values in sorted(self.samples().items()):
+            out[f"{role}.{method}"] = {
+                "count": float(len(values)),
+                "mean_s": sum(values) / len(values) if values else 0.0,
+                "total_s": sum(values),
+            }
+        return out
+
+    def to_provider(self) -> "CalibratedLatencyProvider":
+        return CalibratedLatencyProvider(self.samples())
+
+
+class CalibratedLatencyProvider:
+    """Replays measured wall latencies as virtual durations.
+
+    Drop-in ``latency_provider`` for the virtual backend: each
+    ``(role, method)`` key replays its recorded samples FIFO — a virtual
+    rerun of the same job makes the same call sequence, so call *k* gets the
+    latency call *k* actually took on the wallclock run — then falls back to
+    the key's mean (runs longer than the recording), and to 0 for keys never
+    measured.  ``wants_lane_context`` is deliberately False: the measured
+    occupancy already includes any lane-contention stretch the real run
+    experienced, so applying the capacity-split model again would double
+    count contention.
+    """
+
+    wants_lane_context = False
+
+    def __init__(self, samples: dict[tuple[str, str], list[float]]) -> None:
+        self._samples = {key: list(values) for key, values in samples.items()}
+        self._cursor: dict[tuple[str, str], int] = {}
+        self._means = {
+            key: (sum(values) / len(values) if values else 0.0)
+            for key, values in self._samples.items()
+        }
+
+    def call_duration_s(self, actor: object, method: str, result: object) -> float:
+        key = (getattr(type(actor), "role", "actor"), method)
+        values = self._samples.get(key)
+        if not values:
+            return 0.0
+        index = self._cursor.get(key, 0)
+        if index < len(values):
+            self._cursor[key] = index + 1
+            return values[index]
+        return self._means[key]
+
+    def replay_depth(self) -> dict[str, int]:
+        """How many samples each key has consumed (``role.method`` keys)."""
+        return {f"{role}.{method}": index for (role, method), index in self._cursor.items()}
+
+
+#: Summary keys compared by :func:`reconcile_timing` — the measured-vs-
+#: simulated quantities of the fig19/fig25 reconciliation report.
+RECONCILE_METRICS = (
+    "hidden_data_time_s",
+    "exposed_data_time_s",
+    "data_stall_time_s",
+    "virtual_wall_time_s",
+)
+
+
+def reconcile_timing(
+    measured: dict,
+    simulated: dict,
+    metrics: tuple[str, ...] = RECONCILE_METRICS,
+    tolerance: float = 0.25,
+    atol_s: float = 1e-3,
+) -> dict:
+    """Compare a measured (wallclock) run summary against a simulated one.
+
+    For each metric the report carries both values, the absolute error and a
+    symmetric relative error (``|m - s| / max(|m|, |s|)``); metrics where
+    both sides are within ``atol_s`` of zero count as reconciled regardless.
+    ``within_tolerance`` is True when every metric's relative error is at or
+    below ``tolerance`` — the fig25 acceptance gate.
+    """
+    report: dict = {"tolerance": float(tolerance), "metrics": {}}
+    within = True
+    for name in metrics:
+        m = float(measured.get(name, 0.0))
+        s = float(simulated.get(name, 0.0))
+        scale = max(abs(m), abs(s))
+        if scale <= atol_s:
+            rel = 0.0
+        else:
+            rel = abs(m - s) / scale
+        ok = rel <= tolerance
+        within = within and ok
+        report["metrics"][name] = {
+            "measured_s": m,
+            "simulated_s": s,
+            "abs_error_s": abs(m - s),
+            "rel_error": rel,
+            "reconciled": ok,
+        }
+    report["within_tolerance"] = within
+    return report
 
 
 @dataclass(frozen=True)

@@ -127,6 +127,45 @@ class FaultToleranceManager:
         replayed.  ``force=True`` bypasses the interval gate (spawn-time
         baseline checkpoints, whole-run save).
         """
+        entry = self._build_loader_checkpoint(handle, step, consistent, force)
+        if entry is None:
+            return False
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(f"loader/{handle.name}", step, entry)
+        return True
+
+    def checkpoint_loaders(
+        self,
+        handles: list[ActorHandle],
+        step: int,
+        consistent: bool = False,
+        force: bool = False,
+    ) -> int:
+        """Batched :meth:`checkpoint_loader` over a whole fleet sync point.
+
+        Snapshots every eligible member, then persists all entries through
+        the store's :meth:`~repro.core.checkpoint.CheckpointStore.save_many`
+        — one transaction (and one WAL fsync on the SQLite backend) per sync
+        point instead of one per member.  Returns how many members were
+        checkpointed.
+        """
+        batch: list[tuple[str, int, dict]] = []
+        for handle in handles:
+            entry = self._build_loader_checkpoint(handle, step, consistent, force)
+            if entry is not None:
+                batch.append((f"loader/{handle.name}", step, entry))
+        if batch and self.checkpoint_store is not None:
+            self.checkpoint_store.save_many(batch)
+        return len(batch)
+
+    def _build_loader_checkpoint(
+        self,
+        handle: ActorHandle,
+        step: int,
+        consistent: bool,
+        force: bool,
+    ) -> dict | None:
+        """Snapshot one loader into the in-memory history; None if not due."""
         loader = handle.instance()
         if not isinstance(loader, SourceLoader):
             raise FaultToleranceError(f"{handle.name!r} is not a source loader")
@@ -135,7 +174,7 @@ class FaultToleranceManager:
             and step % self.config.loader_checkpoint_interval != 0
             and not loader.should_checkpoint()
         ):
-            return False
+            return None
         entry = {
             "step": step,
             "state": loader.state_dict(),
@@ -148,10 +187,8 @@ class FaultToleranceManager:
         history.append(entry)
         history.sort(key=lambda e: e["step"])
         del history[:-CHECKPOINT_HISTORY]
-        if self.checkpoint_store is not None:
-            self.checkpoint_store.save(f"loader/{handle.name}", step, entry)
         loader.mark_checkpointed()
-        return True
+        return entry
 
     def last_loader_checkpoint(
         self,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.actors.actor import ActorFuture
 from repro.actors.node import NodeKind, ResourceSpec
 from repro.actors.runtime import ActorSystem, ClusterSpec
 from repro.core.autoscaler import (
@@ -188,6 +189,19 @@ class TrainingJobSpec:
     #: ``storage/kvstore``; payloads round-trip through pickle).
     checkpoint_backend: str = "memory"
 
+    #: Actor execution backend: "virtual" (discrete-event virtual-clock
+    #: co-simulation, the deterministic default) or "wallclock" (real
+    #: thread-parallel actor lanes behind the same API — see
+    #: :mod:`repro.actors.wallclock`; batches stay byte-identical, timing is
+    #: measured from real completions).
+    backend: str = "virtual"
+
+    #: Real seconds per virtual second under ``backend="wallclock"``: modelled
+    #: latencies are slept for ``duration * wallclock_time_scale`` so a
+    #: simulated hour compresses into benchmark-friendly wall time.  Ignored
+    #: by the virtual backend.
+    wallclock_time_scale: float = 1.0
+
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
             raise ConfigurationError(
@@ -225,6 +239,13 @@ class TrainingJobSpec:
                 f"unknown checkpoint_backend {self.checkpoint_backend!r}; "
                 "expected 'memory' or 'sqlite'"
             )
+        if self.backend not in ActorSystem.BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {ActorSystem.BACKENDS}"
+            )
+        if self.wallclock_time_scale <= 0:
+            raise ConfigurationError("wallclock_time_scale must be > 0")
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -362,6 +383,10 @@ class MegaScaleData:
         #: Virtual instant the latest consumed step began on the trainer —
         #: the issue instant for steps the pipeline queues at that consume.
         self._last_release_s = 0.0
+        #: Deferred trainer iteration (wallclock + pipeline only): the await
+        #: is postponed until after the pipeline pumps prefetch work, so real
+        #: trainer compute overlaps the next steps' fetches on lane threads.
+        self._pending_iteration: tuple[ActorFuture, StepResult, bool] | None = None
         if job.prefetch_depth > 0:
             from repro.core.step_pipeline import StepPipeline
 
@@ -413,6 +438,8 @@ class MegaScaleData:
             cluster,
             dispatcher=job.dispatcher,
             call_log_limit=job.telemetry_window if job.bounded_telemetry else None,
+            backend=job.backend,
+            time_scale=job.wallclock_time_scale,
         )
         if job.bounded_telemetry:
             # Swap in the bounded/aggregating timeline before any actor is
@@ -761,8 +788,15 @@ class MegaScaleData:
         # virtual time, not an estimate — whatever portion of the fetch did
         # not stall the trainer was hidden behind earlier compute windows.
         if data_ready_s is None:
-            data_ready_s = trainer_free_s + data_fetch_latency
-            stall_s = data_fetch_latency  # inline fetch: exact, no float residue
+            if self.system.engine is not None:
+                # Wallclock synchronous path: the inline fetch already slept
+                # its modelled latency on the caller thread, so readiness is
+                # "now" on the shared clock, not an offset reconstruction.
+                data_ready_s = self.system.clock.now_s
+                stall_s = max(0.0, data_ready_s - trainer_free_s)
+            else:
+                data_ready_s = trainer_free_s + data_fetch_latency
+                stall_s = data_fetch_latency  # inline fetch: exact, no float residue
         else:
             stall_s = max(0.0, data_ready_s - trainer_free_s)
         hidden_s = max(0.0, data_fetch_latency - stall_s)
@@ -818,13 +852,14 @@ class MegaScaleData:
             iteration_future = self.trainer_handle.submit_timed(
                 "consume_step", step, step_tag=step, earliest_start_s=begin_s
             )
-        while not iteration_future.done():
-            if self.system.tick() == 0:
-                break
-        if simulate:
-            result.iteration = iteration_future.result()
+        if self.system.engine is not None and self.pipeline is not None:
+            # Wallclock + prefetching: awaiting the iteration here would
+            # serialize trainer compute against the pipeline's next pump and
+            # forfeit the very overlap the backend exists to measure.  Defer
+            # the await; the pipeline collects it after pumping prefetches.
+            self._pending_iteration = (iteration_future, result, simulate)
         else:
-            iteration_future.result()  # surface trainer failures loudly
+            self._await_iteration(iteration_future, result, simulate)
         self._last_release_s = begin_s
 
         # Release constructor staging for completed steps (double buffering).
@@ -841,6 +876,24 @@ class MegaScaleData:
         self._step = step + 1
         self._history.append(result)
         return result
+
+    def _await_iteration(
+        self, future: ActorFuture, result: StepResult, simulate: bool
+    ) -> None:
+        """Drive the system until the trainer's booked window completes."""
+        while not future.done():
+            if self.system.tick() == 0:
+                break
+        if simulate:
+            result.iteration = future.result()
+        else:
+            future.result()  # surface trainer failures loudly
+
+    def _collect_iteration(self) -> None:
+        """Await a deferred trainer iteration (wallclock pipeline path only)."""
+        pending, self._pending_iteration = self._pending_iteration, None
+        if pending is not None:
+            self._await_iteration(*pending)
 
     def next_batch(self) -> dict[int, RankDelivery]:
         """Convenience wrapper: run a step and return the per-rank deliveries."""
@@ -1191,6 +1244,7 @@ class MegaScaleData:
         if self._shutdown_done:
             return
         self._shutdown_done = True
+        self._pending_iteration = None
         if self.pipeline is not None:
             self.pipeline.cancel()
         self.system.cancel_pending()
@@ -1416,16 +1470,34 @@ class MegaScaleData:
         — the instant where every plan up to and including ``step`` has been
         applied to every member and nothing beyond has started — so the
         snapshots are valid bases for bounded suffix replay.  The differential
-        interval gate inside :meth:`FaultToleranceManager.checkpoint_loader`
-        keeps this O(1) on non-interval steps.
+        interval gate inside :meth:`FaultToleranceManager.checkpoint_loaders`
+        keeps this O(1) on non-interval steps, and the batched spill commits
+        the whole sync point in one store transaction.
         """
+        healthy = []
         for handle in self.fleet.all_handles():
             try:
-                self.fault_manager.checkpoint_loader(
-                    handle, step, consistent=True, force=force
-                )
+                # Snapshot eligibility probes the live instance; a member that
+                # died since the last boundary is skipped here and recovered
+                # at its next RPC.
+                handle.instance()
             except Exception:  # noqa: BLE001 - a dying member is recovered later
                 continue
+            healthy.append(handle)
+        try:
+            self.fault_manager.checkpoint_loaders(
+                healthy, step, consistent=True, force=force
+            )
+        except Exception:  # noqa: BLE001 - a dying member is recovered later
+            # Batched spill failed mid-flight; fall back to per-member writes
+            # so one bad snapshot cannot suppress the others.
+            for handle in healthy:
+                try:
+                    self.fault_manager.checkpoint_loader(
+                        handle, step, consistent=True, force=force
+                    )
+                except Exception:  # noqa: BLE001
+                    continue
 
     def _on_fleet_change(self, change) -> None:
         """Mirror fleet mutations onto the timeline and the overlap ledger."""

@@ -189,6 +189,10 @@ class StepPipeline:
         self._fill()
         while self._pump():
             pass
+        # Wallclock backend: the trainer's window for this step was deferred
+        # so the prefetch pump above could overlap real compute; settle it
+        # now that the next steps' data-plane work is in flight.
+        fw._collect_iteration()
         return result
 
     def inflight(self) -> list[tuple[int, str]]:
@@ -231,6 +235,15 @@ class StepPipeline:
                         fw.system.gcs.delete(ref["key"])
             for future in item.all_futures():
                 future.cancel()
+        # Cancellation cannot claw back calls already executing on wallclock
+        # lane threads; wait for the affected actors to go quiet before the
+        # restores below mutate their state (no-op on the virtual backend,
+        # which executes nothing between ticks).
+        fw.system.quiesce(
+            [handle.name for handle in fw.fleet.all_handles()]
+            + [handle.name for handle in fw.constructor_handles]
+            + [fw.planner_handle.name]
+        )
         planner = fw.planner_handle.instance()
         planner.truncate_history(fw._step)
         # Checkpoints taken at the sync points of flushed (never-delivered)

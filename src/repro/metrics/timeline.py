@@ -13,6 +13,7 @@ event intervals with the trainer's compute windows.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
@@ -56,6 +57,10 @@ class Timeline:
         if max_events is not None and max_events < 1:
             raise ValueError("max_events must be >= 1 (or None for unbounded)")
         self._events: deque[TimelineEvent] = deque(maxlen=max_events)
+        #: Appends mutate several counters together; the wallclock backend
+        #: records events from concurrent lane threads, so the update must be
+        #: atomic (the virtual backend pays one uncontended acquire).
+        self._lock = threading.Lock()
         self._max_events = max_events
         self._count = 0
         self._span = 0.0
@@ -97,15 +102,16 @@ class Timeline:
         return event
 
     def _append(self, event: TimelineEvent) -> None:
-        self._events.append(event)
-        self._count += 1
-        end = event.start + event.duration
-        if end > self._span:
-            self._span = end
-        pair = (event.component, event.name)
-        self._pair_totals[pair] = self._pair_totals.get(pair, 0.0) + event.duration
-        if self.overlap_aggregator is not None:
-            self.overlap_aggregator.observe(event)
+        with self._lock:
+            self._events.append(event)
+            self._count += 1
+            end = event.start + event.duration
+            if end > self._span:
+                self._span = end
+            pair = (event.component, event.name)
+            self._pair_totals[pair] = self._pair_totals.get(pair, 0.0) + event.duration
+            if self.overlap_aggregator is not None:
+                self.overlap_aggregator.observe(event)
 
     def events(
         self, component: str | None = None, name: str | None = None
