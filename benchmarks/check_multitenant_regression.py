@@ -1,0 +1,83 @@
+"""CI gate: fail when the shared data plane's sharing wins regress.
+
+The ``multitenant-bench`` CI leg runs ``test_fig26_multitenant`` in smoke
+mode (``BENCH_MULTITENANT_SMOKE=1``), which merges a fresh ``smoke``
+section into ``BENCH_fig26_multitenant.json`` next to the committed
+full-run ``multitenant`` section.  This script compares the fresh smoke
+run's *same-run* shared-vs-silos metrics against the committed ones and
+exits non-zero on a regression beyond the threshold (default: 30%).
+
+Every gated quantity is a ratio measured inside one run on one machine —
+shared over silos on the same virtual clock, or the high-priority tenant's
+stall against its own solo baseline — so a slow CI runner cancels out: the
+gate tracks the *benefit of sharing* and the *cost of co-tenancy*, not the
+runner's absolute speed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _regression import gate_ratio, load_sections, make_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__, "BENCH_fig26_multitenant.json").parse_args(argv)
+
+    committed, fresh = load_sections(args.artifact, "multitenant")
+    if not committed or not fresh:
+        return 1
+
+    failures = 0
+    for metric in (
+        "sharing_throughput_gain",
+        "sharing_utilization_gain",
+        "sharing_stall_reduction",
+    ):
+        # The gains over silos are small but deterministic; compare the
+        # *gain over parity* (value - 1) so a pool that stopped beating the
+        # silos at all trips the gate regardless of its absolute magnitude.
+        fresh_gain = float(fresh[metric]) - 1.0
+        reference_gain = float(committed[metric]) - 1.0
+        if fresh_gain <= 0:
+            print(f"{metric}: fresh x{float(fresh[metric]):.4f} — REGRESSION (no gain)")
+            failures += 1
+            continue
+        if not gate_ratio(f"{metric} gain", fresh_gain, reference_gain, args.threshold):
+            failures += 1
+
+    # Isolation contract: with preemption the high-priority tenant's stall
+    # stays near its solo baseline (ratio ~1); gate the head-room left under
+    # the benchmark's own 1.25x tolerance rather than the raw ratio.
+    ratio = float(fresh["isolation_stall_ratio"])
+    print(f"isolation stall ratio: x{ratio:.4f} (tolerance x1.25)")
+    if ratio > 1.25:
+        print("REGRESSION: high-priority stall exceeded the isolation tolerance")
+        failures += 1
+
+    shared_rows = [
+        row
+        for row in fresh.get("rows", [])
+        if row.get("mode") == "shared" and row.get("tenants", 0) > 1
+    ]
+    spawns = sum(row.get("total_fleet_spawns", 0) for row in shared_rows)
+    print(f"smoke shared-pool mirror spawns: {spawns:.0f}")
+    if spawns < 1:
+        print("REGRESSION: the shared pool never hosted a burst mirror")
+        failures += 1
+
+    preemptions = sum(
+        row.get("preemptions", 0)
+        for row in fresh.get("isolation", [])
+        if row.get("mode") == "shared"
+    )
+    print(f"smoke preemptions (fair run): {preemptions:.0f}")
+    if preemptions < 1:
+        print("REGRESSION: the priority burst was never served by preemption")
+        failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

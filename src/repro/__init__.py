@@ -23,6 +23,7 @@ See ``examples/quickstart.py`` for a complete runnable walk-through.
 
 from repro.version import __version__
 from repro.core.framework import MegaScaleData, TrainingJobSpec
+from repro.core.tenancy import TenantManager, TenantSpec
 from repro.core.dgraph import DGraph
 from repro.core.place_tree import ClientPlaceTree
 from repro.parallelism.mesh import DeviceMesh
@@ -33,6 +34,8 @@ __all__ = [
     "__version__",
     "MegaScaleData",
     "TrainingJobSpec",
+    "TenantManager",
+    "TenantSpec",
     "DGraph",
     "ClientPlaceTree",
     "DeviceMesh",

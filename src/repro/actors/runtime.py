@@ -199,6 +199,7 @@ class ActorSystem:
         call_log_limit: int | None = None,
         backend: str = "virtual",
         time_scale: float = 1.0,
+        placement_policy: str = "spread",
     ) -> None:
         if dispatcher not in self.DISPATCHERS:
             raise ActorError(
@@ -210,7 +211,7 @@ class ActorSystem:
             )
         self.cluster = cluster or ClusterSpec()
         self.nodes = self.cluster.build_nodes()
-        self.scheduler = PlacementScheduler(self.nodes)
+        self.scheduler = PlacementScheduler(self.nodes, policy=placement_policy)
         self.gcs = GlobalControlStore()
         self.failures = FailureInjector()
         self.rpc_latency_s = rpc_latency_s
@@ -323,6 +324,8 @@ class ActorSystem:
         allow_spill: bool = True,
         concurrency: int = 1,
         warmup_s: float = 0.0,
+        tenant: str | None = None,
+        free_from_s: float | None = None,
     ) -> ActorHandle:
         """Instantiate, place and register a new actor; returns its handle.
 
@@ -337,6 +340,14 @@ class ActorSystem:
         seconds from the current instant, modelling provisioning latency of
         actors spawned *mid-run* (elastic scale-up): the new actor exists
         immediately but cannot start events before its warm-up elapsed.
+
+        ``free_from_s`` overrides that "current instant" on the virtual
+        backend.  On a dedicated system the global clock's ``now_s`` is the
+        spawning job's own event frontier, so the default is right; on a
+        *shared* (multi-tenant) system the global clock sits at whichever
+        tenant was simulated last, and anchoring a spawn there would charge
+        this tenant a wait it never caused.  Callers spawning on behalf of
+        one tenant pass that tenant's causal frontier instead.
         """
         if concurrency < 1:
             raise ActorError("actor concurrency must be >= 1")
@@ -344,7 +355,10 @@ class ActorSystem:
             raise ActorError("actor warmup_s must be >= 0")
         instance = factory()
         role = getattr(type(instance), "role", "actor")
-        actor_name = name or self._ids.next_name(role)
+        # Unnamed actors draw ids from a per-tenant allocator namespace so two
+        # tenants sharing one system never collide on generated names.
+        id_namespace = f"{tenant}/{role}" if tenant else role
+        actor_name = name or self._ids.next_name(id_namespace)
         if actor_name in self._actors:
             raise ActorError(f"duplicate actor name {actor_name!r}")
         request = PlacementRequest(
@@ -354,6 +368,7 @@ class ActorSystem:
             prefer=prefer,
             node_affinity=node_affinity,
             allow_spill=allow_spill,
+            tenant=tenant,
         )
         placement = self.scheduler.place(request)
         node = self.scheduler.node(placement.node_name)
@@ -375,7 +390,8 @@ class ActorSystem:
         self._actors[actor_name] = record
         self._generation[actor_name] = self._generation.get(actor_name, 0) + 1
         self._retiring.discard(actor_name)
-        self._lanes_s[actor_name] = [self.clock.now_s + warmup_s] * concurrency
+        anchor_s = self.clock.now_s if free_from_s is None else float(free_from_s)
+        self._lanes_s[actor_name] = [anchor_s + warmup_s] * concurrency
         if self.engine is not None:
             self.engine.register_actor(actor_name, concurrency, warmup_s)
         self.gcs.register_actor(
@@ -419,6 +435,9 @@ class ActorSystem:
                 node.reserve(name, old.cpu_cores, old.memory_bytes)
                 raise
             record.request = replace(old, cpu_cores=cpu_cores)
+            self.scheduler.adjust_tenant_usage(
+                old.tenant, name, cpu_cores - old.cpu_cores, 0
+            )
         if concurrency is not None and concurrency != record.concurrency:
             if self.engine is not None:
                 self.engine.resize_lanes(name, concurrency)
@@ -451,7 +470,11 @@ class ActorSystem:
         node = self.scheduler.node(record.placement.node_name)
         node.ledger.disown(record.instance.ledger)
         self.scheduler.release(
-            name, record.placement.node_name, record.request.cpu_cores, record.request.memory_bytes
+            name,
+            record.placement.node_name,
+            record.request.cpu_cores,
+            record.request.memory_bytes,
+            tenant=record.request.tenant,
         )
         if remove:
             self._actors.pop(name, None)

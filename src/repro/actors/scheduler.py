@@ -5,11 +5,18 @@ Constructors prefer accelerator-pod *sidecar* slots (using idle local
 CPU/memory next to the GPUs they feed), spilling to remote CPU pods only when
 the sidecar pool is exhausted; the Planner runs on a remote CPU pod for
 centralized scheduling.
+
+When several jobs share one cluster the scheduler also acts as the
+multi-tenant admission layer: each tenant registers a :class:`TenantQuota`
+(weight, priority tier, optional CPU/memory caps) and every placement carries
+a ``tenant`` tag.  Quota breaches are rejected at admission, per-tenant
+reservations are tracked across place/release, and :meth:`tenant_shares`
+exposes the weighted fair-share deficit used to order queued placements.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.actors.node import Node, NodeKind
 from repro.errors import SchedulingError
@@ -27,6 +34,37 @@ class PlacementRequest:
     node_affinity: str | None = None
     #: Allow spilling to the other node kind when the preferred kind is full.
     allow_spill: bool = True
+    #: Owning tenant for quota accounting; ``None`` means unmetered.
+    tenant: str | None = None
+
+
+@dataclass
+class TenantQuota:
+    """Admission policy and fair-share parameters for one tenant.
+
+    ``weight`` sets the tenant's fair share of the cluster; ``priority``
+    orders tenants into tiers (higher wins) for queued placements and
+    preemption.  ``cpu_limit``/``memory_limit`` are hard admission caps —
+    ``None`` leaves that dimension uncapped.
+    """
+
+    tenant: str
+    weight: float = 1.0
+    priority: int = 0
+    cpu_limit: float | None = None
+    memory_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SchedulingError(f"tenant {self.tenant!r} needs a positive weight")
+
+
+@dataclass
+class _TenantUsage:
+    cpu_cores: float = 0.0
+    memory_bytes: int = 0
+    #: Per-actor reservation ledger so release() needs no caller bookkeeping.
+    actors: dict[str, tuple[float, int]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -36,13 +74,27 @@ class PlacementDecision:
     spilled: bool
 
 
+#: Node-choice policies: ``spread`` balances load across nodes (a dedicated
+#: cluster's default — wide headroom on every node), ``pack`` consolidates
+#: onto the fullest feasible node so a shared pool keeps whole-node holes
+#: open for burst-time scale-up instead of fragmenting free capacity.
+PLACEMENT_POLICIES = ("spread", "pack")
+
+
 class PlacementScheduler:
     """Bin-packs placement requests onto a fixed set of nodes."""
 
-    def __init__(self, nodes: list[Node]) -> None:
+    def __init__(self, nodes: list[Node], policy: str = "spread") -> None:
         if not nodes:
             raise SchedulingError("the scheduler needs at least one node")
+        if policy not in PLACEMENT_POLICIES:
+            raise SchedulingError(
+                f"unknown placement policy {policy!r}; expected one of {PLACEMENT_POLICIES}"
+            )
         self._nodes = {node.name: node for node in nodes}
+        self.policy = policy
+        self._quotas: dict[str, TenantQuota] = {}
+        self._usage: dict[str, _TenantUsage] = {}
 
     @property
     def nodes(self) -> list[Node]:
@@ -59,11 +111,117 @@ class PlacementScheduler:
             raise SchedulingError(f"duplicate node {node.name!r}")
         self._nodes[node.name] = node
 
+    # -- multi-tenant admission ------------------------------------------------
+
+    def register_tenant(self, quota: TenantQuota) -> None:
+        """Register (or update) the quota for one tenant."""
+        self._quotas[quota.tenant] = quota
+        self._usage.setdefault(quota.tenant, _TenantUsage())
+
+    def tenant_quota(self, tenant: str) -> TenantQuota:
+        try:
+            return self._quotas[tenant]
+        except KeyError:
+            raise SchedulingError(f"unknown tenant {tenant!r}") from None
+
+    def tenants(self) -> list[str]:
+        return list(self._quotas)
+
+    def _check_quota(self, request: PlacementRequest) -> None:
+        if request.tenant is None or request.tenant not in self._quotas:
+            return
+        quota = self._quotas[request.tenant]
+        usage = self._usage[request.tenant]
+        if quota.cpu_limit is not None and usage.cpu_cores + request.cpu_cores > quota.cpu_limit:
+            raise SchedulingError(
+                f"tenant {request.tenant!r} CPU quota exceeded: "
+                f"{usage.cpu_cores + request.cpu_cores:.1f} > {quota.cpu_limit:.1f} cores"
+            )
+        if (
+            quota.memory_limit is not None
+            and usage.memory_bytes + request.memory_bytes > quota.memory_limit
+        ):
+            raise SchedulingError(
+                f"tenant {request.tenant!r} memory quota exceeded: "
+                f"{usage.memory_bytes + request.memory_bytes} > {quota.memory_limit} bytes"
+            )
+
+    def _charge(self, request: PlacementRequest) -> None:
+        if request.tenant is None:
+            return
+        usage = self._usage.setdefault(request.tenant, _TenantUsage())
+        usage.cpu_cores += request.cpu_cores
+        usage.memory_bytes += request.memory_bytes
+        usage.actors[request.actor_name] = (request.cpu_cores, request.memory_bytes)
+
+    def refund(self, tenant: str | None, actor_name: str) -> None:
+        """Drop one actor's reservation from its tenant's usage ledger."""
+        if tenant is None:
+            return
+        usage = self._usage.get(tenant)
+        if usage is None:
+            return
+        cpu_cores, memory_bytes = usage.actors.pop(actor_name, (0.0, 0))
+        usage.cpu_cores = max(0.0, usage.cpu_cores - cpu_cores)
+        usage.memory_bytes = max(0, usage.memory_bytes - memory_bytes)
+
+    def adjust_tenant_usage(
+        self, tenant: str | None, actor_name: str, cpu_delta: float, memory_delta: int
+    ) -> None:
+        """Re-book a live actor's reservation (worker-pool resizes bypass place())."""
+        if tenant is None:
+            return
+        usage = self._usage.get(tenant)
+        if usage is None or actor_name not in usage.actors:
+            return
+        cpu_cores, memory_bytes = usage.actors[actor_name]
+        usage.actors[actor_name] = (cpu_cores + cpu_delta, memory_bytes + memory_delta)
+        usage.cpu_cores = max(0.0, usage.cpu_cores + cpu_delta)
+        usage.memory_bytes = max(0, usage.memory_bytes + memory_delta)
+
+    def tenant_usage(self, tenant: str) -> dict[str, float]:
+        usage = self._usage.get(tenant, _TenantUsage())
+        return {
+            "cpu_cores": usage.cpu_cores,
+            "memory_bytes": float(usage.memory_bytes),
+            "actors": float(len(usage.actors)),
+        }
+
+    def tenant_shares(self) -> dict[str, dict[str, float]]:
+        """Per-tenant weighted fair-share view of current CPU reservations.
+
+        ``deficit`` is the gap between a tenant's weighted entitlement of the
+        currently reserved CPU and what it actually holds — positive means the
+        tenant is under-served, and queued placements are ordered by
+        (priority desc, deficit desc).
+        """
+        metered = [t for t in self._quotas if t in self._usage]
+        total_weight = sum(self._quotas[t].weight for t in metered) or 1.0
+        total_cpu = sum(self._usage[t].cpu_cores for t in metered)
+        shares: dict[str, dict[str, float]] = {}
+        for tenant in metered:
+            quota = self._quotas[tenant]
+            usage = self._usage[tenant]
+            entitlement = total_cpu * quota.weight / total_weight
+            shares[tenant] = {
+                "cpu_cores": usage.cpu_cores,
+                "share": usage.cpu_cores / total_cpu if total_cpu else 0.0,
+                "entitlement": entitlement,
+                "deficit": entitlement - usage.cpu_cores,
+                "priority": float(quota.priority),
+                "weight": quota.weight,
+            }
+        return shares
+
+    # -- placement -------------------------------------------------------------
+
     def place(self, request: PlacementRequest) -> PlacementDecision:
         """Choose a node for the request and reserve its resources."""
+        self._check_quota(request)
         if request.node_affinity is not None:
             node = self.node(request.node_affinity)
             node.reserve(request.actor_name, request.cpu_cores, request.memory_bytes)
+            self._charge(request)
             return PlacementDecision(request.actor_name, node.name, spilled=False)
 
         preferred = self._candidates(request.prefer)
@@ -81,22 +239,38 @@ class PlacementScheduler:
                 f"({request.cpu_cores} cores, {request.memory_bytes} bytes)"
             )
         chosen.reserve(request.actor_name, request.cpu_cores, request.memory_bytes)
+        self._charge(request)
         return PlacementDecision(request.actor_name, chosen.name, spilled=spilled)
 
-    def release(self, actor_name: str, node_name: str, cpu_cores: float, memory_bytes: int) -> None:
+    def release(
+        self,
+        actor_name: str,
+        node_name: str,
+        cpu_cores: float,
+        memory_bytes: int,
+        tenant: str | None = None,
+    ) -> None:
         self.node(node_name).release(actor_name, cpu_cores, memory_bytes)
+        self.refund(tenant, actor_name)
 
     def _candidates(self, kind: NodeKind) -> list[Node]:
         return [node for node in self._nodes.values() if node.kind is kind]
 
-    @staticmethod
-    def _best_fit(nodes: list[Node], request: PlacementRequest) -> Node | None:
-        """Pick the feasible node with the most free CPU (spreads load evenly)."""
+    def _best_fit(self, nodes: list[Node], request: PlacementRequest) -> Node | None:
+        """Pick a feasible node according to the scheduler's policy.
+
+        ``spread`` takes the node with the most free CPU (even load across a
+        dedicated cluster); ``pack`` takes the node with the least — tight
+        best-fit packing that concentrates co-tenant fleets and preserves
+        whole-node headroom for later burst placements.
+        """
         feasible = [
             node for node in nodes if node.can_fit(request.cpu_cores, request.memory_bytes)
         ]
         if not feasible:
             return None
+        if self.policy == "pack":
+            return min(feasible, key=lambda node: (node.available_cpu, node.available_memory))
         return max(feasible, key=lambda node: (node.available_cpu, node.available_memory))
 
     def cluster_utilization(self) -> dict[str, dict[str, float]]:

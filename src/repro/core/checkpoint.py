@@ -78,6 +78,60 @@ class CheckpointStore:
         raise NotImplementedError
 
 
+class NamespacedCheckpointStore(CheckpointStore):
+    """View of a shared store with every namespace prefixed by a tenant scope.
+
+    Multi-tenant deployments hand each job this wrapper around the one shared
+    backend so ``planner/plans``, ``run``, ``delivery/manifests`` etc. never
+    collide across tenants.  ``clear()`` only clears the scoped view's
+    entries when the backend supports namespace enumeration; otherwise it is
+    refused to protect co-tenants.
+    """
+
+    def __init__(self, store: CheckpointStore, prefix: str) -> None:
+        if not prefix:
+            raise CheckpointError("a namespaced store needs a non-empty prefix")
+        # Idempotent wrapping: re-scoping a scoped view nests prefixes on the
+        # same backend instead of stacking wrapper objects.
+        if isinstance(store, NamespacedCheckpointStore):
+            prefix = f"{store.prefix}/{prefix}"
+            store = store.backend
+        self.backend = store
+        self.prefix = prefix
+
+    def _scoped(self, namespace: str) -> str:
+        return f"{self.prefix}/{namespace}"
+
+    def save(self, namespace: str, step: int, payload: Any) -> None:
+        self.backend.save(self._scoped(namespace), step, payload)
+
+    def save_many(self, entries: list[tuple[str, int, Any]]) -> None:
+        self.backend.save_many(
+            [(self._scoped(namespace), step, payload) for namespace, step, payload in entries]
+        )
+
+    def load(self, namespace: str, step: int) -> Any | None:
+        return self.backend.load(self._scoped(namespace), step)
+
+    def load_latest(self, namespace: str, max_step: int | None = None) -> tuple[int, Any] | None:
+        return self.backend.load_latest(self._scoped(namespace), max_step)
+
+    def steps(self, namespace: str) -> list[int]:
+        return self.backend.steps(self._scoped(namespace))
+
+    def delete_from(self, namespace: str, step: int) -> int:
+        return self.backend.delete_from(self._scoped(namespace), step)
+
+    def prune_below(self, namespace: str, step: int) -> int:
+        return self.backend.prune_below(self._scoped(namespace), step)
+
+    def clear(self) -> None:
+        raise CheckpointError(
+            "refusing to clear a shared store through a tenant-scoped view; "
+            "clear the backend store explicitly"
+        )
+
+
 class InMemoryCheckpointStore(CheckpointStore):
     """Dict-backed store; payloads are held by reference.
 

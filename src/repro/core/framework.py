@@ -202,6 +202,13 @@ class TrainingJobSpec:
     #: by the virtual backend.
     wallclock_time_scale: float = 1.0
 
+    #: Tenant namespace for multi-job deployments sharing one ActorSystem:
+    #: every actor name, GCS key and checkpoint-store namespace this job
+    #: creates is prefixed with ``"<namespace>/"`` so concurrent jobs never
+    #: collide on shared control-plane state.  "" (the default) keeps the
+    #: unscoped single-tenant names.
+    namespace: str = ""
+
     def __post_init__(self) -> None:
         if self.samples_per_dp_step < self.num_microbatches:
             raise ConfigurationError(
@@ -250,6 +257,35 @@ class TrainingJobSpec:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
             raise ConfigurationError(f"unknown encoder {self.encoder!r}")
+        if self.namespace and (
+            self.namespace != self.namespace.strip("/") or " " in self.namespace
+        ):
+            raise ConfigurationError(
+                f"namespace {self.namespace!r} must not contain spaces or "
+                "leading/trailing slashes"
+            )
+
+    # -- namespacing -------------------------------------------------------------------
+
+    @property
+    def tenant(self) -> str | None:
+        """Scheduler tenant tag: the namespace, or ``None`` when unscoped."""
+        return self.namespace or None
+
+    def scoped(self, name: str) -> str:
+        """Prefix ``name`` with this job's namespace (identity when unscoped)."""
+        return f"{self.namespace}/{name}" if self.namespace else name
+
+    def unscoped(self, name: str) -> str:
+        """Strip this job's namespace prefix from ``name`` if present."""
+        prefix = f"{self.namespace}/"
+        if self.namespace and name.startswith(prefix):
+            return name[len(prefix):]
+        return name
+
+    def owns(self, name: str) -> bool:
+        """Whether ``name`` belongs to this job's namespace."""
+        return not self.namespace or name.startswith(f"{self.namespace}/")
 
     # -- derived -----------------------------------------------------------------------
 
@@ -348,8 +384,11 @@ class MegaScaleData:
         self.resharder = ElasticResharder(tree)
         # The data plane and the trainer co-simulate on the actor system's
         # virtual clock: results of deferred calls determine how long each
-        # call occupied its actor (see DataPlaneLatencyProvider).
-        system.latency_provider = DataPlaneLatencyProvider(lane_model=job.lane_model)
+        # call occupied its actor (see DataPlaneLatencyProvider).  On a shared
+        # (multi-tenant) system the first job installs the provider and later
+        # tenants reuse it, so one lane model governs the whole pool.
+        if system.latency_provider is None:
+            system.latency_provider = DataPlaneLatencyProvider(lane_model=job.lane_model)
         # The elastic loader fleet: shard groups seeded with the deploy-time
         # loaders as canonical members.  ScalingPlan directives spawn/retire
         # mirror members through the placement scheduler at step boundaries
@@ -371,15 +410,16 @@ class MegaScaleData:
         simulator = TrainingSimulator(job.model(), tree.mesh, gpu=job.gpu_spec or GpuSpec())
         self.trainer_handle = system.create_actor(
             lambda: TrainerActor(simulator),
-            name="trainer",
+            name=job.scoped("trainer"),
             cpu_cores=1.0,
             memory_bytes=64 * 1024 * 1024,
             prefer=NodeKind.ACCELERATOR,
+            tenant=job.tenant,
         )
         self._step = 0
         self._history: list[StepResult] = []
         self._shutdown_done = False
-        self.overlap = OverlapLedger()
+        self.overlap = OverlapLedger(tenant=job.tenant)
         #: Virtual instant the latest consumed step began on the trainer —
         #: the issue instant for steps the pipeline queues at that consume.
         self._last_release_s = 0.0
@@ -419,35 +459,46 @@ class MegaScaleData:
         filesystem: SimulatedFileSystem | None = None,
         cluster: ClusterSpec | None = None,
         checkpoint_store: CheckpointStore | None = None,
+        system: ActorSystem | None = None,
     ) -> "MegaScaleData":
-        """Provision storage, actors and the planner for ``job``."""
+        """Provision storage, actors and the planner for ``job``.
+
+        Passing ``system`` deploys onto an existing (shared) ActorSystem
+        instead of provisioning a fresh cluster — the multi-tenant path.
+        Shared deployments should set ``job.namespace`` so actor names, GCS
+        keys and checkpoint namespaces stay disjoint across co-tenants.
+        """
         filesystem = filesystem or SimulatedFileSystem()
         if checkpoint_store is None:
             if job.checkpoint_backend == "sqlite":
                 checkpoint_store = SqliteCheckpointStore(filesystem=filesystem)
             else:
                 checkpoint_store = InMemoryCheckpointStore()
+        checkpoint_store = cls._scoped_store(job, checkpoint_store)
         if catalog is None:
             catalog = cls._build_catalog(job, filesystem)
         mesh = job.device_mesh()
         tree = ClientPlaceTree(mesh)
-        cluster = cluster or ClusterSpec(
-            accelerator_nodes=max(1, mesh.num_nodes), cpu_pods=job.cpu_pods
-        )
-        system = ActorSystem(
-            cluster,
-            dispatcher=job.dispatcher,
-            call_log_limit=job.telemetry_window if job.bounded_telemetry else None,
-            backend=job.backend,
-            time_scale=job.wallclock_time_scale,
-        )
-        if job.bounded_telemetry:
-            # Swap in the bounded/aggregating timeline before any actor is
-            # deployed, so every recorded event feeds the online overlap
-            # aggregate and per-event memory stays O(telemetry_window).
-            system.timeline = Timeline(
-                max_events=job.telemetry_window, aggregate_overlap=True
+        if system is not None:
+            cluster = cluster or system.cluster
+        else:
+            cluster = cluster or ClusterSpec(
+                accelerator_nodes=max(1, mesh.num_nodes), cpu_pods=job.cpu_pods
             )
+            system = ActorSystem(
+                cluster,
+                dispatcher=job.dispatcher,
+                call_log_limit=job.telemetry_window if job.bounded_telemetry else None,
+                backend=job.backend,
+                time_scale=job.wallclock_time_scale,
+            )
+            if job.bounded_telemetry:
+                # Swap in the bounded/aggregating timeline before any actor is
+                # deployed, so every recorded event feeds the online overlap
+                # aggregate and per-event memory stays O(telemetry_window).
+                system.timeline = Timeline(
+                    max_events=job.telemetry_window, aggregate_overlap=True
+                )
 
         partition_plan = cls._partition_sources(job, catalog, cluster)
         loader_handles = cls._spawn_loaders(job, catalog, filesystem, system, partition_plan)
@@ -480,6 +531,17 @@ class MegaScaleData:
             tree=tree,
             fault_manager=fault_manager,
         )
+
+    @staticmethod
+    def _scoped_store(job: TrainingJobSpec, store: CheckpointStore) -> CheckpointStore:
+        """Tenant-scope a shared checkpoint store (idempotent per namespace)."""
+        from repro.core.checkpoint import NamespacedCheckpointStore
+
+        if not job.namespace:
+            return store
+        if isinstance(store, NamespacedCheckpointStore) and store.prefix == job.namespace:
+            return store
+        return NamespacedCheckpointStore(store, job.namespace)
 
     @staticmethod
     def _build_catalog(job: TrainingJobSpec, filesystem: SimulatedFileSystem) -> SourceCatalog:
@@ -527,7 +589,7 @@ class MegaScaleData:
         for source in catalog:
             config = partition_plan.config_for(source.name)
             for actor_index in range(config.num_actors):
-                name = f"loader/{source.name}/{actor_index}"
+                name = job.scoped(f"loader/{source.name}/{actor_index}")
                 handle = system.create_actor(
                     lambda src=source, idx=actor_index, cfg=config: SourceLoader(
                         source=src,
@@ -548,6 +610,7 @@ class MegaScaleData:
                     # proceed concurrently (tf.data-style stage decoupling),
                     # bounded by how many steps the pipeline keeps in flight.
                     concurrency=job.prefetch_depth + 1,
+                    tenant=job.tenant,
                 )
                 handles.append(handle)
         return handles
@@ -556,7 +619,7 @@ class MegaScaleData:
     def _spawn_constructors(job: TrainingJobSpec, mesh: DeviceMesh, system: ActorSystem):
         handles = []
         for dp_index in range(mesh.size("DP")):
-            name = f"constructor/dp{dp_index}"
+            name = job.scoped(f"constructor/dp{dp_index}")
             handle = system.create_actor(
                 lambda idx=dp_index: DataConstructor(
                     bucket_index=idx,
@@ -575,6 +638,7 @@ class MegaScaleData:
                 cpu_cores=2.0,
                 memory_bytes=2 * GIB,
                 prefer=NodeKind.ACCELERATOR,
+                tenant=job.tenant,
             )
             handles.append(handle)
         return handles
@@ -614,11 +678,13 @@ class MegaScaleData:
                 planning=job.planning,
                 checkpoint_store=checkpoint_store,
                 replay_window=job.replay_window,
+                gcs_prefix=job.scoped("planner"),
             ),
-            name="planner",
+            name=job.scoped("planner"),
             cpu_cores=4.0,
             memory_bytes=4 * GIB,
             prefer=NodeKind.CPU,
+            tenant=job.tenant,
         )
 
     @staticmethod
@@ -630,7 +696,7 @@ class MegaScaleData:
             loader: SourceLoader = handle.instance()
             source = sources_by_name[loader.source.name]
             config = partition_plan.config_for(source.name)
-            shadow_name = f"shadow/{handle.name}"
+            shadow_name = job.scoped(f"shadow/{job.unscoped(handle.name)}")
             shadow = system.create_actor(
                 lambda src=source, ldr=loader, cfg=config: SourceLoader(
                     source=src,
@@ -646,6 +712,7 @@ class MegaScaleData:
                 memory_bytes=config.estimated_memory_bytes,
                 prefer=NodeKind.ACCELERATOR,
                 concurrency=job.prefetch_depth + 1,
+                tenant=job.tenant,
             )
             fault_manager.register_shadow(handle, shadow, source.name)
 
@@ -861,6 +928,12 @@ class MegaScaleData:
         else:
             self._await_iteration(iteration_future, result, simulate)
         self._last_release_s = begin_s
+        if self.job.tenant is not None and self.system.engine is None:
+            # Shared virtual-clock system: spawns fired at this boundary (or
+            # by the tenant manager's service round) anchor their warm-up at
+            # this job's own frontier, not wherever a co-tenant's simulation
+            # left the global clock.
+            self.fleet.spawn_anchor_s = begin_s
 
         # Release constructor staging for completed steps (double buffering).
         for constructor_handle in self.constructor_handles:
@@ -873,6 +946,8 @@ class MegaScaleData:
             planner: Planner = self.planner_handle.instance()
             self.fleet.retry_pending_spawns(step, planner, scaler=planner.scaler)
         self.utilization.observe(step, self.system.scheduler.cluster_utilization())
+        if self.job.tenant is not None:
+            self.utilization.observe_tenants(self.system.scheduler.tenant_shares())
         self._step = step + 1
         self._history.append(result)
         return result
@@ -952,6 +1027,15 @@ class MegaScaleData:
         summary.update(self.overlap.elasticity_summary())
         summary["loader_actors"] = float(self.fleet.total_members())
         summary["peak_loader_actors"] = float(self.fleet.peak_members())
+        # Multi-tenant runs additionally report this tenant's weighted
+        # fair-share position on the shared scheduler.
+        tenant = self.job.tenant
+        if tenant is not None:
+            share = self.system.scheduler.tenant_shares().get(tenant)
+            if share is not None:
+                summary["tenant_cpu_cores"] = share["cpu_cores"]
+                summary["tenant_cpu_share"] = share["share"]
+                summary["tenant_fair_share_deficit"] = share["deficit"]
         return summary
 
     # -- runtime reconfiguration ----------------------------------------------------------------------------
@@ -1125,6 +1209,7 @@ class MegaScaleData:
         byte-identical to the uninterrupted run: plans are a pure function of
         (buffer state, step, seed, mixture), all of which round-trip.
         """
+        checkpoint_store = cls._scoped_store(job, checkpoint_store)
         found = checkpoint_store.load_latest(RUN_NAMESPACE)
         if found is None:
             raise ConfigurationError(
@@ -1203,10 +1288,11 @@ class MegaScaleData:
                     enforce_delivery_order=self.job.prefetch_depth > 0,
                     assembly=self.job.assembly,
                 ),
-                name=f"constructor/dp{dp_index}",
+                name=self.job.scoped(f"constructor/dp{dp_index}"),
                 cpu_cores=2.0,
                 memory_bytes=2 * GIB,
                 prefer=NodeKind.ACCELERATOR,
+                tenant=self.job.tenant,
             )
             self.constructor_handles.append(handle)
 
@@ -1235,11 +1321,13 @@ class MegaScaleData:
         return list(self._history)
 
     def shutdown(self) -> None:
-        """Stop every actor and release their resources.
+        """Stop every actor of this job and release their resources.
 
         Idempotent: in-flight prefetch work is drained/cancelled exactly once
         and a second call is a no-op, so teardown paths (tests, context
-        managers, error handlers) can all call it safely.
+        managers, error handlers) can all call it safely.  With a namespace
+        set (multi-tenant shared system) only *this* job's actors are
+        cancelled and stopped — co-tenants are untouched.
         """
         if self._shutdown_done:
             return
@@ -1247,14 +1335,23 @@ class MegaScaleData:
         self._pending_iteration = None
         if self.pipeline is not None:
             self.pipeline.cancel()
-        self.system.cancel_pending()
         known = [
             handle.name
             for handle in self.loader_handles + self.constructor_handles + [self.planner_handle]
         ]
         # Also cover actors not tracked on the facade (shadows, replaced
-        # primaries after a failover).
-        for name in dict.fromkeys(known + self.system.list_actor_names()):
+        # primaries after a failover) — scoped to this job's namespace.
+        owned = [
+            name
+            for name in dict.fromkeys(known + self.system.list_actor_names())
+            if self.job.owns(name)
+        ]
+        if self.job.namespace:
+            for name in owned:
+                self.system.cancel_pending(name)
+        else:
+            self.system.cancel_pending()
+        for name in owned:
             try:
                 self.system.stop_actor(name)
             except Exception:  # noqa: BLE001 - best-effort shutdown

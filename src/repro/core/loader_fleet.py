@@ -92,6 +92,14 @@ class LoaderFleet:
         #: Observer invoked with every FleetEvent (the facade wires this to
         #: the system timeline and the overlap ledger's elasticity section).
         self.on_change = None
+        #: Causal frontier new mirrors anchor their warm-up at.  ``None``
+        #: (dedicated-system default) anchors at the global clock's now — on
+        #: a dedicated system that IS this job's frontier.  The facade sets
+        #: it to the job's own step-boundary instant on shared (namespaced)
+        #: deployments, where the global clock sits at whichever co-tenant
+        #: was simulated last and would otherwise charge this tenant a
+        #: spurious wait for every mid-run spawn.
+        self.spawn_anchor_s: float | None = None
 
     # -- registration -----------------------------------------------------------------
 
@@ -377,7 +385,7 @@ class LoaderFleet:
         group = min(groups, key=lambda g: (len(g.members), g.shard_index))
         canonical: SourceLoader = group.canonical.instance()
         self._spawn_serial += 1
-        name = f"loader/{source}/{group.shard_index}m{self._spawn_serial}"
+        name = self.job.scoped(f"loader/{source}/{group.shard_index}m{self._spawn_serial}")
         job = self.job
         filesystem = self.filesystem
         source_obj = canonical.source
@@ -412,9 +420,16 @@ class LoaderFleet:
                 name=name,
                 cpu_cores=group.workers_per_actor * 1.0,
                 memory_bytes=group.memory_bytes,
+                # Mirrors are sidecar-only: they exist to split a hot source's
+                # fetch lanes right next to the constructors they feed, so a
+                # burst-time spawn must land on accelerator-pod headroom (or
+                # queue) rather than fall back to a remote CPU pod.
                 prefer=NodeKind.ACCELERATOR,
+                allow_spill=False,
                 concurrency=job.prefetch_depth + 1,
                 warmup_s=getattr(job, "spawn_warmup_s", 0.0),
+                tenant=job.tenant,
+                free_from_s=self.spawn_anchor_s,
             )
         except SchedulingError as exc:
             if record_reject:

@@ -87,6 +87,7 @@ class Planner(Actor):
         planning: str = "columnar",
         checkpoint_store: CheckpointStore | None = None,
         replay_window: int = 50,
+        gcs_prefix: str = "planner",
     ) -> None:
         super().__init__()
         if planning not in PLANNING_MODES:
@@ -101,6 +102,10 @@ class Planner(Actor):
         self.mixture = mixture
         self.scaler = scaler
         self.gcs = gcs
+        #: Root of this planner's GCS checkpoint keys.  Multi-tenant
+        #: deployments pass the tenant-scoped name (e.g. ``"jobA/planner"``)
+        #: so co-scheduled planners never clobber each other's markers.
+        self.gcs_prefix = gcs_prefix
         self.seed = seed
         #: Durable store for generated plans.  In-memory history is bounded
         #: to ``replay_window`` entries once a store is attached; older plans
@@ -318,8 +323,8 @@ class Planner(Actor):
                 },
                 "mixture_weights": dict(plan.mixture_weights),
             }
-            self.gcs.put(f"planner/plan/{plan.step}", checkpoint, immutable=True)
-            self.gcs.put("planner/last_step", plan.step)
+            self.gcs.put(f"{self.gcs_prefix}/plan/{plan.step}", checkpoint, immutable=True)
+            self.gcs.put(f"{self.gcs_prefix}/last_step", plan.step)
             self.stats.checkpoints_written += 1
 
     def state_dict(self) -> dict:
@@ -353,7 +358,7 @@ class Planner(Actor):
                 return self._step
         if self.gcs is None:
             return self._step
-        last = self.gcs.get("planner/last_step")
+        last = self.gcs.get(f"{self.gcs_prefix}/last_step")
         if last is None:
             return self._step
         self._step = int(last) + 1

@@ -83,6 +83,28 @@ class ClusterUtilizationTracker:
 
     def __init__(self) -> None:
         self._samples: list[UtilizationSample] = []
+        self._tenant_cpu: dict[str, list[float]] = {}
+
+    def observe_tenants(self, shares: dict[str, dict[str, float]]) -> None:
+        """Record each tenant's current weighted CPU share on the shared pool.
+
+        ``shares`` is :meth:`PlacementScheduler.tenant_shares`; the tracker
+        keeps the per-step ``share`` series so multi-tenant reports can show
+        how the pool actually divided over the run.
+        """
+        for tenant, share in shares.items():
+            self._tenant_cpu.setdefault(tenant, []).append(share["share"])
+
+    def tenant_summary(self) -> dict[str, dict[str, float]]:
+        """Mean/peak observed CPU share per tenant over the sampled steps."""
+        return {
+            tenant: {
+                "mean_cpu_share": sum(series) / len(series),
+                "peak_cpu_share": max(series),
+            }
+            for tenant, series in self._tenant_cpu.items()
+            if series
+        }
 
     def observe(self, step: int, snapshot: dict[str, dict[str, float]]) -> UtilizationSample:
         cpu = [node["cpu"] for node in snapshot.values()]

@@ -397,9 +397,14 @@ class OverlapLedger:
     unaffected by fleet changes — ``hidden + exposed == fetch`` holds per
     step whatever the fleet size — but the section lets reports and
     benchmarks correlate stall movement with scaling activity.
+
+    Multi-tenant runs tag each job's ledger with its ``tenant`` namespace so
+    per-tenant stall/hidden/exposed reports stay attributable after
+    aggregation across a shared data plane.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tenant: str | None = None) -> None:
+        self.tenant = tenant
         self._records: list[FetchOverlap] = []
         self._fleet_events: list[FleetEvent] = []
 
