@@ -1,0 +1,92 @@
+"""CI gate: fail when storm survivability or degraded-mode guarantees regress.
+
+The ``chaos-bench`` CI leg runs ``test_fig27_chaos`` in smoke mode
+(``BENCH_CHAOS_SMOKE=1``), which merges a fresh ``smoke`` section into
+``BENCH_fig27_chaos.json`` next to the committed ``chaos`` section.  Unlike
+the throughput gates, the survivability matrix is primarily *correctness*:
+every backend x degraded-mode row must complete every step under the storm,
+strict rows must stay byte-identical to their fault-free baseline, and every
+row must stay quota-exact (renormalize repays the blackout debt
+sample-exactly).  On the virtual backend the storm instants are
+deterministic, so the gate additionally requires every fault class to have
+actually fired and bounds the storm's wall-clock stretch both absolutely
+(the artifact's ``stall_bound``) and relative to the committed run (the
+ratio threshold, default 30%).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _regression import gate_ratio, load_sections, make_parser
+
+FAULT_KINDS = {"node_crash", "straggler", "gcs_blip", "store_outage", "source_blackout"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__, "BENCH_fig27_chaos.json").parse_args(argv)
+
+    committed_section, fresh_section = load_sections(args.artifact, "chaos")
+    if not committed_section or not fresh_section:
+        return 1
+    committed = {
+        (row["backend"], row["mode"]): row for row in committed_section.get("rows", [])
+    }
+    fresh_rows = fresh_section.get("rows", [])
+    if not committed:
+        print("committed chaos section has no rows — nothing to compare")
+        return 1
+    if not fresh_rows:
+        print("fresh smoke section has no rows — run the benchmark with BENCH_CHAOS_SMOKE=1")
+        return 1
+
+    steps = fresh_section.get("steps", committed_section.get("steps"))
+    stall_bound = fresh_section.get("stall_bound", committed_section.get("stall_bound", 2.0))
+
+    failures = 0
+    for row in fresh_rows:
+        label = f"{row['backend']}/{row['mode']}"
+        if row["steps_completed"] != steps:
+            print(
+                f"{label}: REGRESSION — completed {row['steps_completed']}/{steps} "
+                "steps under the storm (lost steps)"
+            )
+            failures += 1
+        if row["mode"] == "strict" and not row["byte_identical"]:
+            print(f"{label}: REGRESSION — strict mode is no longer byte-identical")
+            failures += 1
+        if not row["quota_exact"]:
+            print(f"{label}: REGRESSION — cumulative per-source quotas drifted")
+            failures += 1
+        if row["backend"] != "virtual":
+            print(f"{label}: survived with faults fired {row['fired']}")
+            continue
+        missing = FAULT_KINDS - set(row["fired"])
+        if missing:
+            print(f"{label}: REGRESSION — fault kinds never fired: {sorted(missing)}")
+            failures += 1
+        if row["wall_ratio"] > stall_bound:
+            print(
+                f"{label}: REGRESSION — storm stretched the run "
+                f"x{row['wall_ratio']:.3f}, past the stall bound x{stall_bound}"
+            )
+            failures += 1
+        baseline = committed.get((row["backend"], row["mode"]))
+        if baseline is None:
+            print(f"{label}: no committed baseline row, skipping ratio gate")
+            continue
+        # gate_ratio treats larger as better; wall_ratio is a cost, so gate
+        # its inverse (survival throughput under the storm).
+        if not gate_ratio(
+            f"{label} inverse storm stretch",
+            1.0 / max(1e-9, row["wall_ratio"]),
+            1.0 / max(1e-9, baseline["wall_ratio"]),
+            args.threshold,
+        ):
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

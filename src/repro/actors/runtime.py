@@ -125,6 +125,10 @@ class _ActorRecord:
     #: Parallel execution lanes on the virtual clock (a multi-server station:
     #: e.g. a loader's worker pool serving several step tickets concurrently).
     concurrency: int = 1
+    #: Whether the actor's scheduler reservation was force-released by a node
+    #: crash: a restart must re-book it (the node rebooted) and a stop must
+    #: not release it twice.
+    released: bool = False
 
 
 @dataclass(slots=True)
@@ -200,6 +204,7 @@ class ActorSystem:
         backend: str = "virtual",
         time_scale: float = 1.0,
         placement_policy: str = "spread",
+        wallclock_tick_timeout_s: float = 60.0,
     ) -> None:
         if dispatcher not in self.DISPATCHERS:
             raise ActorError(
@@ -257,7 +262,9 @@ class ActorSystem:
             from repro.actors.wallclock import WallClock, WallclockEngine
 
             self.clock = WallClock(time_scale)
-            self.engine: WallclockEngine | None = WallclockEngine(self)
+            self.engine: WallclockEngine | None = WallclockEngine(
+                self, tick_timeout_s=wallclock_tick_timeout_s
+            )
         else:
             self.clock = VirtualClock()
             self.engine = None
@@ -269,6 +276,11 @@ class ActorSystem:
         #: :mod:`repro.core.cost_model`).  ``None`` means every deferred call
         #: is instantaneous apart from the RPC latency.
         self.latency_provider = None
+        #: Optional fault-injection hook (see :mod:`repro.chaos`): consulted
+        #: on every invocation (both backends route through ``_invoke``) and
+        #: on every modelled duration, so declarative fault plans act on
+        #: virtual and wallclock execution through one interface.
+        self.chaos = None
 
     # -- cluster management --------------------------------------------------------
 
@@ -321,6 +333,7 @@ class ActorSystem:
         memory_bytes: int = 64 * 1024 * 1024,
         prefer: NodeKind = NodeKind.ACCELERATOR,
         node_affinity: str | None = None,
+        anti_affinity: str | None = None,
         allow_spill: bool = True,
         concurrency: int = 1,
         warmup_s: float = 0.0,
@@ -367,6 +380,7 @@ class ActorSystem:
             memory_bytes=memory_bytes,
             prefer=prefer,
             node_affinity=node_affinity,
+            anti_affinity=anti_affinity,
             allow_spill=allow_spill,
             tenant=tenant,
         )
@@ -461,6 +475,38 @@ class ActorSystem:
         record.state = ActorState.FAILED
         record.instance.ledger.release_all()
 
+    def crash_node(self, node_name: str) -> list[str]:
+        """Correlated failure: kill every actor placed on ``node_name``.
+
+        Unlike :meth:`kill_actor` (one pod dying, its node intact), a node
+        crash takes the reservations with it: each victim's CPU/memory
+        booking is released back to the scheduler and marked so a later
+        :meth:`restart_actor` re-books it (the node having "rebooted").
+        Returns the killed actor names; queued calls to victims fail with
+        :class:`ActorDead` at dispatch on either backend.
+        """
+        self.scheduler.node(node_name)  # reject unknown nodes eagerly
+        victims = [
+            name
+            for name, record in self._actors.items()
+            if record.placement.node_name == node_name
+            and record.state is ActorState.RUNNING
+        ]
+        for name in victims:
+            record = self._actors[name]
+            record.state = ActorState.FAILED
+            record.instance.ledger.release_all()
+            if not record.released:
+                self.scheduler.release(
+                    name,
+                    node_name,
+                    record.request.cpu_cores,
+                    record.request.memory_bytes,
+                    tenant=record.request.tenant,
+                )
+                record.released = True
+        return victims
+
     def stop_actor(self, name: str, remove: bool = True) -> None:
         """Gracefully stop an actor and release its resources."""
         record = self._record(name)
@@ -469,13 +515,15 @@ class ActorSystem:
         record.state = ActorState.STOPPED
         node = self.scheduler.node(record.placement.node_name)
         node.ledger.disown(record.instance.ledger)
-        self.scheduler.release(
-            name,
-            record.placement.node_name,
-            record.request.cpu_cores,
-            record.request.memory_bytes,
-            tenant=record.request.tenant,
-        )
+        if not record.released:
+            self.scheduler.release(
+                name,
+                record.placement.node_name,
+                record.request.cpu_cores,
+                record.request.memory_bytes,
+                tenant=record.request.tenant,
+            )
+        record.released = True
         if remove:
             self._actors.pop(name, None)
             self._lanes_s.pop(name, None)
@@ -587,6 +635,11 @@ class ActorSystem:
         """Restart a failed actor in place, optionally restoring checkpoint state."""
         record = self._record(name)
         node = self.scheduler.node(record.placement.node_name)
+        if record.released:
+            # The actor's node crashed and its reservation was force-released;
+            # restarting in place means the node rebooted — re-book the slot.
+            self.scheduler.rebook(record.request, record.placement.node_name)
+            record.released = False
         node.ledger.disown(record.instance.ledger)
         fresh = record.factory()
         fresh.actor_name = name
@@ -634,6 +687,18 @@ class ActorSystem:
         call in the call log.
         """
         record = self._record(name)
+        if self.chaos is not None:
+            # The chaos hook fires due fault-plan events (which may kill this
+            # very actor — caught by the liveness check below) and vetoes the
+            # call when a blip/blackout window covers it.  Faults raise before
+            # the method body runs, so retried calls re-execute cleanly.
+            try:
+                self.chaos.on_invoke(name, method, record)
+            except ActorTimeout:
+                self._call_log.append(
+                    CallRecord(name, method, timeout_s or 0.0, failed=True)
+                )
+                raise
         if name in self.failures.timeout_actors:
             self._call_log.append(CallRecord(name, method, timeout_s or 0.0, failed=True))
             raise ActorTimeout(f"call to {name}.{method} timed out")
@@ -948,7 +1013,12 @@ class ActorSystem:
             )
         else:
             duration = provider.call_duration_s(record.instance, method, result)
-        return max(0.0, float(duration or 0.0))
+        duration = max(0.0, float(duration or 0.0))
+        if self.chaos is not None:
+            duration = self.chaos.scale_duration(
+                record.instance, name, method, duration, start_s
+            )
+        return duration
 
     def _record_event(self, call: _PendingCall, start: float, end: float) -> None:
         record = self._actors.get(call.name)

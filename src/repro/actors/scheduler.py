@@ -16,7 +16,7 @@ exposes the weighted fair-share deficit used to order queued placements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.actors.node import Node, NodeKind
 from repro.errors import SchedulingError
@@ -32,6 +32,12 @@ class PlacementRequest:
     prefer: NodeKind = NodeKind.ACCELERATOR
     #: Pin the actor to a specific node (e.g. a sidecar feeding local GPUs).
     node_affinity: str | None = None
+    #: Failure-domain anti-affinity: never place on this node when any other
+    #: feasible node exists (shadow/mirror vs. its primary's node, so one
+    #: node crash cannot take both copies).  Falls back to the excluded node
+    #: only when it is the sole feasible host — a one-node cluster keeps
+    #: working, and the decision records the violation via ``colocated``.
+    anti_affinity: str | None = None
     #: Allow spilling to the other node kind when the preferred kind is full.
     allow_spill: bool = True
     #: Owning tenant for quota accounting; ``None`` means unmetered.
@@ -72,6 +78,9 @@ class PlacementDecision:
     actor_name: str
     node_name: str
     spilled: bool
+    #: True when an ``anti_affinity`` request had to colocate with the
+    #: excluded node anyway (it was the only feasible host).
+    colocated: bool = False
 
 
 #: Node-choice policies: ``spread`` balances load across nodes (a dedicated
@@ -233,6 +242,22 @@ class PlacementScheduler:
             )
             chosen = self._best_fit(self._candidates(other_kind), request)
             spilled = chosen is not None
+        colocated = False
+        if chosen is None and request.anti_affinity is not None:
+            # Anti-affinity exhausted every other host: fall back to the
+            # excluded node (a one-node cluster must still place shadows)
+            # and record the violated failure-domain rule on the decision.
+            relaxed = replace(request, anti_affinity=None)
+            chosen = self._best_fit(self._candidates(request.prefer), relaxed)
+            if chosen is None and request.allow_spill:
+                other_kind = (
+                    NodeKind.CPU
+                    if request.prefer is NodeKind.ACCELERATOR
+                    else NodeKind.ACCELERATOR
+                )
+                chosen = self._best_fit(self._candidates(other_kind), relaxed)
+                spilled = chosen is not None
+            colocated = chosen is not None
         if chosen is None:
             raise SchedulingError(
                 f"no node can host actor {request.actor_name!r} "
@@ -240,7 +265,9 @@ class PlacementScheduler:
             )
         chosen.reserve(request.actor_name, request.cpu_cores, request.memory_bytes)
         self._charge(request)
-        return PlacementDecision(request.actor_name, chosen.name, spilled=spilled)
+        return PlacementDecision(
+            request.actor_name, chosen.name, spilled=spilled, colocated=colocated
+        )
 
     def release(
         self,
@@ -252,6 +279,18 @@ class PlacementScheduler:
     ) -> None:
         self.node(node_name).release(actor_name, cpu_cores, memory_bytes)
         self.refund(tenant, actor_name)
+
+    def rebook(self, request: PlacementRequest, node_name: str) -> None:
+        """Re-reserve a force-released placement on its original node.
+
+        The restart-after-node-crash path: the node "rebooted", the actor
+        restarts in place, and both the node reservation and the tenant's
+        quota charge are re-established without running placement again.
+        """
+        self.node(node_name).reserve(
+            request.actor_name, request.cpu_cores, request.memory_bytes
+        )
+        self._charge(request)
 
     def _candidates(self, kind: NodeKind) -> list[Node]:
         return [node for node in self._nodes.values() if node.kind is kind]
@@ -265,7 +304,10 @@ class PlacementScheduler:
         whole-node headroom for later burst placements.
         """
         feasible = [
-            node for node in nodes if node.can_fit(request.cpu_cores, request.memory_bytes)
+            node
+            for node in nodes
+            if node.name != request.anti_affinity
+            and node.can_fit(request.cpu_cores, request.memory_bytes)
         ]
         if not feasible:
             return None

@@ -365,7 +365,15 @@ class WallclockEngine:
             )
         else:
             duration = provider.call_duration_s(record.instance, call.method, result)
-        return max(0.0, float(duration or 0.0))
+        duration = max(0.0, float(duration or 0.0))
+        chaos = self.system.chaos
+        if chaos is not None:
+            # Same chaos hook as the virtual backend's _derived_duration, so
+            # one straggler window stretches modelled latency on both engines.
+            duration = chaos.scale_duration(
+                record.instance, call.name, call.method, duration, start_s
+            )
+        return duration
 
     def _finish(self, box: _Mailbox, call, start_s: float, end_s: float, failed: bool) -> None:
         if not failed:

@@ -1,0 +1,29 @@
+"""Declarative fault injection for the actor runtime (both backends).
+
+Public surface::
+
+    from repro.chaos import ChaosEngine, FaultEvent, FaultPlan
+
+    plan = FaultPlan([
+        FaultEvent("node_crash", at_s=2.0, target="accel-1"),
+        FaultEvent("source_blackout", at_s=3.0, target="src-0", duration_s=1.5),
+    ])
+    engine = ChaosEngine(plan).attach(system)
+    store = engine.wrap_store(checkpoint_store)   # obeys store_outage windows
+
+See :mod:`repro.chaos.plan` for the fault taxonomy and the seeded
+``FaultPlan.random_storm`` soak generator, and :mod:`repro.chaos.engine`
+for how the engine hooks into dispatch.
+"""
+
+from repro.chaos.engine import ChaosCheckpointStore, ChaosEngine
+from repro.chaos.plan import FAULT_KINDS, WINDOWED_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "WINDOWED_KINDS",
+    "ChaosCheckpointStore",
+    "ChaosEngine",
+    "FaultEvent",
+    "FaultPlan",
+]

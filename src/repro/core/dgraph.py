@@ -84,6 +84,36 @@ metas_image.columns_mask = lambda columns: columns.image_tokens > 0
 metas_text_only.columns_mask = lambda columns: columns.image_tokens == 0
 
 
+def expected_quotas(weights: dict[str, float], target: int) -> dict[str, int]:
+    """Per-source sample quota ``mix`` allocates when every buffer is ample.
+
+    The same largest-remainder rounding as :meth:`DGraph._quota_per_source`
+    minus the pool-size cap: with every buffer at least ``target`` deep, this
+    is exactly what a plan's per-source demand counts come out to.  The
+    degraded-mode controller uses it both to measure the deficit a blacked
+    out source accrues and to verify that catch-up repaid it sample-exactly.
+    Sources with non-positive weight get zero; ties in the remainder break
+    by ``weights`` insertion order.
+    """
+    names = [name for name, weight in weights.items() if weight > 0.0]
+    if not names or target <= 0:
+        return {name: 0 for name in weights}
+    probs = np.array([weights[name] for name in names], dtype=float)
+    probs = probs / probs.sum()
+    raw = probs * target
+    quotas = np.floor(raw).astype(int)
+    remainder = target - int(quotas.sum())
+    if remainder > 0:
+        fractional = raw - quotas
+        order = np.argsort(-fractional, kind="stable")
+        for index in order[:remainder]:
+            quotas[index] += 1
+    allocation = {name: 0 for name in weights}
+    for name, quota in zip(names, quotas):
+        allocation[name] = int(quota)
+    return allocation
+
+
 @dataclass
 class DGraphNode:
     """One node: a sample in a specific processing state."""
@@ -325,7 +355,10 @@ class DGraph:
         probs = np.array([weights[name] for name in available_sources], dtype=float)
         probs = probs / probs.sum()
         pool_sizes = {name: len(by_source[name]) for name in available_sources}
-        quotas = self._quota_per_source(available_sources, probs, pool_sizes, target)
+        quotas = self._quota_per_source(
+            available_sources, probs, pool_sizes, target,
+            strict_target=sample_count is not None,
+        )
 
         chosen: list[SampleMetadata] = []
         for name in available_sources:
@@ -368,7 +401,9 @@ class DGraph:
         pools = columns.pool_positions()
         names = [name for name, _ in available]
         pool_sizes = {name: len(pools[code]) for name, code in available}
-        quotas = self._quota_per_source(names, probs, pool_sizes, target)
+        quotas = self._quota_per_source(
+            names, probs, pool_sizes, target, strict_target=sample_count is not None
+        )
 
         chosen_parts: list[np.ndarray] = []
         for name, code in available:
@@ -773,17 +808,39 @@ class DGraph:
         probs: np.ndarray,
         pool_sizes: dict[str, int],
         target: int,
+        strict_target: bool = False,
     ) -> dict[str, int]:
-        """Largest-remainder allocation of the sampling target across sources."""
+        """Largest-remainder allocation of the sampling target across sources.
+
+        With ``strict_target`` (the caller asked for an explicit batch size),
+        a capped source's unmet quota flows to sources with spare pool, in
+        allocation order, so the target is met whenever the pool allows —
+        without this the batch silently under-fills when the rounding
+        remainder lands on a capped source.  Without it (target is just the
+        whole selection), the weights shape the draw and under-fill is the
+        correct outcome for a heavily-weighted shallow source.
+        """
         raw = probs * target
         quotas = np.floor(raw).astype(int)
         remainder = target - int(quotas.sum())
         if remainder > 0:
             fractional = raw - quotas
-            order = np.argsort(-fractional)
+            order = np.argsort(-fractional, kind="stable")
             for index in order[:remainder]:
                 quotas[index] += 1
         allocation = {}
+        leftover = 0
         for name, quota in zip(names, quotas):
-            allocation[name] = min(int(quota), pool_sizes[name])
+            grant = min(int(quota), pool_sizes[name])
+            allocation[name] = grant
+            leftover += int(quota) - grant
+        if strict_target:
+            for name in names:
+                if leftover <= 0:
+                    break
+                room = pool_sizes[name] - allocation[name]
+                if room > 0:
+                    grant = min(room, leftover)
+                    allocation[name] += grant
+                    leftover -= grant
         return allocation

@@ -13,7 +13,10 @@ Recovery is decoupled by component role (Sec. 6.1):
 
 from __future__ import annotations
 
+import zlib
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.actors.actor import ActorHandle, ActorState
 from repro.actors.runtime import ActorSystem
@@ -50,6 +53,68 @@ class ShadowRegistration:
     source: str
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient RPC failures.
+
+    Delays are deterministic: the jitter fraction is derived from a CRC of
+    ``(key, attempt)`` rather than a live RNG, so retried recovery timelines
+    replay identically under the virtual clock (and across soak reruns).
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    #: Fractional jitter: attempt delays are stretched by up to this much.
+    jitter: float = 0.25
+    retry_on: tuple[type[BaseException], ...] = (ActorTimeout,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultToleranceError("retry max_attempts must be >= 1")
+        if self.base_delay_s <= 0 or self.max_delay_s < self.base_delay_s:
+            raise FaultToleranceError("retry delays must satisfy 0 < base <= max")
+        if not 0 <= self.jitter <= 1:
+            raise FaultToleranceError("retry jitter must be within [0, 1]")
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered by ``key``."""
+        base = min(self.max_delay_s, self.base_delay_s * (2 ** max(0, attempt - 1)))
+        frac = (zlib.crc32(f"{key}:{attempt}".encode()) % 1000) / 999.0
+        return base * (1.0 + self.jitter * frac)
+
+
+class CircuitBreaker:
+    """Per-actor consecutive-failure counter gating the retry loop.
+
+    An actor whose RPCs keep failing trips its breaker after ``threshold``
+    consecutive failures; callers then skip further in-place retries and
+    route the actor straight to recovery.  A successful call — or a
+    completed recovery — closes the breaker again.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise FaultToleranceError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self._streaks: dict[str, int] = {}
+
+    def record_failure(self, name: str) -> None:
+        self._streaks[name] = self._streaks.get(name, 0) + 1
+
+    def record_success(self, name: str) -> None:
+        self._streaks.pop(name, None)
+
+    def reset(self, name: str) -> None:
+        self._streaks.pop(name, None)
+
+    def is_open(self, name: str) -> bool:
+        return self._streaks.get(name, 0) >= self.threshold
+
+    def streak(self, name: str) -> int:
+        return self._streaks.get(name, 0)
+
+
 @dataclass
 class FaultToleranceConfig:
     """Knobs controlling recovery behaviour."""
@@ -60,6 +125,31 @@ class FaultToleranceConfig:
     shadow_promotion_latency_s: float = 0.2
     coordinator_restart_latency_s: float = 2.0
     replay_latency_per_step_s: float = 0.01
+    #: Backoff policy applied by :meth:`FaultToleranceManager.call_with_retry`.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-(role, method) retry budgets overriding ``retry.max_attempts`` —
+    #: e.g. ``{("planner", "generate_plan"): 10}`` lets planning wait out a
+    #: long blackout window while ordinary RPCs stay snappy.
+    retry_budgets: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Consecutive failures before an actor's circuit breaker opens.
+    breaker_threshold: int = 3
+    #: How many heal-sleep-retry rounds the framework spends waiting out an
+    #: unrecoverable fault window (source blackout, global GCS blip) before
+    #: giving up.  Together with ``wait`` the capped exponential delays give
+    #: roughly ``wait.max_delay_s * attempts`` seconds of virtual waiting
+    #: capacity — size it to the longest window strict mode must survive.
+    degraded_wait_attempts: int = 40
+    #: Backoff policy for the *wait-out* loops (strict mode riding out a
+    #: fault window).  Separate from ``retry``: RPC retries stay snappy
+    #: (small cap keeps call latency bounded) while wait-out sleeps grow to
+    #: a much larger cap so a bounded attempt budget can span windows
+    #: hundreds of virtual seconds long.
+    wait: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(base_delay_s=0.5, max_delay_s=12.0)
+    )
+    #: Ring-buffer capacity for retained :class:`RecoveryEvent` records;
+    #: aggregate counts/latencies keep exact totals past eviction.
+    events_limit: int = 256
 
 
 class FaultToleranceManager:
@@ -81,7 +171,88 @@ class FaultToleranceManager:
         #: Per-loader checkpoint history, newest last, at most
         #: :data:`CHECKPOINT_HISTORY` entries.
         self._loader_checkpoints: dict[str, list[dict]] = {}
-        self._events: list[RecoveryEvent] = []
+        #: Bounded recovery log: long chaos soaks retain only the newest
+        #: ``events_limit`` records while the aggregates below keep exact
+        #: lifetime totals (so ETTR never drifts when the ring evicts).
+        self._events: deque[RecoveryEvent] = deque(maxlen=self.config.events_limit)
+        self._event_counts: dict[str, int] = {}
+        self._event_latency: dict[str, float] = {}
+        self._events_total = 0
+        self._latency_total = 0.0
+        #: Per-actor circuit breaker consulted by the retry loop.
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+
+    # -- retry / backoff policy ------------------------------------------------------------------
+
+    def sleep(self, delay_s: float) -> None:
+        """Wait ``delay_s`` clock units on whichever backend is active.
+
+        Virtual backend: advances the shared clock (which also expires fault
+        windows — backoff is literally what lets a blackout end).  Wallclock
+        backend: sleeps the scaled real duration.
+        """
+        clock = self.system.clock
+        if hasattr(clock, "sleep_virtual"):
+            clock.sleep_virtual(delay_s)
+        else:
+            clock.advance(delay_s)
+
+    def wait_delay_s(self, attempt: int, key: str = "") -> float:
+        """Backoff for a wait-out round (the long-cap ``wait`` policy)."""
+        return self.config.wait.delay_s(attempt, key)
+
+    def retry_budget(self, role: str, method: str) -> int:
+        return self.config.retry_budgets.get((role, method), self.config.retry.max_attempts)
+
+    def call_with_retry(
+        self,
+        role: str,
+        method: str,
+        fn: Callable[[], object],
+        actor: str | None = None,
+        retry_on: tuple[type[BaseException], ...] | None = None,
+    ):
+        """Invoke ``fn`` under the retry policy for ``(role, method)``.
+
+        Retryable exceptions back off with deterministic jitter and retry up
+        to the per-(role, method) budget.  When ``actor`` is given, failures
+        feed its circuit breaker; an *open* breaker short-circuits the loop
+        (the first failure re-raises immediately) so repeat offenders route
+        straight to recovery instead of burning the whole backoff budget.
+        """
+        policy = self.config.retry
+        retry_on = policy.retry_on if retry_on is None else retry_on
+        attempts = self.retry_budget(role, method)
+        key = f"{role}.{method}.{actor or ''}"
+        last_exc: BaseException | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                result = fn()
+            except retry_on as exc:
+                last_exc = exc
+                if actor is not None:
+                    self.breaker.record_failure(actor)
+                    if self.breaker.is_open(actor):
+                        raise
+                if attempt == attempts:
+                    raise
+                self.sleep(policy.delay_s(attempt, key))
+            else:
+                if actor is not None:
+                    self.breaker.record_success(actor)
+                return result
+        raise last_exc  # pragma: no cover - loop always returns or raises
+
+    # -- recovery log ----------------------------------------------------------------------------
+
+    def _append_event(self, event: RecoveryEvent) -> None:
+        self._events.append(event)
+        self._event_counts[event.kind] = self._event_counts.get(event.kind, 0) + 1
+        self._event_latency[event.kind] = (
+            self._event_latency.get(event.kind, 0.0) + event.recovery_latency_s
+        )
+        self._events_total += 1
+        self._latency_total += event.recovery_latency_s
 
     # -- shadow loaders ------------------------------------------------------------------------
 
@@ -231,15 +402,67 @@ class FaultToleranceManager:
 
     def probe_loader(self, handle: ActorHandle) -> bool:
         """Heartbeat a loader; returns True when it is healthy."""
+        return self._probe(handle, expect_key="source")
+
+    def probe_loader_resilient(self, handle: ActorHandle) -> bool:
+        """Heartbeat with backoff: distinguishes a blip from a real failure.
+
+        A transient fault (GCS blip, short blackout) clears within the retry
+        budget and the loader reports healthy; a crashed actor keeps failing
+        and the probe returns False — the signal callers use to route to
+        recovery rather than retry in place.
+        """
+        policy = self.config.retry
+        attempts = self.retry_budget("loader", "heartbeat_payload")
+        key = f"probe.{handle.name}"
+        for attempt in range(1, attempts + 1):
+            if self._probe(handle, expect_key="source"):
+                self.breaker.record_success(handle.name)
+                return True
+            if self.breaker.is_open(handle.name):
+                return False
+            if attempt < attempts:
+                self.sleep(policy.delay_s(attempt, key))
+        return False
+
+    def _probe(self, handle: ActorHandle, expect_key: str) -> bool:
         try:
             payload = handle.call("heartbeat_payload", timeout_s=self.config.rpc_timeout_s)
         except (ActorDead, ActorTimeout):
             return False
-        # Payload integrity check: a healthy loader always reports its source.
-        return isinstance(payload, dict) and "source" in payload
+        # Payload integrity check: a healthy component reports its vital key.
+        return isinstance(payload, dict) and expect_key in payload
 
     def detect_failures(self, loader_handles: list[ActorHandle]) -> list[ActorHandle]:
         return [handle for handle in loader_handles if not self.probe_loader(handle)]
+
+    def heartbeat_sweep(
+        self,
+        loaders: list[ActorHandle] = (),
+        constructors: list[ActorHandle] = (),
+        planner: ActorHandle | None = None,
+        trainer: ActorHandle | None = None,
+    ) -> dict[str, list[ActorHandle]]:
+        """Probe every data-plane component, not just loaders.
+
+        Returns the unhealthy handles grouped by component role; an empty
+        dict means the whole plane answered its heartbeats.  Constructors,
+        the planner and the trainer each expose a ``heartbeat_payload`` with
+        a role-specific integrity key (loaders: ``source``; constructors:
+        ``bucket``; planner: ``plans``; trainer: ``steps_consumed``).
+        """
+        unhealthy: dict[str, list[ActorHandle]] = {}
+        for handle in loaders:
+            if not self.probe_loader(handle):
+                unhealthy.setdefault("loader", []).append(handle)
+        for handle in constructors:
+            if not self._probe(handle, expect_key="bucket"):
+                unhealthy.setdefault("constructor", []).append(handle)
+        if planner is not None and not self._probe(planner, expect_key="plans"):
+            unhealthy["planner"] = [planner]
+        if trainer is not None and not self._probe(trainer, expect_key="steps_consumed"):
+            unhealthy["trainer"] = [trainer]
+        return unhealthy
 
     # -- recovery ----------------------------------------------------------------------------------------
 
@@ -260,7 +483,7 @@ class FaultToleranceManager:
             if checkpoint is not None:
                 promoted.instance().load_state_dict(checkpoint["state"])
             latency = self.config.shadow_promotion_latency_s + replay_latency
-            self._events.append(
+            self._append_event(
                 RecoveryEvent(
                     step=step,
                     component=failed.name,
@@ -270,13 +493,14 @@ class FaultToleranceManager:
                 )
             )
             del self._shadows[failed.name]
+            self.breaker.reset(failed.name)
             return promoted
 
         # No shadow: restart in place from the last checkpoint.
         state = checkpoint["state"] if checkpoint else None
         restarted = self.system.restart_actor(failed.name, state=state)
         latency = self.config.coordinator_restart_latency_s + replay_latency
-        self._events.append(
+        self._append_event(
             RecoveryEvent(
                 step=step,
                 component=failed.name,
@@ -285,6 +509,7 @@ class FaultToleranceManager:
                 recovery_latency_s=latency,
             )
         )
+        self.breaker.reset(failed.name)
         return restarted
 
     def promote_standby(
@@ -303,7 +528,7 @@ class FaultToleranceManager:
             self.config.shadow_promotion_latency_s
             + max(0, replay_steps) * self.config.replay_latency_per_step_s
         )
-        self._events.append(
+        self._append_event(
             RecoveryEvent(
                 step=step,
                 component=failed.name,
@@ -312,6 +537,7 @@ class FaultToleranceManager:
                 recovery_latency_s=latency,
             )
         )
+        self.breaker.reset(failed.name)
         return standby
 
     def recover_coordinator(self, handle: ActorHandle, step: int) -> ActorHandle:
@@ -319,7 +545,7 @@ class FaultToleranceManager:
         instance = handle.instance()
         state = instance.state_dict()
         restarted = self.system.restart_actor(handle.name, state=state)
-        self._events.append(
+        self._append_event(
             RecoveryEvent(
                 step=step,
                 component=handle.name,
@@ -327,15 +553,38 @@ class FaultToleranceManager:
                 recovery_latency_s=self.config.coordinator_restart_latency_s,
             )
         )
+        self.breaker.reset(handle.name)
         return restarted
 
     # -- reporting -----------------------------------------------------------------------------------------
 
     def events(self) -> list[RecoveryEvent]:
+        """The retained tail of the recovery log (newest ``events_limit``)."""
         return list(self._events)
 
     def total_recovery_latency(self) -> float:
-        return sum(event.recovery_latency_s for event in self._events)
+        """Exact lifetime recovery latency (running total, eviction-proof)."""
+        return self._latency_total
+
+    def recovery_summary(self) -> dict:
+        """Aggregate recovery statistics over the *whole* run.
+
+        Counts and latency totals are maintained online as events are
+        appended, so they stay exact even after the bounded ring evicts old
+        :class:`RecoveryEvent` records during long chaos soaks.
+        """
+        return {
+            "total_events": self._events_total,
+            "total_latency_s": self._latency_total,
+            "retained_events": len(self._events),
+            "by_kind": {
+                kind: {
+                    "count": self._event_counts[kind],
+                    "latency_s": self._event_latency.get(kind, 0.0),
+                }
+                for kind in sorted(self._event_counts)
+            },
+        }
 
     def effective_training_time_ratio(
         self, iterations: int, iteration_time_s: float

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.actors.actor import ActorFuture
+from repro.actors.actor import ActorFuture, ActorState
 from repro.actors.node import NodeKind, ResourceSpec
 from repro.actors.runtime import ActorSystem, ClusterSpec
 from repro.core.autoscaler import (
@@ -50,6 +50,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.cost_model import LANE_MODELS, DataPlaneLatencyProvider
 from repro.core.data_constructor import DataConstructor, RankDelivery
+from repro.core.dgraph import expected_quotas
 from repro.core.fault_tolerance import FaultToleranceConfig, FaultToleranceManager
 from repro.core.columns import SampleColumns
 from repro.core.loader_fleet import LoaderFleet
@@ -67,7 +68,7 @@ from repro.data.synthetic import (
     coyo700m_like_spec,
     navit_like_spec,
 )
-from repro.errors import ActorDead, ActorTimeout, ConfigurationError
+from repro.errors import ActorDead, ActorTimeout, ConfigurationError, PlanError, StorageError
 from repro.metrics.report import ClusterUtilizationTracker
 from repro.metrics.timeline import FLEET_ROLE, OverlapLedger, Timeline
 from repro.parallelism.mesh import DeviceMesh
@@ -82,6 +83,16 @@ RUN_NAMESPACE = "run"
 #: Checkpoint-store namespace for per-step delivered-batch manifests
 #: (step, constructor, sample ids) — the exactly-once delivery audit trail.
 MANIFEST_NAMESPACE = "delivery/manifests"
+
+#: Degraded-mode policies when a source's loaders are all dead or blacked out:
+#: "strict" waits faults out (byte-identical batches, fail-stop past the wait
+#: budget); "renormalize" re-plans over surviving sources and repays the lost
+#: quota deterministically once the source returns.
+DEGRADED_MODES = ("strict", "renormalize")
+
+
+class _ReplanStep(Exception):
+    """Internal signal: the current step must be re-planned (source degraded)."""
 
 
 @dataclass
@@ -202,6 +213,23 @@ class TrainingJobSpec:
     #: by the virtual backend.
     wallclock_time_scale: float = 1.0
 
+    #: Real-time backstop for a single ``tick()`` under the wallclock backend:
+    #: a tick that cannot finish draining within this many real seconds raises
+    #: ``TimeoutError`` instead of hanging the driver.  Long chaos soaks with
+    #: large stragglers or time scales may need a higher ceiling.  Ignored by
+    #: the virtual backend.
+    wallclock_tick_timeout_s: float = 60.0
+
+    #: What the data plane does when every loader of a source is dead or
+    #: blacked out and recovery keeps failing: "strict" (default) waits the
+    #: fault out with jittered backoff — batches stay byte-identical to a
+    #: failure-free run, the outage shows up purely as stall — and fail-stops
+    #: once the wait budget is exhausted; "renormalize" re-plans over the
+    #: surviving sources (mixture weights renormalized, decision logged to
+    #: the OverlapLedger) and deterministically repays the lost source's
+    #: sample quota once it returns.
+    degraded_mode: str = "strict"
+
     #: Tenant namespace for multi-job deployments sharing one ActorSystem:
     #: every actor name, GCS key and checkpoint-store namespace this job
     #: creates is prefixed with ``"<namespace>/"`` so concurrent jobs never
@@ -253,6 +281,13 @@ class TrainingJobSpec:
             )
         if self.wallclock_time_scale <= 0:
             raise ConfigurationError("wallclock_time_scale must be > 0")
+        if self.wallclock_tick_timeout_s <= 0:
+            raise ConfigurationError("wallclock_tick_timeout_s must be > 0")
+        if self.degraded_mode not in DEGRADED_MODES:
+            raise ConfigurationError(
+                f"unknown degraded_mode {self.degraded_mode!r}; "
+                f"expected one of {DEGRADED_MODES}"
+            )
         if self.backbone not in MODEL_ZOO:
             raise ConfigurationError(f"unknown backbone {self.backbone!r}")
         if self.encoder is not None and self.encoder not in MODEL_ZOO:
@@ -352,6 +387,233 @@ class StepResult:
         return sum(delivery.total_payload_bytes() for delivery in self.deliveries.values())
 
 
+class DegradationController:
+    """Renormalize-mode policy: drop dark sources, repay their quota later.
+
+    Owns the degraded-mode bookkeeping for one job:
+
+    - **dark set** — sources whose loaders are all dead or blacked out and
+      whose recovery keeps failing.  Dark sources are excluded from the
+      Planner's gather (no RPCs are issued to them), so ``DGraph.mix``
+      renormalizes the mixture over the survivors automatically.
+    - **deficit ledger** — per-source integer sample debt.  Every observed
+      plan is compared against the quota the *nominal* mixture would have
+      allocated (``expected_quotas``); a dark source accrues a positive
+      deficit, the survivors that over-drew accrue the matching negative
+      one, so the ledger always sums to zero.
+    - **catch-up schedule** — the controller exposes a
+      :class:`MixtureSchedule` wrapping the nominal one; while deficits are
+      outstanding its per-step weights move capped integer quota from the
+      over-drawn sources back to the owed ones.  Because the catch-up
+      weights are exact quota fractions, largest-remainder rounding in
+      ``mix`` reproduces them sample-exactly and the ledger drains to zero
+      in a deterministic, bounded number of steps.
+
+    The controller is late-bound to its :class:`MegaScaleData` instance
+    (``data``) because the wrapped schedule must exist before the Planner is
+    spawned.
+    """
+
+    def __init__(self, job: "TrainingJobSpec", source_names: list[str]) -> None:
+        self.job = job
+        self.source_names = list(source_names)
+        self.base = job.mixture or MixtureSchedule.uniform(self.source_names)
+        self.schedule = MixtureSchedule(
+            self._weights_at,
+            self.source_names,
+            description=f"degradable({self.base.description})",
+        )
+        self.data: "MegaScaleData | None" = None
+        #: source -> step it went dark at.
+        self.dark: dict[str, int] = {}
+        #: source -> samples owed (+) / over-drawn (-); sums to zero.
+        self.deficits: dict[str, int] = {name: 0 for name in self.source_names}
+        #: step -> that step's deficit deltas, kept so flushed/re-planned
+        #: steps can be rewound exactly (bounded; pruned past the window).
+        self._step_deltas: dict[int, dict[str, int]] = {}
+        #: Chronological degrade/restore decisions (for tests and reports).
+        self.decisions: list[dict] = []
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return bool(self.dark) or any(self.deficits.values())
+
+    @property
+    def target(self) -> int:
+        return self.job.global_samples_per_step()
+
+    def rebase(self, mixture: MixtureSchedule | None) -> None:
+        """Adopt a new nominal mixture (runtime ``set_mixture`` swaps)."""
+        self.base = mixture or MixtureSchedule.uniform(self.source_names)
+        self.schedule.invalidate_weights_from(0)
+
+    # -- mixture ----------------------------------------------------------------
+
+    def _weights_at(self, step: int) -> dict[str, float]:
+        base = self.base.weights_at(step)
+        if not any(self.deficits.values()):
+            return base
+        desired = self._desired_quotas(base)
+        return {name: desired[name] / self.target for name in desired}
+
+    def _desired_quotas(self, base: dict[str, float]) -> dict[str, int]:
+        """This step's per-source quota with capped catch-up transfers.
+
+        Moves up to one nominal quota's worth of samples per step from the
+        over-drawn (negative-deficit) sources to the owed ones; dark sources
+        sit the exchange out.  The transfer nets to zero, so the quotas
+        still sum to the step target and largest-remainder rounding in
+        ``mix`` reproduces them exactly.
+        """
+        target = self.target
+        expected = expected_quotas(base, target)
+        owed = {
+            name: debt
+            for name, debt in self.deficits.items()
+            if debt > 0 and name not in self.dark
+        }
+        lent = {
+            name: min(-debt, expected.get(name, 0))
+            for name, debt in self.deficits.items()
+            if debt < 0 and name not in self.dark
+        }
+        pool = min(sum(owed.values()), sum(lent.values()))
+        desired = dict(expected)
+        take = pool
+        for name in sorted(owed):
+            if take <= 0:
+                break
+            amount = min(owed[name], take)
+            desired[name] = desired.get(name, 0) + amount
+            take -= amount
+        give = pool
+        for name in sorted(lent):
+            if give <= 0:
+                break
+            amount = min(lent[name], give)
+            desired[name] = desired.get(name, 0) - amount
+            give -= amount
+        return desired
+
+    # -- transitions ------------------------------------------------------------
+
+    def degrade(self, sources: set[str], step: int) -> None:
+        """Drop ``sources`` from planning and log the decision."""
+        data = self.data
+        fresh = [source for source in sources if source not in self.dark]
+        for source in fresh:
+            self.dark[source] = step
+        if not fresh or data is None:
+            return
+        planner: Planner = data.planner_handle.instance()
+        planner.set_excluded_sources(set(self.dark))
+        for source in fresh:
+            decision = {"kind": "degrade", "source": source, "step": step}
+            self.decisions.append(decision)
+            data.overlap.record_fleet_event(
+                "degrade",
+                step,
+                data.system.clock.now_s,
+                source,
+                actor="",
+                detail="all loaders unreachable; mixture renormalized",
+            )
+
+    def maybe_restore(self, step: int) -> list[str]:
+        """Re-admit dark sources whose loaders answer heartbeats again.
+
+        A returning source's loaders are rewound to the delivered prefix
+        (checkpoint restore + plan-suffix replay) before they rejoin the
+        gather set, so their buffers are byte-exact replicas of what an
+        uninterrupted no-demand stretch would have left behind.
+        """
+        data = self.data
+        if data is None or not self.dark:
+            return []
+        restored: list[str] = []
+        for source in sorted(self.dark):
+            handles = [
+                handle
+                for handle in data.loader_handles
+                if data._member_source(handle) == source
+            ]
+            if not handles:
+                continue
+            # Members that died while the source was dark (a crash whose
+            # recovery failed mid-outage) can never answer the probe; revive
+            # them first — recovery failing again just means the blocking
+            # fault has not cleared, so the source stays dark this round.
+            try:
+                for handle in handles:
+                    if data.system.actor_state(handle.name) is not ActorState.RUNNING:
+                        data.recover_fleet_member(handle, step)
+            except (ActorDead, ActorTimeout, StorageError):
+                continue
+            handles = [
+                handle
+                for handle in data.loader_handles
+                if data._member_source(handle) == source
+            ]
+            if all(data.fault_manager.probe_loader(handle) for handle in handles):
+                restored.append(source)
+                data._rewind_members(step, handles=handles)
+        for source in restored:
+            del self.dark[source]
+            self.decisions.append({"kind": "restore", "source": source, "step": step})
+            data.overlap.record_fleet_event(
+                "restore",
+                step,
+                data.system.clock.now_s,
+                source,
+                actor="",
+                detail="loaders healthy; quota catch-up begins",
+            )
+        if restored:
+            planner: Planner = data.planner_handle.instance()
+            planner.set_excluded_sources(set(self.dark))
+        return restored
+
+    # -- accounting -------------------------------------------------------------
+
+    def observe_plan(self, plan: LoadingPlan) -> None:
+        """Fold one generated plan into the deficit ledger.
+
+        Only runs while the controller is active: in steady healthy state
+        the nominal expectation and the actual allocation can legitimately
+        differ (thin buffers cap quotas) and must not accrue phantom debt.
+        """
+        if not self.active:
+            self._step_deltas.pop(plan.step, None)
+            return
+        if plan.step in self._step_deltas:
+            # The same step re-planned without an explicit invalidate —
+            # replace its contribution instead of double-counting.
+            self.invalidate_from(plan.step)
+        base = self.base.weights_at(plan.step)
+        expected = expected_quotas(base, self.target)
+        delta: dict[str, int] = {}
+        for name in self.source_names:
+            diff = expected.get(name, 0) - len(plan.source_demands.get(name, ()))
+            if diff:
+                delta[name] = diff
+        self._step_deltas[plan.step] = delta
+        for name, diff in delta.items():
+            self.deficits[name] += diff
+        floor = plan.step - 256
+        for stale in [s for s in self._step_deltas if s < floor]:
+            del self._step_deltas[stale]
+
+    def invalidate_from(self, step: int) -> None:
+        """Rewind observations for steps ``>= step`` (pipeline flush/re-plan)."""
+        for observed in sorted(s for s in self._step_deltas if s >= step):
+            for name, diff in self._step_deltas[observed].items():
+                self.deficits[name] -= diff
+            del self._step_deltas[observed]
+        self.schedule.invalidate_weights_from(step)
+
+
 class MegaScaleData:
     """Deployed MegaScale-Data instance for one training job."""
 
@@ -367,6 +629,7 @@ class MegaScaleData:
         constructor_handles,
         tree: ClientPlaceTree,
         fault_manager: FaultToleranceManager,
+        degradation: DegradationController | None = None,
     ) -> None:
         self.job = job
         self.system = system
@@ -420,6 +683,13 @@ class MegaScaleData:
         self._history: list[StepResult] = []
         self._shutdown_done = False
         self.overlap = OverlapLedger(tenant=job.tenant)
+        #: Renormalize-mode policy (None under degraded_mode="strict").
+        self.degradation = degradation
+        if degradation is not None:
+            degradation.data = self
+        #: Delivery manifests awaiting durability (non-empty only while the
+        #: checkpoint store is down); drained in order at later spills.
+        self._manifest_backlog: list[tuple[int, dict]] = []
         #: Virtual instant the latest consumed step began on the trainer —
         #: the issue instant for steps the pipeline queues at that consume.
         self._last_release_s = 0.0
@@ -491,6 +761,7 @@ class MegaScaleData:
                 call_log_limit=job.telemetry_window if job.bounded_telemetry else None,
                 backend=job.backend,
                 time_scale=job.wallclock_time_scale,
+                wallclock_tick_timeout_s=job.wallclock_tick_timeout_s,
             )
             if job.bounded_telemetry:
                 # Swap in the bounded/aggregating timeline before any actor is
@@ -503,8 +774,25 @@ class MegaScaleData:
         partition_plan = cls._partition_sources(job, catalog, cluster)
         loader_handles = cls._spawn_loaders(job, catalog, filesystem, system, partition_plan)
         constructor_handles = cls._spawn_constructors(job, mesh, system)
+        degradation = (
+            DegradationController(job, [source.name for source in catalog])
+            if job.degraded_mode == "renormalize"
+            else None
+        )
         planner_handle = cls._spawn_planner(
-            job, tree, system, partition_plan, checkpoint_store
+            job,
+            tree,
+            system,
+            partition_plan,
+            checkpoint_store,
+            # Renormalize mode wraps an *explicit* job mixture with the
+            # catch-up-aware schedule here; mixture-less jobs keep a bare
+            # planner so _ensure_sized_strategy installs the bounded sampling
+            # strategy (with the degradation schedule as its mixture) exactly
+            # like the non-degradable default path.
+            mixture=degradation.schedule
+            if degradation is not None and job.mixture is not None
+            else None,
         )
 
         planner: Planner = planner_handle.instance()
@@ -530,6 +818,7 @@ class MegaScaleData:
             constructor_handles=constructor_handles,
             tree=tree,
             fault_manager=fault_manager,
+            degradation=degradation,
         )
 
     @staticmethod
@@ -650,8 +939,11 @@ class MegaScaleData:
         system: ActorSystem,
         partition_plan: PartitionPlan,
         checkpoint_store: CheckpointStore | None = None,
+        mixture: MixtureSchedule | None = None,
     ):
-        mixture = job.mixture
+        # ``mixture`` overrides the job's schedule (the degraded-mode
+        # controller wraps it with catch-up-aware weights).
+        mixture = mixture or job.mixture
         strategy_config = StrategyConfig(
             mixture=mixture,
             num_microbatches=job.num_microbatches,
@@ -713,6 +1005,11 @@ class MegaScaleData:
                 prefer=NodeKind.ACCELERATOR,
                 concurrency=job.prefetch_depth + 1,
                 tenant=job.tenant,
+                # Failure domain: a shadow on its primary's node is dead
+                # weight the moment that node crashes.  Never colocate when
+                # an alternative host exists (single-node clusters fall back
+                # with the placement flagged ``colocated``).
+                anti_affinity=system.actor_node(handle.name),
             )
             fault_manager.register_shadow(handle, shadow, source.name)
 
@@ -732,53 +1029,41 @@ class MegaScaleData:
     def _run_step_sync(self, step: int | None, simulate: bool) -> StepResult:
         step = self._step if step is None else step
         planner: Planner = self.planner_handle.instance()
-
-        # Steps 3-4: loaders consult the planner; the planner gathers buffer
-        # metadata and synthesizes the loading plan.  A canonical that died
-        # since the last boundary surfaces here (the gather RPC), before any
-        # demand was routed: recover every failed member, then re-plan.
         sample_count = self.job.global_samples_per_step()
-        try:
-            plan = self._generate_sized_plan(planner, step, sample_count)
-        except (ActorDead, ActorTimeout) as exc:
-            failed = self.fault_manager.detect_failures(list(self.loader_handles))
-            if not failed:
-                raise exc
-            for handle in failed:
-                self.recover_fleet_member(handle, step)
-            plan = self._generate_sized_plan(planner, step, sample_count)
+        if self.degradation is not None:
+            self.degradation.maybe_restore(step)
 
-        # Apply any piggybacked scaling directives before routing demands, so
-        # an enlarged (or shrunk) fleet serves this very step.
-        self._apply_scaling_plan(plan)
-
-        # Step 5: source loaders prepare the demanded samples.  A member that
-        # died since the last boundary (canonical or elastic mirror) is
-        # recovered in place — nothing was delivered yet, so re-preparing its
-        # slice on the replacement neither drops nor duplicates a sample.
-        loader_wall_clock = 0.0
-        loader_transform = 0.0
-        columnar = self.job.assembly == "columnar"
-        prepared: dict[int, object] | PreparedColumns = {}
-        prepared_parts: list[PreparedColumns] = []
-        demands_by_loader: dict[object, list[int]] = {}
-        for handle, sample_ids in self._split_demands(plan).items():
-            if sample_ids:
-                try:
-                    result, fetched = self._prepare_and_fetch(handle, sample_ids)
-                except (ActorDead, ActorTimeout):
-                    handle = self.recover_fleet_member(handle, step)
-                    result, fetched = self._prepare_and_fetch(handle, sample_ids)
-                loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
-                loader_transform += result["transform_latency_s"]
-                if columnar:
-                    prepared_parts.append(fetched)
-                else:
-                    for item in fetched:
-                        prepared[item.sample.sample_id] = item
-            demands_by_loader[handle] = sample_ids
-        if columnar:
-            prepared = PreparedColumns.concat(prepared_parts)
+        # Steps 3-5: plan, then route demands and prepare.  A fault at either
+        # stage is healed (recover the member), degraded (renormalize mode:
+        # drop the dark source and re-plan the step) or waited out (strict
+        # mode: jittered backoff until the fault window expires).
+        for _round in range(2 * max(1, self.job.num_sources)):
+            plan = self._plan_with_tolerance(planner, step, sample_count)
+            # Apply any piggybacked scaling directives before routing
+            # demands, so an enlarged (or shrunk) fleet serves this step.
+            self._apply_scaling_plan(plan)
+            try:
+                (
+                    prepared,
+                    demands_by_loader,
+                    loader_wall_clock,
+                    loader_transform,
+                ) = self._prepare_all(plan, step)
+                break
+            except _ReplanStep:
+                # A source went dark mid-prepare and was degraded; partially
+                # prepared members have consumed buffer samples this plan
+                # will never deliver.  Rewind everything to the delivered
+                # prefix and re-plan the step over the survivors.
+                planner.truncate_history(step)
+                if self.degradation is not None:
+                    self.degradation.invalidate_from(step)
+                self.fault_manager.discard_checkpoints_after(step - 1)
+                self._rewind_members(step)
+        else:
+            raise PlanError(
+                f"step {step} could not be planned after repeated degradation"
+            )
         # Shard-group members absorb their peers' demands (one refill each),
         # keeping every mirror byte-identical to a lone loader's buffer.
         self.fleet.sync_after_prepare(demands_by_loader)
@@ -790,7 +1075,9 @@ class MegaScaleData:
         backbone_plan = plan.module("backbone")
         collate_seconds = 0.0
         for constructor_handle in self.constructor_handles:
-            stats = constructor_handle.call("construct", step, backbone_plan, prepared)
+            stats = self._call_constructor(
+                constructor_handle, step, "construct", step, backbone_plan, prepared
+            )
             collate_seconds = max(collate_seconds, stats["collate_seconds"])
 
         # The synchronous workflow runs inline (data_ready_s=None), so the
@@ -819,6 +1106,216 @@ class MegaScaleData:
             ref = handle.call("fetch_prepared_ref", sample_ids)
             return result, self.system.gcs.take(ref["key"])
         return result, handle.call("fetch_prepared", sample_ids)
+
+    # -- fault absorption (chaos-hardened call sites) -------------------------------------
+
+    def _prepare_all(self, plan: LoadingPlan, step: int):
+        """Route the plan's demands and prepare every member's slice.
+
+        A member fault is recovered in place when possible; an unrecoverable
+        one either waits (strict) or degrades its source and raises
+        :class:`_ReplanStep` (renormalize) so the caller re-plans the step.
+        """
+        ft = self.fault_manager
+        loader_wall_clock = 0.0
+        loader_transform = 0.0
+        columnar = self.job.assembly == "columnar"
+        prepared: dict[int, object] | PreparedColumns = {}
+        prepared_parts: list[PreparedColumns] = []
+        demands_by_loader: dict[object, list[int]] = {}
+        for handle, sample_ids in self._split_demands(plan).items():
+            attempt = 0
+            while sample_ids:
+                try:
+                    result, fetched = self._prepare_and_fetch(handle, sample_ids)
+                except (ActorDead, ActorTimeout) as exc:
+                    attempt += 1
+                    if self.system.actor_state(handle.name) is not ActorState.RUNNING:
+                        # Only a genuinely dead member is restarted; an
+                        # alive-but-dark one (blackout, blip) keeps its
+                        # prefetch cursor and is waited out or degraded.
+                        try:
+                            handle = self.recover_fleet_member(handle, step)
+                            continue
+                        except (ActorDead, ActorTimeout, StorageError):
+                            pass
+                    source = self._member_source(handle)
+                    if self.degradation is not None and self._can_degrade({source}):
+                        self.degradation.degrade({source}, step)
+                        raise _ReplanStep(source) from exc
+                    if attempt >= ft.config.degraded_wait_attempts:
+                        raise
+                    ft.sleep(ft.wait_delay_s(attempt, f"prepare.{handle.name}"))
+                    continue
+                loader_wall_clock = max(loader_wall_clock, result["wall_clock_s"])
+                loader_transform += result["transform_latency_s"]
+                if columnar:
+                    prepared_parts.append(fetched)
+                else:
+                    for item in fetched:
+                        prepared[item.sample.sample_id] = item
+                break
+            demands_by_loader[handle] = sample_ids
+        if columnar:
+            prepared = PreparedColumns.concat(prepared_parts)
+        return prepared, demands_by_loader, loader_wall_clock, loader_transform
+
+    def _plan_with_tolerance(self, planner: Planner, step: int, sample_count: int):
+        """Generate the step's plan, healing/degrading/waiting through faults."""
+        attempt = 0
+        while True:
+            try:
+                plan = self._generate_sized_plan(planner, step, sample_count)
+            except (ActorDead, ActorTimeout) as exc:
+                attempt += 1
+                if not self._absorb_gather_fault(step, attempt, exc):
+                    raise
+                continue
+            if self.degradation is not None:
+                self.degradation.observe_plan(plan)
+            return plan
+
+    def _absorb_gather_fault(self, step: int, attempt: int, exc: Exception) -> bool:
+        """Heal, degrade or wait after a planning-path fault.
+
+        Returns True when the caller should retry the plan: every failed
+        member recovered, or the dark sources were dropped from the mixture
+        (renormalize), or one backoff delay was slept to let a fault window
+        expire (strict).  False ends the policy budget — fail-stop.
+        """
+        ft = self.fault_manager
+        # The planner itself may be the casualty (node crash, targeted kill):
+        # restart it from its live state — plan history and persist backlog
+        # ride in its state dict — and rewire the loader registry the
+        # restarted instance cannot carry.
+        if self.system.actor_state(self.planner_handle.name) is not ActorState.RUNNING:
+            try:
+                ft.recover_coordinator(self.planner_handle, step)
+            except (ActorDead, ActorTimeout, StorageError):
+                pass
+            else:
+                planner: Planner = self.planner_handle.instance()
+                planner.register_loaders(self.loader_handles)
+                # The factory rebuilt the planner with its deploy-time
+                # (unbounded) strategy; reinstall the sized sampling wrapper.
+                self._ensure_sized_strategy(planner)
+                return True
+        failed = ft.detect_failures(self._probe_handles())
+        dark: set[str] = set()
+        for handle in failed:
+            if self.system.actor_state(handle.name) is ActorState.RUNNING:
+                # Alive but dark (source blackout, control-plane blip) or
+                # merely slow: restarting a live instance would discard its
+                # prefetch cursor and fork the sample stream — wait the
+                # window out (strict) or degrade the source (renormalize).
+                dark.add(self._member_source(handle))
+                continue
+            try:
+                self.recover_fleet_member(handle, step)
+            except (ActorDead, ActorTimeout, StorageError):
+                dark.add(self._member_source(handle))
+        if failed and not dark:
+            return True
+        if dark and self.degradation is not None and self._can_degrade(dark):
+            self.degradation.degrade(dark, step)
+            return True
+        if attempt >= ft.config.degraded_wait_attempts:
+            return False
+        ft.sleep(ft.wait_delay_s(attempt, f"gather-wait.{step}"))
+        return True
+
+    def _probe_handles(self) -> list:
+        """Loaders worth heartbeating: everything not already degraded dark."""
+        if self.degradation is None or not self.degradation.dark:
+            return list(self.loader_handles)
+        dark = self.degradation.dark
+        return [
+            handle
+            for handle in self.loader_handles
+            if self._member_source(handle) not in dark
+        ]
+
+    def _member_source(self, handle) -> str:
+        """The source a fleet member serves (survives a dead instance)."""
+        group = self.fleet.group_for(handle.name)
+        if group is not None:
+            return group.source
+        try:
+            return handle.instance().source.name
+        except Exception:  # noqa: BLE001 - the record may already be gone
+            return handle.name
+
+    def _can_degrade(self, sources: set[str]) -> bool:
+        """Whether dropping ``sources`` still leaves a source to sample from."""
+        if self.degradation is None:
+            return False
+        survivors = (
+            set(self.degradation.source_names) - set(self.degradation.dark) - sources
+        )
+        return bool(survivors)
+
+    def _rewind_members(self, limit_step: int, handles=None) -> None:
+        """Rewind loaders to the delivered prefix ``< limit_step``.
+
+        Restores each member's newest consistent differential checkpoint
+        (pristine reset when there is none) and replays the plan suffix, so
+        its buffer is byte-exact with an uninterrupted run — shared by the
+        sync degraded re-plan, the pipeline flush and source re-admission.
+        """
+        planner: Planner = self.planner_handle.instance()
+        for handle in handles if handles is not None else self.fleet.all_handles():
+            try:
+                checkpoint = self.fault_manager.last_loader_checkpoint(
+                    handle.name, max_step=limit_step - 1, consistent=True
+                )
+                if checkpoint is not None:
+                    handle.call("restore_replay_checkpoint", checkpoint["replay"])
+                    suffix_after = checkpoint["step"]
+                else:
+                    handle.call("reset_for_replay")
+                    suffix_after = -1
+                source_name = handle.instance().source.name
+                for plan in planner.plans_since(suffix_after):
+                    if plan.step >= limit_step:
+                        continue
+                    demanded = plan.source_demands.get(source_name, [])
+                    if demanded:
+                        handle.call("replay_demands", list(demanded))
+            except Exception:  # noqa: BLE001 - unreachable members recover later
+                continue
+
+    def _call_constructor(self, handle, step: int, method: str, *args):
+        """Constructor RPC with retry/backoff; a dead constructor restarts.
+
+        Chaos faults fire *before* the target method body runs, so
+        re-issuing the identical call is always safe — the constructor never
+        partially executed it.
+        """
+        ft = self.fault_manager
+
+        def call():
+            return handle.call(method, *args)
+
+        restarts = 0
+        waits = 0
+        while True:
+            try:
+                return ft.call_with_retry(
+                    "data_constructor", method, call, actor=handle.name
+                )
+            except ActorDead:
+                restarts += 1
+                if restarts > 2:
+                    raise
+                ft.recover_coordinator(handle, step)
+            except ActorTimeout:
+                # The per-call retry budget (and possibly the breaker) is
+                # spent but the actor is alive — a fault window outlasting
+                # the policy.  Wait it out on the clock like strict mode.
+                waits += 1
+                if waits >= ft.config.degraded_wait_attempts:
+                    raise
+                ft.sleep(ft.wait_delay_s(waits, f"constructor-wait.{handle.name}"))
 
     def _finalize_step(
         self,
@@ -878,7 +1375,9 @@ class MegaScaleData:
             constructor: DataConstructor = constructor_handle.instance()
             for rank in constructor.ranks_served(step):
                 if rank in fetching:
-                    deliveries[rank] = constructor_handle.call("get_batch", step, rank)
+                    deliveries[rank] = self._call_constructor(
+                        constructor_handle, step, "get_batch", step, rank
+                    )
         self._spill_delivery_manifest(step, plan, deliveries)
 
         backbone_assignments = self._assignments_from_plan(plan, "backbone")
@@ -903,30 +1402,36 @@ class MegaScaleData:
 
         # Book the trainer's window for this step on the shared clock; its
         # start is the issue instant for whatever the pipeline queues next.
+        # The submission closure is kept so a chaos fault surfacing on the
+        # iteration future (which fires *before* train_step runs) can simply
+        # re-book the identical window after recovery/backoff.
         begin_s = max(trainer_free_s, data_ready_s)
         if simulate:
-            iteration_future = self.trainer_handle.submit_timed(
-                "train_step",
-                step,
-                backbone_assignments,
-                encoder_assignments,
-                data_fetch_latency_s=data_fetch_latency,
-                hidden_fetch_s=entry.hidden_s,
-                step_tag=step,
-                earliest_start_s=begin_s,
-            )
+            def submit_iteration():
+                return self.trainer_handle.submit_timed(
+                    "train_step",
+                    step,
+                    backbone_assignments,
+                    encoder_assignments,
+                    data_fetch_latency_s=data_fetch_latency,
+                    hidden_fetch_s=entry.hidden_s,
+                    step_tag=step,
+                    earliest_start_s=begin_s,
+                )
         else:
-            iteration_future = self.trainer_handle.submit_timed(
-                "consume_step", step, step_tag=step, earliest_start_s=begin_s
-            )
+            def submit_iteration():
+                return self.trainer_handle.submit_timed(
+                    "consume_step", step, step_tag=step, earliest_start_s=begin_s
+                )
+        iteration_future = submit_iteration()
         if self.system.engine is not None and self.pipeline is not None:
             # Wallclock + prefetching: awaiting the iteration here would
             # serialize trainer compute against the pipeline's next pump and
             # forfeit the very overlap the backend exists to measure.  Defer
             # the await; the pipeline collects it after pumping prefetches.
-            self._pending_iteration = (iteration_future, result, simulate)
+            self._pending_iteration = (iteration_future, result, simulate, submit_iteration)
         else:
-            self._await_iteration(iteration_future, result, simulate)
+            self._await_iteration(iteration_future, result, simulate, submit_iteration)
         self._last_release_s = begin_s
         if self.job.tenant is not None and self.system.engine is None:
             # Shared virtual-clock system: spawns fired at this boundary (or
@@ -937,7 +1442,12 @@ class MegaScaleData:
 
         # Release constructor staging for completed steps (double buffering).
         for constructor_handle in self.constructor_handles:
-            constructor_handle.call("release_steps_below", step)
+            try:
+                constructor_handle.call("release_steps_below", step)
+            except ActorTimeout:
+                # Transient blip: the release is idempotent and the next
+                # step's sweep covers this one (staging is keyed by step).
+                pass
         # Elasticity housekeeping at the step boundary: finalize retirements
         # whose drain completed, fire queued spawns a freed placement can now
         # host, and sample live cluster utilization.
@@ -953,16 +1463,43 @@ class MegaScaleData:
         return result
 
     def _await_iteration(
-        self, future: ActorFuture, result: StepResult, simulate: bool
+        self,
+        future: ActorFuture,
+        result: StepResult,
+        simulate: bool,
+        resubmit=None,
     ) -> None:
-        """Drive the system until the trainer's booked window completes."""
-        while not future.done():
-            if self.system.tick() == 0:
-                break
-        if simulate:
-            result.iteration = future.result()
-        else:
-            future.result()  # surface trainer failures loudly
+        """Drive the system until the trainer's booked window completes.
+
+        Chaos faults raise from the future *before* ``train_step`` ran, so a
+        dead trainer is restarted (state restored) and a blipped one waited
+        out, then the identical window is re-booked via ``resubmit``.
+        """
+        ft = self.fault_manager
+        restarts = 0
+        waits = 0
+        while True:
+            while not future.done():
+                if self.system.tick() == 0:
+                    break
+            try:
+                if simulate:
+                    result.iteration = future.result()
+                else:
+                    future.result()  # surface trainer failures loudly
+                return
+            except ActorDead:
+                restarts += 1
+                if resubmit is None or restarts > 2:
+                    raise
+                ft.recover_coordinator(self.trainer_handle, result.step)
+                future = resubmit()
+            except ActorTimeout:
+                waits += 1
+                if resubmit is None or waits >= ft.config.degraded_wait_attempts:
+                    raise
+                ft.sleep(ft.wait_delay_s(waits, "trainer.iteration"))
+                future = resubmit()
 
     def _collect_iteration(self) -> None:
         """Await a deferred trainer iteration (wallclock pipeline path only)."""
@@ -1060,6 +1597,11 @@ class MegaScaleData:
         if flush_pending and self.pipeline is not None:
             self.pipeline.flush()
         planner: Planner = self.planner_handle.instance()
+        if self.degradation is not None:
+            # Renormalize mode plans through the controller's catch-up-aware
+            # wrapper; the new schedule becomes its nominal base.
+            self.degradation.rebase(mixture)
+            mixture = self.degradation.schedule
         planner.mixture = mixture
         strategy_config = StrategyConfig(
             mixture=mixture,
@@ -1097,11 +1639,18 @@ class MegaScaleData:
                 ids.extend(assignment.sample_ids())
             if ids:
                 buckets[constructor_handle.name] = sorted(ids)
-        self.checkpoint_store.save(
-            MANIFEST_NAMESPACE,
-            step,
-            {"step": step, "buckets": buckets, "ranks": sorted(deliveries)},
+        # A store outage queues the manifest instead of failing the step;
+        # ordered draining keeps the audit trail gap-free once it heals.
+        self._manifest_backlog.append(
+            (step, {"step": step, "buckets": buckets, "ranks": sorted(deliveries)})
         )
+        while self._manifest_backlog:
+            pending_step, payload = self._manifest_backlog[0]
+            try:
+                self.checkpoint_store.save(MANIFEST_NAMESPACE, pending_step, payload)
+            except StorageError:
+                break
+            self._manifest_backlog.pop(0)
 
     def delivery_manifest(self, step: int) -> dict | None:
         """The persisted delivered-batch manifest for ``step`` (or None)."""
@@ -1370,7 +1919,11 @@ class MegaScaleData:
         """
         if planner.mixture is not None:
             return
-        planner.mixture = MixtureSchedule.uniform(self.catalog.names())
+        planner.mixture = (
+            self.degradation.schedule
+            if self.degradation is not None
+            else MixtureSchedule.uniform(self.catalog.names())
+        )
         # Rebuild the strategy with the sampling mixture so every step
         # draws a bounded, mixed batch rather than the whole buffer.
         strategy_config = StrategyConfig(
@@ -1396,12 +1949,53 @@ class MegaScaleData:
         mixture_names = self.catalog.names()
 
         def sized(buffer_infos, tree, step, seed=0):
-            bounded = self._bound_buffer(buffer_infos, sample_count, step, seed)
+            bounded = self._bound_buffer(
+                buffer_infos,
+                sample_count,
+                step,
+                seed,
+                quotas=self._degraded_quotas(step, sample_count, buffer_infos),
+            )
             return strategy(bounded, tree, step, seed)
 
         sized.__name__ = f"sized[{getattr(strategy, '__name__', 'strategy')}]"
         sized.mixture_names = mixture_names
         return sized
+
+    def _degraded_quotas(
+        self,
+        step: int,
+        sample_count: int,
+        buffer_infos: dict[str, list[SampleMetadata] | SampleColumns],
+    ) -> dict[str, int] | None:
+        """Per-source bounding quotas under a degraded-mode controller.
+
+        The default proportional bound subsamples the pool by buffer size,
+        whose remainder rounding does not agree with the mix primitive's
+        largest-remainder quota — the mismatch silently drops samples (the
+        mix's extra lands on a source the bound capped) and clips the
+        catch-up schedule's over-weighted quota for an owed source.  Whenever
+        a controller is installed, bound each present source to exactly the
+        integer quota the schedule asks for instead, so healthy steps deliver
+        ``expected_quotas(base)`` — the controller's accounting unit — and
+        catch-up transfers reproduce sample-exactly.  Returns ``None`` for
+        jobs without a controller (``degraded_mode="strict"``), where the
+        legacy bound (and therefore byte-identical plans) applies.
+        """
+        degradation = self.degradation
+        if degradation is None:
+            return None
+        weights = degradation.schedule.weights_at(step)
+        present = {
+            name: weight
+            for name, weight in weights.items()
+            if weight > 0 and len(buffer_infos.get(name, ())) > 0
+        }
+        if not present:
+            return None
+        total = sum(present.values())
+        normalized = {name: weight / total for name, weight in present.items()}
+        return expected_quotas(normalized, sample_count)
 
     @staticmethod
     def _bound_buffer(
@@ -1409,13 +2003,16 @@ class MegaScaleData:
         sample_count: int,
         step: int,
         seed: int,
+        quotas: dict[str, int] | None = None,
     ) -> dict[str, list[SampleMetadata] | SampleColumns]:
         """Deterministically subsample the buffered metadata to the step budget.
 
         Handles both gather representations: metadata lists (legacy planning)
         and :class:`SampleColumns` (columnar planning), whose rotation+take is
         index arithmetic rather than list copies — the two paths select the
-        exact same samples in the same order.
+        exact same samples in the same order.  Explicit ``quotas`` (degraded
+        catch-up) replace the proportional share; a source whose buffer runs
+        shorter than its quota hands the spare budget to the next sources.
         """
         total = sum(len(samples) for samples in buffer_infos.values())
         if total <= sample_count:
@@ -1423,10 +2020,15 @@ class MegaScaleData:
         bounded: dict[str, list[SampleMetadata] | SampleColumns] = {}
         remaining = sample_count
         sources = sorted(buffer_infos)
+        spare = 0
         for index, source in enumerate(sources):
             samples = buffer_infos[source]
-            share = max(1, round(sample_count * len(samples) / total))
-            share = min(share, remaining - (len(sources) - index - 1)) if index < len(sources) - 1 else remaining
+            if quotas is not None:
+                share = quotas.get(source, 0) + spare
+                spare = max(0, share - len(samples))
+            else:
+                share = max(1, round(sample_count * len(samples) / total))
+                share = min(share, remaining - (len(sources) - index - 1)) if index < len(sources) - 1 else remaining
             share = max(0, min(share, len(samples), remaining))
             offset = (step * 7) % max(1, len(samples))
             if isinstance(samples, SampleColumns):

@@ -430,6 +430,11 @@ class LoaderFleet:
                 warmup_s=getattr(job, "spawn_warmup_s", 0.0),
                 tenant=job.tenant,
                 free_from_s=self.spawn_anchor_s,
+                # Failure domain: keep the mirror off its canonical's node so
+                # a node crash cannot take out a shard group's only replicas
+                # together (relaxed by the scheduler when it is the sole
+                # feasible host, e.g. single-node test clusters).
+                anti_affinity=self.system.actor_node(group.canonical.name),
             )
         except SchedulingError as exc:
             if record_reject:

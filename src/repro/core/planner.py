@@ -22,7 +22,7 @@ from repro.core.plans import LoadingPlan, ScalingPlan
 from repro.core.strategies import StrategyFn
 from repro.data.mixture import MixtureSchedule
 from repro.data.samples import SampleMetadata
-from repro.errors import ActorDead, ActorError, ActorTimeout, PlanError
+from repro.errors import ActorDead, ActorError, ActorTimeout, PlanError, StorageError
 
 #: Simulated cost of gathering one loader's buffer summary over RPC.
 GATHER_RPC_SECONDS = 0.00035
@@ -126,6 +126,12 @@ class Planner(Actor):
         #: is momentarily empty).
         self._gather_caches: dict[str, ColumnarBufferCache] = {}
         self._declared_sources: dict[str, str] = {}
+        #: Sources dropped from planning while degraded (all loaders dark).
+        self._excluded_sources: frozenset[str] = frozenset()
+        #: Plans generated but not yet durably persisted (store outage).
+        #: In-memory history is never trimmed while this is non-empty, so a
+        #: flaky store delays durability without ever losing replay state.
+        self._persist_backlog: list[LoadingPlan] = []
 
     # -- wiring ---------------------------------------------------------------------------
 
@@ -153,6 +159,30 @@ class Planner(Actor):
     def loader_names(self) -> list[str]:
         return [handle.name for handle in self._loader_handles]
 
+    def set_excluded_sources(self, sources) -> None:
+        """Drop ``sources`` from the gather set (degraded-mode renormalize).
+
+        Excluded sources are skipped entirely — no RPCs are issued to their
+        loaders and their buffers never reach the strategy, so the mixture
+        renormalizes over the survivors.  Pass an empty set to restore the
+        full gather.
+        """
+        self._excluded_sources = frozenset(sources)
+
+    def excluded_sources(self) -> frozenset[str]:
+        return self._excluded_sources
+
+    def _is_excluded(self, handle: ActorHandle) -> bool:
+        if not self._excluded_sources:
+            return False
+        try:
+            source = self._declared_source(handle)
+        except (ActorDead, ActorTimeout):
+            # The loader is dark while exclusions are active — exactly the
+            # degraded scenario.  Skip it rather than poison the gather.
+            return True
+        return source in self._excluded_sources
+
     # -- planning -------------------------------------------------------------------------------
 
     def gather_buffer_metadata(self) -> tuple[dict[str, list[SampleMetadata]], float]:
@@ -160,6 +190,8 @@ class Planner(Actor):
         infos: dict[str, list[SampleMetadata]] = {}
         latency = 0.0
         for handle in self._loader_handles:
+            if self._is_excluded(handle):
+                continue
             summary: list[SampleMetadata] = handle.call("summary_buffer")
             source_name = (
                 summary[0].source if summary else self._declared_source(handle)
@@ -184,6 +216,8 @@ class Planner(Actor):
         parts: dict[str, list[ColumnarBufferCache]] = {}
         latency = 0.0
         for handle in self._loader_handles:
+            if self._is_excluded(handle):
+                continue
             cache = self._gather_caches.get(handle.name)
             if cache is None:
                 cache = ColumnarBufferCache(source=self._declared_source(handle))
@@ -290,9 +324,12 @@ class Planner(Actor):
             # Persist the plan before trimming: in-memory history keeps only
             # the bounded replay window, the store keeps everything, so
             # replay consumers restore a checkpoint and fetch just the
-            # suffix instead of rebuilding from genesis.
-            self.checkpoint_store.save(PLAN_NAMESPACE, plan.step, plan)
-            if len(self._plan_history) > self.replay_window:
+            # suffix instead of rebuilding from genesis.  A store outage
+            # queues the plan instead of failing the planning cycle; memory
+            # holds every unpersisted plan until the store heals.
+            self._persist_backlog.append(plan)
+            self._flush_persist_backlog()
+            if not self._persist_backlog and len(self._plan_history) > self.replay_window:
                 del self._plan_history[: len(self._plan_history) - self.replay_window]
         self._step = step + 1
         self._maybe_checkpoint(plan)
@@ -307,6 +344,28 @@ class Planner(Actor):
         return self.scaler.observe(step, moving, now_s=now_s)
 
     # -- fault tolerance -----------------------------------------------------------------------------
+
+    def _flush_persist_backlog(self) -> int:
+        """Drain queued plan saves in order; stops at the first store error.
+
+        Ordering matters: a later plan must never be durable while an
+        earlier one is not, or replay-from-store would see a gap.  Returns
+        how many plans were flushed.
+        """
+        flushed = 0
+        while self._persist_backlog:
+            plan = self._persist_backlog[0]
+            try:
+                self.checkpoint_store.save(PLAN_NAMESPACE, plan.step, plan)
+            except StorageError:
+                break
+            self._persist_backlog.pop(0)
+            flushed += 1
+        return flushed
+
+    def persist_backlog_depth(self) -> int:
+        """Plans awaiting durability (non-zero only during a store outage)."""
+        return len(self._persist_backlog)
 
     def _maybe_checkpoint(self, plan: LoadingPlan) -> None:
         if self.gcs is None:
@@ -331,11 +390,22 @@ class Planner(Actor):
         return {
             "step": self._step,
             "plans_generated": self.stats.plans_generated,
+            # Coordinator-restart payload: the in-memory history (including
+            # the not-yet-durable persist backlog) rides along so a restarted
+            # planner can still replay delivered plans into rewound loaders
+            # even when a store outage delayed persistence.
+            "plan_history": list(self._plan_history),
+            "persist_backlog": list(self._persist_backlog),
+            "excluded_sources": tuple(sorted(self._excluded_sources)),
         }
 
     def load_state_dict(self, state: dict) -> None:
         self._step = int(state.get("step", 0))
         self.stats.plans_generated = int(state.get("plans_generated", 0))
+        if "plan_history" in state:
+            self._plan_history = list(state["plan_history"])
+            self._persist_backlog = list(state.get("persist_backlog", []))
+            self._excluded_sources = frozenset(state.get("excluded_sources", ()))
 
     def replay_from_gcs(self) -> int:
         """Recover the planning position after a restart.
@@ -405,6 +475,9 @@ class Planner(Actor):
         kept = [plan for plan in self._plan_history if plan.step < step]
         dropped = len(self._plan_history) - len(kept)
         self._plan_history = kept
+        self._persist_backlog = [
+            plan for plan in self._persist_backlog if plan.step < step
+        ]
         if self.checkpoint_store is not None:
             dropped = max(dropped, self.checkpoint_store.delete_from(PLAN_NAMESPACE, step))
         self._step = min(self._step, step)

@@ -43,7 +43,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.actors.actor import ActorFuture, ActorHandle
+from repro.actors.actor import ActorFuture, ActorHandle, ActorState
 from repro.core.assembly import PreparedColumns
 from repro.core.planner import PlanTimings
 from repro.core.plans import LoadingPlan
@@ -53,6 +53,7 @@ from repro.errors import (
     BackpressureError,
     ConfigurationError,
     PlanError,
+    StorageError,
 )
 
 
@@ -72,6 +73,9 @@ class _InflightStep:
     #: Earliest virtual instant a backpressure-retried construct may start
     #: (the consume instant that freed a staging slot).
     retry_after_s: float = 0.0
+    #: Policy counter: heal/degrade/wait rounds spent absorbing faults while
+    #: driving this step (bounds the strict-mode wait loop).
+    recovery_attempts: int = 0
 
     plan_future: ActorFuture | None = None
     plan: LoadingPlan | None = None
@@ -146,19 +150,23 @@ class StepPipeline:
                 f"{expected}, got {step} (use prefetch_depth=0 for random access)"
             )
         self._fill()
-        head = self._queue[0]
         stalls = 0
-        while head.state != "ready":
+        # Re-read the head every round: a degraded-mode flush mid-pump
+        # rebuilds the queue, so the object identity of "the next step" can
+        # change while we drive it to readiness.
+        while self._queue[0].state != "ready":
             if not self._pump():
                 stalls += 1
                 if stalls > 2:
                     raise PlanError(
-                        f"step pipeline stalled while completing step {head.step}; "
-                        "constructor staging_capacity must be >= 2"
+                        f"step pipeline stalled while completing step "
+                        f"{self._queue[0].step}; constructor staging_capacity "
+                        "must be >= 2"
                     )
             else:
                 stalls = 0
-        self._queue.popleft()
+            self._fill()
+        head = self._queue.popleft()
 
         # The framework measures the trainer's stall against the step's
         # recorded data-ready instant and books the compute window on the
@@ -246,6 +254,11 @@ class StepPipeline:
         )
         planner = fw.planner_handle.instance()
         planner.truncate_history(fw._step)
+        # Degraded-mode catch-up accounting observed the flushed plans; they
+        # will be re-planned, so rewind their deficit deltas and memoized
+        # catch-up weights along with the plan history.
+        if fw.degradation is not None:
+            fw.degradation.invalidate_from(fw._step)
         # Checkpoints taken at the sync points of flushed (never-delivered)
         # steps would replay demands that no longer exist post-flush.
         fw.fault_manager.discard_checkpoints_after(fw._step - 1)
@@ -256,26 +269,7 @@ class StepPipeline:
         # tests) fall back to pristine reset + full delivered-history replay;
         # either way every shard-group member is a byte-exact replica of the
         # state a lone loader would hold after the delivered prefix.
-        for handle in fw.fleet.all_handles():
-            try:
-                checkpoint = fw.fault_manager.last_loader_checkpoint(
-                    handle.name, max_step=fw._step - 1, consistent=True
-                )
-                if checkpoint is not None:
-                    handle.call("restore_replay_checkpoint", checkpoint["replay"])
-                    suffix_after = checkpoint["step"]
-                else:
-                    handle.call("reset_for_replay")
-                    suffix_after = -1
-                source_name = handle.instance().source.name
-                for plan in planner.plans_since(suffix_after):
-                    if plan.step >= fw._step:
-                        continue
-                    demanded = plan.source_demands.get(source_name, [])
-                    if demanded:
-                        handle.call("replay_demands", list(demanded))
-            except Exception:  # noqa: BLE001 - best-effort cleanup
-                continue
+        fw._rewind_members(fw._step)
         # Steps already constructed for the flushed future occupy bounded
         # staging slots on every constructor (including ones a reshard is
         # about to retire); release them so re-planned steps can stage again.
@@ -326,6 +320,10 @@ class StepPipeline:
 
     def _advance_pending(self, item: _InflightStep) -> bool:
         fw = self.framework
+        if fw.degradation is not None:
+            # Re-admit healed dark sources before this step plans, so the
+            # plan samples from the restored mixture.
+            fw.degradation.maybe_restore(item.step)
         planner = fw.planner_handle.instance()
         fw._ensure_sized_strategy(planner)
         item.plan_future = fw.planner_handle.submit_timed(
@@ -341,13 +339,18 @@ class StepPipeline:
             return True
         exc = item.plan_future.exception()
         if isinstance(exc, (ActorDead, ActorTimeout)):
-            # The planner's buffer gather hit a dead loader.  Find and
-            # recover every failed loader, then re-plan the step.
-            failed = fw.fault_manager.detect_failures(fw.loader_handles)
-            if not failed:
+            # The planner's buffer gather hit a dead or dark loader (or the
+            # planner itself is inside a fault window).  Heal what can be
+            # healed; an unrecoverable source is degraded out of the mixture
+            # (renormalize) — which invalidates every queued plan, so flush
+            # and re-plan the whole in-flight window — or waited out (strict).
+            item.recovery_attempts += 1
+            dark_before = set(fw.degradation.dark) if fw.degradation is not None else set()
+            if not fw._absorb_gather_fault(item.step, item.recovery_attempts, exc):
                 raise exc
-            for handle in failed:
-                self._recover_loader_handle(handle, item.step)
+            if fw.degradation is not None and set(fw.degradation.dark) != dark_before:
+                self.flush()
+                return True
             item.plan_future = fw.planner_handle.submit_timed(
                 "generate_plan", item.step, step_tag=item.step,
                 earliest_start_s=item.issue_time_s,
@@ -356,6 +359,8 @@ class StepPipeline:
         if exc is not None:
             raise exc
         item.plan = item.plan_future.result()
+        if fw.degradation is not None:
+            fw.degradation.observe_plan(item.plan)
         item.plan_ready_s = item.plan_future.available_at_s or 0.0
         # Capture the timings of exactly this plan before later plans overwrite
         # the planner's "latest" slot.
@@ -504,6 +509,25 @@ class StepPipeline:
                 del item.construct_futures[constructor_handle.name]
                 blocked = True
                 continue
+            if isinstance(exc, (ActorDead, ActorTimeout)):
+                # Chaos faults fire before the construct body runs, so the
+                # identical call is safe to re-issue: restart a dead
+                # constructor from its state dict, or sleep one backoff delay
+                # for a fault window (gcs blip) to expire, then resubmit.
+                item.recovery_attempts += 1
+                if item.recovery_attempts >= fw.fault_manager.config.degraded_wait_attempts:
+                    raise exc
+                if isinstance(exc, ActorDead):
+                    fw.fault_manager.recover_coordinator(constructor_handle, item.step)
+                else:
+                    fw.fault_manager.sleep(
+                        fw.fault_manager.wait_delay_s(
+                            item.recovery_attempts,
+                            f"pipeline-construct.{constructor_handle.name}",
+                        )
+                    )
+                del item.construct_futures[constructor_handle.name]
+                continue
             if exc is not None:
                 raise exc
             stats = future.result()
@@ -539,8 +563,28 @@ class StepPipeline:
 
         The in-flight step's samples were never delivered, so re-preparing
         them on the replacement neither drops nor duplicates any sample.
+
+        When recovery itself fails (node gone, checkpoint store dark, source
+        blacked out) the failure escalates to policy: renormalize mode
+        degrades the source and flushes the in-flight window so every queued
+        step re-plans over the survivors; strict mode sleeps one backoff
+        delay — bounded by the degraded-wait budget — and re-issues the
+        chaos-failed calls to retry on the next pump, after the fault
+        window may have expired.
         """
-        promoted = self._recover_loader_handle(handle, item.step)
+        fw = self.framework
+        if fw.system.actor_state(handle.name) is ActorState.RUNNING:
+            # Alive but dark (source blackout, control-plane blip) or merely
+            # slow: restarting a live instance would discard its prefetch
+            # cursor and fork the sample stream, so escalate straight to
+            # policy — degrade the source or wait the window out.
+            self._degrade_or_wait(item, handle)
+            return
+        try:
+            promoted = self._recover_loader_handle(handle, item.step)
+        except (ActorDead, ActorTimeout, StorageError):
+            self._degrade_or_wait(item, handle)
+            return
 
         sample_ids = item.demands.pop(handle, [])
         item.prepare_futures.pop(handle, None)
@@ -558,3 +602,45 @@ class StepPipeline:
             item.pending_loaders.add(promoted)
             item.unfetched.add(promoted)
         item.state = "preparing"
+
+    def _degrade_or_wait(self, item: _InflightStep, handle: ActorHandle) -> None:
+        """Policy for a loader that cannot be (or must not be) recovered.
+
+        Renormalize mode degrades the member's source and flushes the
+        in-flight window so every queued step re-plans over the survivors;
+        strict mode sleeps one backoff delay — bounded by the degraded-wait
+        budget — and re-issues the chaos-failed calls so the next pump
+        retries after the fault window may have expired.
+        """
+        fw = self.framework
+        source = fw._member_source(handle)
+        if fw.degradation is not None and fw._can_degrade({source}):
+            fw.degradation.degrade({source}, item.step)
+            self.flush()
+            return
+        item.recovery_attempts += 1
+        if item.recovery_attempts >= fw.fault_manager.config.degraded_wait_attempts:
+            raise ActorTimeout(
+                f"loader {handle.name} unavailable past the degraded-wait budget"
+            )
+        fw.fault_manager.sleep(
+            fw.fault_manager.wait_delay_s(
+                item.recovery_attempts, f"pipeline-recover.{handle.name}"
+            )
+        )
+        # Chaos faults fire before the target method body runs, so the failed
+        # calls never executed and the identical re-issue is safe.  Without
+        # re-issuing, the same completed-with-exception future would keep
+        # re-triggering this wait loop even after the fault window expires.
+        prepare = item.prepare_futures.get(handle)
+        if prepare is not None and prepare.done() and prepare.exception() is not None:
+            item.prepare_futures[handle] = handle.submit_timed(
+                "prepare_async", item.step, list(item.demands[handle]),
+                step_tag=item.step, earliest_start_s=item.plan_ready_s,
+            )
+        for futures in (item.poll_futures, item.fetch_futures):
+            future = futures.get(handle)
+            if future is not None and future.done() and future.exception() is not None:
+                # The preparing/fetching advance loops re-submit a missing
+                # poll/fetch future on their next round.
+                del futures[handle]

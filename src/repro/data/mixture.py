@@ -232,6 +232,17 @@ class MixtureSchedule:
             self._weights_memo[step] = cached
         return dict(cached)
 
+    def invalidate_weights_from(self, step: int) -> None:
+        """Drop memoized weights for steps ``>= step``.
+
+        For schedules whose weight function consults mutable controller
+        state (degraded-mode catch-up): when in-flight steps are flushed and
+        re-planned, their weights must be recomputed against the rewound
+        state, not served from the memo.
+        """
+        for memoized in [s for s in self._weights_memo if s >= step]:
+            del self._weights_memo[memoized]
+
     def sample_sources(
         self, step: int, count: int, rng: np.random.Generator
     ) -> list[str]:

@@ -207,8 +207,12 @@ DATA_PLANE_ROLES = frozenset({"planner", "source_loader", "data_constructor"})
 #: neither busy data time nor compute windows work could hide behind.
 FLEET_ROLE = "fleet"
 
-#: Every fleet mutation kind the ledger accepts.
-FLEET_EVENT_KINDS = frozenset({"spawn", "retire", "reject", "resize", "promote"})
+#: Every fleet mutation kind the ledger accepts.  ``degrade`` / ``restore``
+#: mark the data plane dropping a source from the mixture (all loaders
+#: unreachable) and readmitting it once its loaders answer heartbeats again.
+FLEET_EVENT_KINDS = frozenset(
+    {"spawn", "retire", "reject", "resize", "promote", "degrade", "restore"}
+)
 
 
 @dataclass(frozen=True)

@@ -366,3 +366,19 @@ class TrainerActor(Actor):
 
     def heartbeat_payload(self) -> dict:
         return {"steps_consumed": self.steps_consumed}
+
+    def state_dict(self) -> dict:
+        """Restartable trainer state for coordinator recovery.
+
+        The simulator itself is stateless between iterations (each call is a
+        pure function of its assignments), so consumption progress and the
+        stall log are the whole recoverable state.
+        """
+        return {
+            "steps_consumed": self.steps_consumed,
+            "stall_log": list(self.stall_log),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.steps_consumed = int(state.get("steps_consumed", 0))
+        self.stall_log = [tuple(entry) for entry in state.get("stall_log", [])]
